@@ -1,0 +1,47 @@
+// Experiments F2 + F3 — "speed estimation accuracy vs crowdsourcing budget
+// K", one series per method, on both datasets.
+//
+// This is the paper's headline accuracy figure: the two-step trend+speed
+// model (TrendSpeed) against the baseline families, sweeping K. Expected
+// shape (paper): TrendSpeed dominates at every K, with the gap vs the best
+// baseline on the order of tens of percent; all methods improve with K;
+// HistoricalMean is flat (it ignores seeds).
+
+#include "bench_util.h"
+
+namespace trendspeed {
+namespace {
+
+void RunCity(const std::string& name) {
+  auto ds = bench::MakeCity(name);
+  TrafficSpeedEstimator est = bench::TrainDefault(*ds);
+  auto suite = BuildMethodSuite(*ds, est, /*include_matrix_completion=*/true);
+  TS_CHECK(suite.ok()) << suite.status().ToString();
+  Evaluator eval(&*ds);
+  EvalOptions opts = bench::DefaultEval();
+
+  bench::PrintTitle("F2/F3 speed-estimation error vs budget K: " + name);
+  bench::Table t({"K", "method", "MAE", "MAPE", "RMSE", "err-rate"}, 18);
+  t.PrintHeader();
+  for (size_t k : {10u, 20u, 40u, 80u, 160u}) {
+    if (k >= ds->net.num_roads()) continue;
+    auto seeds = est.SelectSeeds(k, SeedStrategy::kLazyGreedy);
+    TS_CHECK(seeds.ok());
+    for (const MethodAdapter& method : suite->methods) {
+      auto r = eval.Run(method, seeds->seeds, opts);
+      TS_CHECK(r.ok()) << method.name << ": " << r.status().ToString();
+      t.Row({std::to_string(k), method.name, bench::Fmt(r->metrics.mae),
+             bench::FmtPct(r->metrics.mape), bench::Fmt(r->metrics.rmse),
+             bench::FmtPct(r->metrics.error_rate)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trendspeed
+
+int main() {
+  trendspeed::RunCity("CityA");
+  trendspeed::RunCity("CityB");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Experiment F5 — "online inference efficiency vs network size".
+//
+// The paper claims ~2 orders of magnitude faster inference than the
+// global-optimization baselines. This harness scales a grid city from a few
+// hundred to several thousand road segments (idealized probe history keeps
+// setup fast) and times one full estimation per method. Expected shape:
+// TrendSpeed grows ~linearly in V+E and stays 1-2 orders of magnitude below
+// LabelProp (whole-graph iterative solver); kNN degrades with K * network
+// size (per-seed BFS); MatrixCompletion is in between.
+
+#include "baseline/global_lsq.h"
+#include "baseline/knn.h"
+#include "baseline/label_propagation.h"
+#include "baseline/matrix_completion.h"
+#include "bench_util.h"
+#include "roadnet/generators.h"
+#include "util/timer.h"
+
+namespace trendspeed {
+namespace {
+
+struct Timed {
+  double ms = 0.0;
+};
+
+double TimeMethod(const EstimateFn& fn, const std::vector<uint64_t>& slots,
+                  const Evaluator& eval, const std::vector<RoadId>& seeds) {
+  Rng rng(7);
+  WallTimer timer;
+  double total = 0.0;
+  for (uint64_t slot : slots) {
+    auto obs = eval.ObserveSeeds(slot, seeds, 1.5, &rng);
+    timer.Restart();
+    auto out = fn(slot, obs);
+    total += timer.ElapsedMillis();
+    TS_CHECK(out.ok());
+  }
+  return total / static_cast<double>(slots.size());
+}
+
+void Run() {
+  bench::PrintTitle("F5 online inference latency vs network size (ms/slot)");
+  bench::Table t({"roads", "TrendSpeed", "kNN", "LabelProp", "LSQ-CG",
+                  "LSQ-direct", "MatrixComp", "direct/ours"},
+                 13);
+  t.PrintHeader();
+  for (size_t m : {8u, 14u, 22u, 32u, 44u}) {
+    GridNetworkOptions gopts;
+    gopts.rows = m;
+    gopts.cols = m;
+    gopts.arterial_every = 4;
+    DatasetOptions dopts;
+    dopts.history_days = 7;
+    dopts.test_days = 1;
+    dopts.use_probe_fleet = false;  // idealized history: isolate online cost
+    dopts.idealized_coverage = 0.3;
+    auto net = MakeGridNetwork(gopts);
+    TS_CHECK(net.ok());
+    auto ds = BuildDataset("grid", std::move(net).value(), dopts);
+    TS_CHECK(ds.ok()) << ds.status().ToString();
+    TrafficSpeedEstimator est = bench::TrainDefault(*ds);
+    size_t k = std::max<size_t>(10, ds->net.num_roads() / 25);
+    auto seeds = est.SelectSeeds(k, SeedStrategy::kLazyGreedy);
+    TS_CHECK(seeds.ok());
+    Evaluator eval(&*ds);
+    std::vector<uint64_t> slots = eval.TestSlots(/*stride=*/16);
+
+    KnnEstimator knn(&ds->net, &ds->history);
+    LabelPropagationEstimator lp(&ds->net, &ds->history);
+    GlobalLsqEstimator lsq(&ds->net, &ds->history);
+    auto mc = MatrixCompletionEstimator::Train(&ds->net, &ds->history);
+    TS_CHECK(mc.ok());
+
+    double ours = TimeMethod(
+        [&](uint64_t slot, const std::vector<SeedSpeed>& obs)
+            -> Result<std::vector<double>> {
+          TS_ASSIGN_OR_RETURN(TrafficSpeedEstimator::Output out,
+                              est.Estimate(slot, obs));
+          return std::move(out.speeds.speed_kmh);
+        },
+        slots, eval, seeds->seeds);
+    double t_knn = TimeMethod(
+        [&](uint64_t slot, const std::vector<SeedSpeed>& obs) {
+          return knn.Estimate(slot, obs);
+        },
+        slots, eval, seeds->seeds);
+    double t_lp = TimeMethod(
+        [&](uint64_t slot, const std::vector<SeedSpeed>& obs) {
+          return lp.Estimate(slot, obs);
+        },
+        slots, eval, seeds->seeds);
+    double t_lsq = TimeMethod(
+        [&](uint64_t slot, const std::vector<SeedSpeed>& obs) {
+          return lsq.Estimate(slot, obs);
+        },
+        slots, eval, seeds->seeds);
+    // Direct dense solve is O(n^3) per slot; time a single slot and only up
+    // to a network size where that stays sane.
+    double t_direct = -1.0;
+    if (ds->net.num_roads() <= 2200) {
+      GlobalLsqOptions direct_opts;
+      direct_opts.use_direct_solver = true;
+      GlobalLsqEstimator direct(&ds->net, &ds->history, direct_opts);
+      std::vector<uint64_t> one_slot = {slots[0]};
+      t_direct = TimeMethod(
+          [&](uint64_t slot, const std::vector<SeedSpeed>& obs) {
+            return direct.Estimate(slot, obs);
+          },
+          one_slot, eval, seeds->seeds);
+    }
+    double t_mc = TimeMethod(
+        [&](uint64_t slot, const std::vector<SeedSpeed>& obs) {
+          return mc->Estimate(slot, obs);
+        },
+        slots, eval, seeds->seeds);
+    t.Row({std::to_string(ds->net.num_roads()), bench::Fmt(ours, 3),
+           bench::Fmt(t_knn, 3), bench::Fmt(t_lp, 3), bench::Fmt(t_lsq, 3),
+           t_direct >= 0.0 ? bench::Fmt(t_direct, 1) : "-",
+           bench::Fmt(t_mc, 3),
+           t_direct >= 0.0 ? bench::Fmt(t_direct / ours, 0) + "x" : "-"});
+  }
+}
+
+}  // namespace
+}  // namespace trendspeed
+
+int main() {
+  trendspeed::Run();
+  return 0;
+}

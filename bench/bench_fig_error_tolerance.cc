@@ -1,0 +1,69 @@
+// Experiment F9 [R] — "error rate vs tolerance tau".
+//
+// The paper's error-rate metric counts estimates whose relative error
+// exceeds a tolerance tau. This harness sweeps tau, showing the full error
+// distribution per method rather than one operating point: the curve of the
+// winning method sits below the others across the whole range, not just at
+// tau = 20%.
+
+#include "bench_util.h"
+
+namespace trendspeed {
+namespace {
+
+void Run() {
+  auto ds = bench::MakeCity("CityA");
+  TrafficSpeedEstimator est = bench::TrainDefault(*ds);
+  auto suite = BuildMethodSuite(*ds, est, /*include_matrix_completion=*/true);
+  TS_CHECK(suite.ok());
+  const size_t kBudget = 40;
+  auto seeds = est.SelectSeeds(kBudget, SeedStrategy::kLazyGreedy);
+  TS_CHECK(seeds.ok());
+  std::vector<bool> is_seed(ds->net.num_roads(), false);
+  for (RoadId r : seeds->seeds) is_seed[r] = true;
+
+  // Collect the relative errors per method once.
+  Evaluator eval(&*ds);
+  Rng rng(99);
+  std::vector<std::vector<double>> rel_errors(suite->methods.size());
+  for (uint64_t slot : eval.TestSlots(/*stride=*/6)) {
+    auto obs = eval.ObserveSeeds(slot, seeds->seeds, 1.5, &rng);
+    for (size_t m = 0; m < suite->methods.size(); ++m) {
+      auto out = suite->methods[m].estimate(slot, obs);
+      TS_CHECK(out.ok());
+      for (RoadId r = 0; r < ds->net.num_roads(); ++r) {
+        if (is_seed[r]) continue;
+        double truth = ds->truth.at(slot, r);
+        if (truth <= 0.0) continue;
+        rel_errors[m].push_back(std::fabs((*out)[r] - truth) / truth);
+      }
+    }
+  }
+
+  bench::PrintTitle("F9 error rate vs tolerance tau (CityA, K=40)");
+  std::vector<std::string> header = {"tau"};
+  for (const MethodAdapter& m : suite->methods) header.push_back(m.name);
+  bench::Table t(header, 18);
+  t.PrintHeader();
+  for (double tau : {0.05, 0.10, 0.15, 0.20, 0.30, 0.50}) {
+    std::vector<std::string> row = {bench::FmtPct(tau, 0)};
+    for (size_t m = 0; m < suite->methods.size(); ++m) {
+      size_t over = 0;
+      for (double e : rel_errors[m]) {
+        if (e > tau) ++over;
+      }
+      row.push_back(bench::FmtPct(
+          static_cast<double>(over) /
+          static_cast<double>(rel_errors[m].size())));
+    }
+    t.Row(row);
+  }
+}
+
+}  // namespace
+}  // namespace trendspeed
+
+int main() {
+  trendspeed::Run();
+  return 0;
+}

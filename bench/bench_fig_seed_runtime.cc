@@ -1,0 +1,98 @@
+// Experiment F7 — "seed-selection efficiency": selection wall time and
+// marginal-gain evaluation counts for the greedy family, vs K and vs
+// network size.
+//
+// Expected shape (paper): plain greedy scales as K * n evaluations; CELF
+// (lazy greedy) returns the identical set with 1-2 orders of magnitude
+// fewer evaluations; stochastic greedy's evaluation count is ~independent
+// of K.
+
+#include "bench_util.h"
+#include "roadnet/generators.h"
+#include "seed/greedy.h"
+#include "seed/lazy_greedy.h"
+#include "seed/stochastic_greedy.h"
+#include "util/timer.h"
+
+namespace trendspeed {
+namespace {
+
+struct Run {
+  const char* name;
+  Result<SeedSelectionResult> (*run)(const InfluenceModel&, size_t);
+};
+
+Result<SeedSelectionResult> RunStochastic(const InfluenceModel& m, size_t k) {
+  return SelectSeedsStochasticGreedy(m, k);
+}
+
+void SweepK(const InfluenceModel& influence) {
+  bench::PrintTitle("F7a seed-selection cost vs K (CityA influence model)");
+  bench::Table t({"K", "algorithm", "objective", "gain-evals", "ms"}, 14);
+  t.PrintHeader();
+  const Run runs[] = {
+      {"greedy", SelectSeedsGreedy},
+      {"lazy", SelectSeedsLazyGreedy},
+      {"stochastic", RunStochastic},
+  };
+  for (size_t k : {10u, 40u, 160u, 320u}) {
+    if (k >= influence.num_roads()) continue;
+    for (const Run& r : runs) {
+      WallTimer timer;
+      auto result = r.run(influence, k);
+      double ms = timer.ElapsedMillis();
+      TS_CHECK(result.ok());
+      t.Row({std::to_string(k), r.name, bench::Fmt(result->objective, 1),
+             std::to_string(result->gain_evaluations), bench::Fmt(ms, 2)});
+    }
+  }
+}
+
+void SweepN() {
+  bench::PrintTitle("F7b lazy-greedy cost vs network size (K = n/20)");
+  bench::Table t({"roads", "gain-evals(greedy)", "gain-evals(lazy)",
+                  "speedup", "ms(lazy)"},
+                 20);
+  t.PrintHeader();
+  for (size_t m : {10u, 20u, 30u, 40u}) {
+    GridNetworkOptions gopts;
+    gopts.rows = m;
+    gopts.cols = m;
+    DatasetOptions dopts;
+    dopts.history_days = 7;
+    dopts.test_days = 1;
+    dopts.use_probe_fleet = false;
+    auto net = MakeGridNetwork(gopts);
+    TS_CHECK(net.ok());
+    auto ds = BuildDataset("grid", std::move(net).value(), dopts);
+    TS_CHECK(ds.ok());
+    TrafficSpeedEstimator est = bench::TrainDefault(*ds);
+    size_t k = std::max<size_t>(4, ds->net.num_roads() / 20);
+    auto greedy = SelectSeedsGreedy(est.influence(), k);
+    WallTimer timer;
+    auto lazy = SelectSeedsLazyGreedy(est.influence(), k);
+    double ms = timer.ElapsedMillis();
+    TS_CHECK(greedy.ok());
+    TS_CHECK(lazy.ok());
+    TS_CHECK_EQ(greedy->objective, lazy->objective);
+    t.Row({std::to_string(ds->net.num_roads()),
+           std::to_string(greedy->gain_evaluations),
+           std::to_string(lazy->gain_evaluations),
+           bench::Fmt(static_cast<double>(greedy->gain_evaluations) /
+                          static_cast<double>(lazy->gain_evaluations),
+                      1) +
+               "x",
+           bench::Fmt(ms, 2)});
+  }
+}
+
+}  // namespace
+}  // namespace trendspeed
+
+int main() {
+  auto ds = trendspeed::bench::MakeCity("CityA");
+  trendspeed::TrafficSpeedEstimator est = trendspeed::bench::TrainDefault(*ds);
+  trendspeed::SweepK(est.influence());
+  trendspeed::SweepN();
+  return 0;
+}

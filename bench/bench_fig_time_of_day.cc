@@ -1,0 +1,77 @@
+// Experiment F4 — "estimation error by time of day" at a fixed budget.
+//
+// The paper slices accuracy by hour: errors peak in the rush hours (when
+// deviations from the historical norm are largest) and the gap between the
+// trend-aware method and HistoricalMean is widest exactly there.
+
+#include <map>
+
+#include "bench_util.h"
+
+namespace trendspeed {
+namespace {
+
+void Run() {
+  auto ds = bench::MakeCity("CityA");
+  TrafficSpeedEstimator est = bench::TrainDefault(*ds);
+  auto suite = BuildMethodSuite(*ds, est, /*include_matrix_completion=*/false);
+  TS_CHECK(suite.ok());
+  const size_t kBudget = 40;
+  auto seeds = est.SelectSeeds(kBudget, SeedStrategy::kLazyGreedy);
+  TS_CHECK(seeds.ok());
+  std::vector<bool> is_seed(ds->net.num_roads(), false);
+  for (RoadId r : seeds->seeds) is_seed[r] = true;
+
+  Evaluator eval(&*ds);
+  SlotClock clock{ds->truth.slots_per_day};
+  Rng rng(99);
+
+  // hour -> per-method (abs pct error sum, count).
+  struct Cell {
+    double mape_sum = 0.0;
+    size_t n = 0;
+  };
+  std::map<std::string, std::vector<Cell>> by_method;
+  for (const MethodAdapter& m : suite->methods) {
+    by_method[m.name].resize(24);
+  }
+
+  for (uint64_t slot : eval.TestSlots(/*stride=*/2)) {
+    int hour = static_cast<int>(clock.HourOfDay(slot));
+    auto obs = eval.ObserveSeeds(slot, seeds->seeds, 1.5, &rng);
+    for (const MethodAdapter& m : suite->methods) {
+      auto out = m.estimate(slot, obs);
+      TS_CHECK(out.ok()) << m.name;
+      Cell& cell = by_method[m.name][hour];
+      for (RoadId r = 0; r < ds->net.num_roads(); ++r) {
+        if (is_seed[r]) continue;
+        double truth = ds->truth.at(slot, r);
+        if (truth <= 0.0) continue;
+        cell.mape_sum += std::fabs((*out)[r] - truth) / truth;
+        ++cell.n;
+      }
+    }
+  }
+
+  bench::PrintTitle("F4 MAPE by hour of day (CityA, K=40)");
+  std::vector<std::string> header = {"hour"};
+  for (const MethodAdapter& m : suite->methods) header.push_back(m.name);
+  bench::Table t(header, 16);
+  t.PrintHeader();
+  for (int hour = 0; hour < 24; ++hour) {
+    std::vector<std::string> row = {std::to_string(hour)};
+    for (const MethodAdapter& m : suite->methods) {
+      const Cell& cell = by_method[m.name][hour];
+      row.push_back(cell.n > 0 ? bench::FmtPct(cell.mape_sum / cell.n) : "-");
+    }
+    t.Row(row);
+  }
+}
+
+}  // namespace
+}  // namespace trendspeed
+
+int main() {
+  trendspeed::Run();
+  return 0;
+}

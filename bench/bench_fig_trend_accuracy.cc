@@ -1,0 +1,58 @@
+// Experiment F1 — "trend inference accuracy vs budget K", one series per
+// inference engine.
+//
+// Step 1 in isolation: how often the inferred up/down trend of a non-seed
+// road matches the true trend. Engines: loopy BP (production), Gibbs
+// sampling, ICM, and the no-graph prior-only ablation. Expected shape:
+// graph-based engines beat the prior everywhere and improve with K; BP and
+// Gibbs track each other; ICM slightly behind; the prior is flat.
+
+#include "bench_util.h"
+#include "util/timer.h"
+
+namespace trendspeed {
+namespace {
+
+void Run() {
+  auto ds = bench::MakeCity("CityA");
+  struct Engine {
+    const char* name;
+    TrendEngine engine;
+  };
+  const Engine engines[] = {
+      {"BP", TrendEngine::kBeliefPropagation},
+      {"Gibbs", TrendEngine::kGibbs},
+      {"ICM", TrendEngine::kIcm},
+      {"PriorOnly", TrendEngine::kPriorOnly},
+  };
+
+  bench::PrintTitle("F1 trend-inference accuracy vs budget K (CityA)");
+  bench::Table t({"K", "engine", "trend-acc", "ms/slot"}, 14);
+  t.PrintHeader();
+  for (size_t k : {10u, 20u, 40u, 80u, 160u}) {
+    for (const Engine& e : engines) {
+      PipelineConfig config;
+      config.trend.engine = e.engine;
+      TrafficSpeedEstimator est = bench::TrainDefault(*ds, config);
+      auto seeds = est.SelectSeeds(k, SeedStrategy::kLazyGreedy);
+      TS_CHECK(seeds.ok());
+      Evaluator eval(&*ds);
+      EvalOptions opts = bench::DefaultEval(/*stride=*/6);
+      WallTimer timer;
+      auto acc = eval.RunTrendAccuracy(est, seeds->seeds, opts);
+      double seconds = timer.ElapsedSeconds();
+      TS_CHECK(acc.ok());
+      size_t slots = eval.TestSlots(opts.slot_stride).size();
+      t.Row({std::to_string(k), e.name, bench::FmtPct(*acc),
+             bench::Fmt(seconds * 1e3 / slots, 2)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trendspeed
+
+int main() {
+  trendspeed::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Experiment F8 [R] — offline (training) cost vs network size.
+//
+// The paper's split: a heavy offline phase (correlation mining, model
+// fitting, influence precomputation, seed selection) amortized across a
+// lightweight online phase. This harness scales the network and times each
+// offline stage, single-threaded and with all cores, demonstrating the
+// data-parallel training path.
+
+#include "bench_util.h"
+#include "roadnet/generators.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace trendspeed {
+namespace {
+
+void Run() {
+  bench::PrintTitle("F8 offline training cost vs network size (seconds)");
+  bench::Table t({"roads", "mine-1t", "mine-Nt", "fit-1t", "fit-Nt",
+                  "influence", "select-K", "total-Nt"},
+                 12);
+  t.PrintHeader();
+  for (size_t m : {12u, 20u, 32u}) {
+    GridNetworkOptions gopts;
+    gopts.rows = m;
+    gopts.cols = m;
+    gopts.arterial_every = 4;
+    DatasetOptions dopts;
+    dopts.history_days = 7;
+    dopts.test_days = 1;
+    dopts.use_probe_fleet = false;
+    auto net = MakeGridNetwork(gopts);
+    TS_CHECK(net.ok());
+    auto ds = BuildDataset("grid", std::move(net).value(), dopts);
+    TS_CHECK(ds.ok());
+
+    auto time_mine = [&](uint32_t threads) {
+      CorrelationGraphOptions copts;
+      copts.num_threads = threads;
+      WallTimer timer;
+      auto graph = CorrelationGraph::Build(ds->net, ds->history, copts);
+      TS_CHECK(graph.ok());
+      return timer.ElapsedSeconds();
+    };
+    double mine1 = time_mine(1);
+    double minen = time_mine(0);
+
+    CorrelationGraphOptions copts;
+    auto graph = CorrelationGraph::Build(ds->net, ds->history, copts);
+    TS_CHECK(graph.ok());
+    WallTimer timer;
+    InfluenceOptions iopts;
+    auto influence = InfluenceModel::Build(*graph, ds->history, iopts);
+    TS_CHECK(influence.ok());
+    double infl_s = timer.ElapsedSeconds();
+
+    auto time_fit = [&](uint32_t threads) {
+      HierarchicalModelOptions hopts;
+      hopts.num_threads = threads;
+      WallTimer fit_timer;
+      auto model = HierarchicalSpeedModel::Train(ds->net, ds->history, *graph,
+                                                 *influence, hopts);
+      TS_CHECK(model.ok());
+      return fit_timer.ElapsedSeconds();
+    };
+    double fit1 = time_fit(1);
+    double fitn = time_fit(0);
+
+    timer.Restart();
+    TrafficSpeedEstimator est = bench::TrainDefault(*ds);
+    auto seeds =
+        est.SelectSeeds(ds->net.num_roads() / 20, SeedStrategy::kLazyGreedy);
+    TS_CHECK(seeds.ok());
+    double select_s = timer.ElapsedSeconds();
+
+    t.Row({std::to_string(ds->net.num_roads()), bench::Fmt(mine1, 3),
+           bench::Fmt(minen, 3), bench::Fmt(fit1, 3), bench::Fmt(fitn, 3),
+           bench::Fmt(infl_s, 3), bench::Fmt(select_s, 3),
+           bench::Fmt(minen + fitn + infl_s, 3)});
+  }
+  std::printf("(threads available: %zu)\n", EffectiveThreads(0));
+}
+
+}  // namespace
+}  // namespace trendspeed
+
+int main() {
+  trendspeed::Run();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Experiment T1 — "Table 1: dataset statistics".
+//
+// The paper opens its evaluation with the two datasets' sizes (roads,
+// records, coverage). This binary prints the same inventory for the
+// synthetic CityA / CityB substitutes, plus the correlation-graph statistics
+// the offline phase mines from them.
+
+#include "bench_util.h"
+
+namespace trendspeed {
+namespace {
+
+void DescribeDataset(const std::string& name) {
+  auto ds = bench::MakeCity(name);
+  PipelineConfig config;
+  TrafficSpeedEstimator est = bench::TrainDefault(*ds);
+  auto classes = ds->net.CountByClass();
+  const CorrelationGraph& graph = est.correlation_graph();
+
+  bench::Table t({"metric", "value"}, 34);
+  bench::PrintTitle("T1 dataset statistics: " + name);
+  t.PrintHeader();
+  t.Row({"road segments", std::to_string(ds->net.num_roads())});
+  t.Row({"intersections", std::to_string(ds->net.num_nodes())});
+  t.Row({"  highway segments", std::to_string(classes[0])});
+  t.Row({"  arterial segments", std::to_string(classes[1])});
+  t.Row({"  local segments", std::to_string(classes[2])});
+  t.Row({"history days", std::to_string(ds->history_days)});
+  t.Row({"test days", std::to_string(ds->test_days)});
+  t.Row({"time slots (10 min)", std::to_string(ds->num_slots())});
+  t.Row({"probe speed records", std::to_string(ds->history.TotalObservations())});
+  t.Row({"(road,slot) coverage",
+         bench::FmtPct(ds->history.CoverageFraction())});
+  t.Row({"roads never observed",
+         bench::FmtPct(ds->history.UnobservedRoadFraction())});
+  t.Row({"correlation edges", std::to_string(graph.num_edges())});
+  t.Row({"avg correlation degree", bench::Fmt(graph.average_degree())});
+  t.Row({"isolated roads", std::to_string(graph.CountIsolated())});
+  t.Row({"road-level speed models",
+         std::to_string(est.speed_model().num_road_models())});
+}
+
+}  // namespace
+}  // namespace trendspeed
+
+int main() {
+  trendspeed::DescribeDataset("CityA");
+  trendspeed::DescribeDataset("CityB");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Shared plumbing for the experiment-reproduction benchmark binaries.
+//
+// Each bench binary regenerates one table/figure of the paper (see
+// DESIGN.md section 5 and EXPERIMENTS.md) and prints it as a fixed-width
+// table. Datasets are built deterministically, so output is reproducible
+// run to run (modulo wall-clock timing columns).
+
+#ifndef TRENDSPEED_BENCH_BENCH_UTIL_H_
+#define TRENDSPEED_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/evaluator.h"
+#include "io/dataset.h"
+#include "util/logging.h"
+
+namespace trendspeed {
+namespace bench {
+
+/// Standard evaluation datasets for the benches: full probe-fleet pipeline,
+/// 14 history days + 2 test days.
+inline std::unique_ptr<Dataset> MakeCity(const std::string& which) {
+  DatasetOptions opts;
+  opts.history_days = 14;
+  opts.test_days = 2;
+  opts.use_probe_fleet = true;
+  opts.fleet.trips_per_slot = 15;
+  auto ds = which == "CityA" ? BuildCityA(opts) : BuildCityB(opts);
+  TS_CHECK(ds.ok()) << ds.status().ToString();
+  return std::make_unique<Dataset>(std::move(ds).value());
+}
+
+inline TrafficSpeedEstimator TrainDefault(const Dataset& ds,
+                                          PipelineConfig config = {}) {
+  auto est = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+  TS_CHECK(est.ok()) << est.status().ToString();
+  return std::move(est).value();
+}
+
+/// Default evaluation options shared by the benches.
+inline EvalOptions DefaultEval(uint32_t stride = 4) {
+  EvalOptions opts;
+  opts.slot_stride = stride;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-width table printing.
+// ---------------------------------------------------------------------------
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule(size_t width) {
+  for (size_t i = 0; i < width; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header, int col_width = 12)
+      : header_(std::move(header)), width_(col_width) {}
+
+  void PrintHeader() const {
+    for (const auto& h : header_) std::printf("%-*s", width_, h.c_str());
+    std::printf("\n");
+    PrintRule(header_.size() * static_cast<size_t>(width_));
+  }
+
+  void Row(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) std::printf("%-*s", width_, c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> header_;
+  int width_;
+};
+
+inline std::string Fmt(double v, int prec = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string FmtPct(double v, int prec = 1) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", prec, v * 100.0);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_BENCH_BENCH_UTIL_H_

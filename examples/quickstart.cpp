@@ -1,0 +1,83 @@
+// Quickstart: the five-minute tour of the trendspeed public API.
+//
+//   1. Get a road network and historical speed data (here: simulated).
+//   2. Train a TrafficSpeedEstimator offline.
+//   3. Pick K seed roads to crowdsource.
+//   4. Each time slot: feed the K observed speeds, get all-road estimates.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/estimator.h"
+#include "core/evaluator.h"
+#include "io/dataset.h"
+#include "util/stats.h"
+
+using namespace trendspeed;
+
+int main() {
+  // 1. A small simulated city with 10 days of probe history + 1 test day.
+  //    (With real data you would load a network and speed records instead —
+  //    see examples/data_pipeline.cpp.)
+  auto dataset = BuildTinyCity();
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("network: %zu roads, %zu intersections\n",
+              dataset->net.num_roads(), dataset->net.num_nodes());
+  std::printf("history: %llu probe records, %.1f%% (road,slot) coverage\n",
+              static_cast<unsigned long long>(
+                  dataset->history.TotalObservations()),
+              100.0 * dataset->history.CoverageFraction());
+
+  // 2. Offline training: correlation mining + hierarchical speed model +
+  //    influence precomputation.
+  PipelineConfig config;  // defaults are sensible; see core/config.h
+  auto estimator =
+      TrafficSpeedEstimator::Train(&dataset->net, &dataset->history, config);
+  if (!estimator.ok()) {
+    std::fprintf(stderr, "train: %s\n", estimator.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trained: %zu correlation edges, %zu road-level models\n",
+              estimator->correlation_graph().num_edges(),
+              estimator->speed_model().num_road_models());
+
+  // 3. Choose a crowdsourcing budget and select the seed roads.
+  const size_t kBudget = 8;
+  auto seeds = estimator->SelectSeeds(kBudget, SeedStrategy::kLazyGreedy);
+  if (!seeds.ok()) {
+    std::fprintf(stderr, "seeds: %s\n", seeds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("selected %zu seeds (objective %.2f): ", seeds->seeds.size(),
+              seeds->objective);
+  for (RoadId r : seeds->seeds) std::printf("%u ", r);
+  std::printf("\n");
+
+  // 4. Online estimation over the held-out test day, scored vs ground truth.
+  Evaluator eval(&*dataset);
+  Rng rng(1);
+  std::vector<double> predicted, truth;
+  for (uint64_t slot : eval.TestSlots(/*stride=*/6)) {
+    // "Crowdsourced" observations = true speeds + worker noise.
+    std::vector<SeedSpeed> obs =
+        eval.ObserveSeeds(slot, seeds->seeds, /*noise_kmh=*/1.5, &rng);
+    auto out = estimator->Estimate(slot, obs);
+    if (!out.ok()) {
+      std::fprintf(stderr, "estimate: %s\n", out.status().ToString().c_str());
+      return 1;
+    }
+    for (RoadId r = 0; r < dataset->net.num_roads(); ++r) {
+      predicted.push_back(out->speeds.speed_kmh[r]);
+      truth.push_back(dataset->truth.at(slot, r));
+    }
+  }
+  SpeedMetrics metrics = ComputeSpeedMetrics(predicted, truth);
+  std::printf("test-day accuracy (all roads): %s\n",
+              metrics.ToString().c_str());
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "baseline/global_lsq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/matrix.h"
+
+namespace trendspeed {
+
+GlobalLsqEstimator::GlobalLsqEstimator(const RoadNetwork* net,
+                                       const HistoricalDb* db,
+                                       const GlobalLsqOptions& opts)
+    : net_(net), db_(db), opts_(opts) {
+  TS_CHECK(net != nullptr);
+  TS_CHECK(db != nullptr);
+}
+
+Result<std::vector<double>> GlobalLsqEstimator::Estimate(
+    uint64_t slot, const std::vector<SeedSpeed>& seeds) const {
+  size_t n = net_->num_roads();
+  std::vector<double> fixed(n, 0.0);
+  std::vector<bool> clamped(n, false);
+  for (const SeedSpeed& s : seeds) {
+    if (s.road >= n) return Status::InvalidArgument("seed road out of range");
+    double hist =
+        db_->HistoricalMeanOr(s.road, slot, net_->road(s.road).free_flow_kmh);
+    fixed[s.road] = hist > 0.0 ? s.speed_kmh / hist - 1.0 : 0.0;
+    clamped[s.road] = true;
+  }
+
+  // Matrix-free multiply y = (L + mu I) x restricted to free variables,
+  // with clamped entries contributing to the right-hand side.
+  auto degree_of = [&](RoadId v) {
+    return static_cast<double>(net_->RoadSuccessors(v).size() +
+                               net_->RoadPredecessors(v).size());
+  };
+  auto apply = [&](const std::vector<double>& x, std::vector<double>* y) {
+    for (RoadId v = 0; v < n; ++v) {
+      if (clamped[v]) {
+        (*y)[v] = 0.0;
+        continue;
+      }
+      double acc = (degree_of(v) + opts_.mu) * x[v];
+      for (RoadId u : net_->RoadSuccessors(v)) {
+        if (!clamped[u]) acc -= x[u];
+      }
+      for (RoadId u : net_->RoadPredecessors(v)) {
+        if (!clamped[u]) acc -= x[u];
+      }
+      (*y)[v] = acc;
+    }
+  };
+  // b = sum over clamped neighbours of their fixed deviation.
+  std::vector<double> b(n, 0.0);
+  for (RoadId v = 0; v < n; ++v) {
+    if (clamped[v]) continue;
+    double acc = 0.0;
+    for (RoadId u : net_->RoadSuccessors(v)) {
+      if (clamped[u]) acc += fixed[u];
+    }
+    for (RoadId u : net_->RoadPredecessors(v)) {
+      if (clamped[u]) acc += fixed[u];
+    }
+    b[v] = acc;
+  }
+
+  if (opts_.use_direct_solver) {
+    // Dense solve over the free variables.
+    std::vector<RoadId> free_ids;
+    std::vector<uint32_t> index(n, UINT32_MAX);
+    for (RoadId v = 0; v < n; ++v) {
+      if (!clamped[v]) {
+        index[v] = static_cast<uint32_t>(free_ids.size());
+        free_ids.push_back(v);
+      }
+    }
+    size_t m = free_ids.size();
+    Matrix a(m, m);
+    std::vector<double> rhs(m);
+    for (size_t fi = 0; fi < m; ++fi) {
+      RoadId v = free_ids[fi];
+      a(fi, fi) = degree_of(v) + opts_.mu;
+      auto couple = [&](RoadId u) {
+        if (!clamped[u]) a(fi, index[u]) -= 1.0;
+      };
+      for (RoadId u : net_->RoadSuccessors(v)) couple(u);
+      for (RoadId u : net_->RoadPredecessors(v)) couple(u);
+      rhs[fi] = b[v];
+    }
+    TS_ASSIGN_OR_RETURN(std::vector<double> sol, CholeskySolve(a, rhs));
+    last_iterations_ = 1;
+    std::vector<double> out(n);
+    for (RoadId v = 0; v < n; ++v) {
+      if (clamped[v]) continue;
+      double free_flow = net_->road(v).free_flow_kmh;
+      double hist = db_->HistoricalMeanOr(v, slot, free_flow);
+      out[v] = std::clamp(hist * (1.0 + sol[index[v]]), 2.0, free_flow * 1.3);
+    }
+    for (const SeedSpeed& s : seeds) out[s.road] = s.speed_kmh;
+    return out;
+  }
+
+  // Conjugate gradients from zero.
+  std::vector<double> x(n, 0.0), r = b, p = b, ap(n, 0.0);
+  double rs = 0.0;
+  for (RoadId v = 0; v < n; ++v) {
+    if (!clamped[v]) rs += r[v] * r[v];
+  }
+  double b_norm = std::sqrt(rs);
+  uint32_t iter = 0;
+  if (b_norm > 0.0) {
+    for (; iter < opts_.max_cg_iters; ++iter) {
+      apply(p, &ap);
+      double p_ap = 0.0;
+      for (RoadId v = 0; v < n; ++v) {
+        if (!clamped[v]) p_ap += p[v] * ap[v];
+      }
+      if (p_ap <= 0.0) break;
+      double alpha = rs / p_ap;
+      double rs_new = 0.0;
+      for (RoadId v = 0; v < n; ++v) {
+        if (clamped[v]) continue;
+        x[v] += alpha * p[v];
+        r[v] -= alpha * ap[v];
+        rs_new += r[v] * r[v];
+      }
+      if (std::sqrt(rs_new) < opts_.cg_tol * b_norm) {
+        rs = rs_new;
+        ++iter;
+        break;
+      }
+      double beta = rs_new / rs;
+      rs = rs_new;
+      for (RoadId v = 0; v < n; ++v) {
+        if (!clamped[v]) p[v] = r[v] + beta * p[v];
+      }
+    }
+  }
+  last_iterations_ = iter;
+
+  std::vector<double> out(n);
+  for (RoadId v = 0; v < n; ++v) {
+    if (clamped[v]) {
+      // Seeds echo their observation exactly.
+      continue;
+    }
+    double free_flow = net_->road(v).free_flow_kmh;
+    double hist = db_->HistoricalMeanOr(v, slot, free_flow);
+    out[v] = std::clamp(hist * (1.0 + x[v]), 2.0, free_flow * 1.3);
+  }
+  for (const SeedSpeed& s : seeds) out[s.road] = s.speed_kmh;
+  return out;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,57 @@
+// Baseline: global least-squares ("global optimization" family).
+//
+// Per time slot, solves the full graph-regularized system
+//     min_d  sum_{(i,j) in E} (d_i - d_j)^2 + mu * sum_i d_i^2
+// with the seed deviations fixed, to high precision, via conjugate
+// gradients on the road-adjacency Laplacian. This is the faithful stand-in
+// for the whole-network optimization methods the paper reports its ~2
+// orders of magnitude efficiency advantage against: accuracy is strong, but
+// every estimate performs hundreds of full-graph sweeps, and the iteration
+// count grows with network diameter.
+
+#ifndef TRENDSPEED_BASELINE_GLOBAL_LSQ_H_
+#define TRENDSPEED_BASELINE_GLOBAL_LSQ_H_
+
+#include <vector>
+
+#include "probe/history.h"
+#include "roadnet/road_network.h"
+#include "speed/propagation.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+struct GlobalLsqOptions {
+  /// Weak ridge: the near-pure harmonic interpolation the global methods
+  /// solve. Smaller mu is more accurate and conditions the system worse
+  /// (more CG iterations) — the accuracy/latency trade the paper reports.
+  double mu = 0.001;
+  double cg_tol = 1e-8;
+  uint32_t max_cg_iters = 2000;
+  /// Solve the system with a dense Cholesky factorization instead of CG —
+  /// the O(n^3) cost profile of the direct solvers the original global-
+  /// optimization baselines used. Same answer, vastly slower at scale.
+  bool use_direct_solver = false;
+};
+
+class GlobalLsqEstimator {
+ public:
+  GlobalLsqEstimator(const RoadNetwork* net, const HistoricalDb* db,
+                     const GlobalLsqOptions& opts = {});
+
+  Result<std::vector<double>> Estimate(uint64_t slot,
+                                       const std::vector<SeedSpeed>& seeds) const;
+
+  /// CG iterations used by the last Estimate (efficiency reporting).
+  uint32_t last_iterations() const { return last_iterations_; }
+
+ private:
+  const RoadNetwork* net_;
+  const HistoricalDb* db_;
+  GlobalLsqOptions opts_;
+  mutable uint32_t last_iterations_ = 0;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_BASELINE_GLOBAL_LSQ_H_

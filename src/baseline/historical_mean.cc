@@ -1,0 +1,30 @@
+#include "baseline/historical_mean.h"
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+HistoricalMeanEstimator::HistoricalMeanEstimator(const RoadNetwork* net,
+                                                 const HistoricalDb* db)
+    : net_(net), db_(db) {
+  TS_CHECK(net != nullptr);
+  TS_CHECK(db != nullptr);
+  TS_CHECK_EQ(net->num_roads(), db->num_roads());
+}
+
+Result<std::vector<double>> HistoricalMeanEstimator::Estimate(
+    uint64_t slot, const std::vector<SeedSpeed>& seeds) const {
+  std::vector<double> out(net_->num_roads());
+  for (RoadId r = 0; r < net_->num_roads(); ++r) {
+    out[r] = db_->HistoricalMeanOr(r, slot, net_->road(r).free_flow_kmh);
+  }
+  for (const SeedSpeed& s : seeds) {
+    if (s.road >= out.size()) {
+      return Status::InvalidArgument("seed road out of range");
+    }
+    out[s.road] = s.speed_kmh;
+  }
+  return out;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,32 @@
+// Baseline: predict every road's historical mean for the current time
+// bucket; seeds report their observed speed. The floor any real-time method
+// must beat.
+
+#ifndef TRENDSPEED_BASELINE_HISTORICAL_MEAN_H_
+#define TRENDSPEED_BASELINE_HISTORICAL_MEAN_H_
+
+#include <vector>
+
+#include "probe/history.h"
+#include "roadnet/road_network.h"
+#include "speed/propagation.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+class HistoricalMeanEstimator {
+ public:
+  HistoricalMeanEstimator(const RoadNetwork* net, const HistoricalDb* db);
+
+  /// Speeds for every road at `slot`.
+  Result<std::vector<double>> Estimate(uint64_t slot,
+                                       const std::vector<SeedSpeed>& seeds) const;
+
+ private:
+  const RoadNetwork* net_;
+  const HistoricalDb* db_;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_BASELINE_HISTORICAL_MEAN_H_

@@ -1,0 +1,60 @@
+#include "baseline/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "roadnet/shortest_path.h"
+#include "util/logging.h"
+
+namespace trendspeed {
+
+KnnEstimator::KnnEstimator(const RoadNetwork* net, const HistoricalDb* db,
+                           const KnnOptions& opts)
+    : net_(net), db_(db), opts_(opts) {
+  TS_CHECK(net != nullptr);
+  TS_CHECK(db != nullptr);
+  TS_CHECK_GE(opts.k, 1u);
+}
+
+Result<std::vector<double>> KnnEstimator::Estimate(
+    uint64_t slot, const std::vector<SeedSpeed>& seeds) const {
+  size_t n = net_->num_roads();
+  // Per road, the (hops, deviation) of nearby seeds.
+  std::vector<std::vector<std::pair<uint32_t, double>>> near(n);
+  for (const SeedSpeed& s : seeds) {
+    if (s.road >= n) return Status::InvalidArgument("seed road out of range");
+    double hist =
+        db_->HistoricalMeanOr(s.road, slot, net_->road(s.road).free_flow_kmh);
+    double dev = hist > 0.0 ? s.speed_kmh / hist - 1.0 : 0.0;
+    std::vector<uint32_t> dist =
+        RoadHopDistances(*net_, s.road, opts_.max_hops);
+    for (RoadId r = 0; r < n; ++r) {
+      if (dist[r] != kUnreachable) near[r].emplace_back(dist[r], dev);
+    }
+  }
+  std::vector<double> out(n);
+  for (RoadId r = 0; r < n; ++r) {
+    double free_flow = net_->road(r).free_flow_kmh;
+    double hist = db_->HistoricalMeanOr(r, slot, free_flow);
+    auto& cand = near[r];
+    if (cand.empty()) {
+      out[r] = hist;
+      continue;
+    }
+    size_t k = std::min<size_t>(opts_.k, cand.size());
+    std::partial_sort(cand.begin(), cand.begin() + static_cast<long>(k),
+                      cand.end());
+    double wsum = 0.0, dsum = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      double w = 1.0 / (1.0 + static_cast<double>(cand[i].first));
+      wsum += w;
+      dsum += w * cand[i].second;
+    }
+    double dev = dsum / wsum;
+    out[r] = std::clamp(hist * (1.0 + dev), 2.0, free_flow * 1.3);
+  }
+  for (const SeedSpeed& s : seeds) out[s.road] = s.speed_kmh;
+  return out;
+}
+
+}  // namespace trendspeed

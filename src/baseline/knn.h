@@ -1,0 +1,42 @@
+// Baseline: k-nearest-seed spatial interpolation.
+//
+// Each road takes the inverse-distance-weighted mean of the relative
+// deviations of its k nearest seeds (road-adjacency hop distance) and
+// applies it to its own historical mean. Ignores correlation strength and
+// trends — the classic geo-interpolation approach the paper compares with.
+
+#ifndef TRENDSPEED_BASELINE_KNN_H_
+#define TRENDSPEED_BASELINE_KNN_H_
+
+#include <vector>
+
+#include "probe/history.h"
+#include "roadnet/road_network.h"
+#include "speed/propagation.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+struct KnnOptions {
+  uint32_t k = 4;
+  /// Seeds farther than this many hops do not influence a road.
+  uint32_t max_hops = 10;
+};
+
+class KnnEstimator {
+ public:
+  KnnEstimator(const RoadNetwork* net, const HistoricalDb* db,
+               const KnnOptions& opts = {});
+
+  Result<std::vector<double>> Estimate(uint64_t slot,
+                                       const std::vector<SeedSpeed>& seeds) const;
+
+ private:
+  const RoadNetwork* net_;
+  const HistoricalDb* db_;
+  KnnOptions opts_;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_BASELINE_KNN_H_

@@ -1,0 +1,72 @@
+#include "baseline/label_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+LabelPropagationEstimator::LabelPropagationEstimator(
+    const RoadNetwork* net, const HistoricalDb* db,
+    const LabelPropagationOptions& opts)
+    : net_(net), db_(db), opts_(opts) {
+  TS_CHECK(net != nullptr);
+  TS_CHECK(db != nullptr);
+}
+
+Result<std::vector<double>> LabelPropagationEstimator::Estimate(
+    uint64_t slot, const std::vector<SeedSpeed>& seeds) const {
+  size_t n = net_->num_roads();
+  std::vector<double> dev(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  std::vector<bool> clamped(n, false);
+  for (const SeedSpeed& s : seeds) {
+    if (s.road >= n) return Status::InvalidArgument("seed road out of range");
+    double hist =
+        db_->HistoricalMeanOr(s.road, slot, net_->road(s.road).free_flow_kmh);
+    dev[s.road] = hist > 0.0 ? s.speed_kmh / hist - 1.0 : 0.0;
+    clamped[s.road] = true;
+  }
+  // Jacobi sweeps of the harmonic update with ridge shrinkage.
+  uint32_t iter = 0;
+  for (; iter < opts_.max_iters; ++iter) {
+    double max_delta = 0.0;
+    for (RoadId v = 0; v < n; ++v) {
+      if (clamped[v]) {
+        next[v] = dev[v];
+        continue;
+      }
+      double sum = 0.0;
+      size_t cnt = 0;
+      for (RoadId u : net_->RoadSuccessors(v)) {
+        sum += dev[u];
+        ++cnt;
+      }
+      for (RoadId u : net_->RoadPredecessors(v)) {
+        sum += dev[u];
+        ++cnt;
+      }
+      double value = cnt > 0
+                         ? sum / (static_cast<double>(cnt) + opts_.mu *
+                                                                 static_cast<double>(cnt))
+                         : 0.0;
+      next[v] = value;
+      max_delta = std::max(max_delta, std::fabs(value - dev[v]));
+    }
+    dev.swap(next);
+    if (max_delta < opts_.tol) break;
+  }
+  last_iterations_ = iter + 1;
+
+  std::vector<double> out(n);
+  for (RoadId r = 0; r < n; ++r) {
+    double free_flow = net_->road(r).free_flow_kmh;
+    double hist = db_->HistoricalMeanOr(r, slot, free_flow);
+    out[r] = std::clamp(hist * (1.0 + dev[r]), 2.0, free_flow * 1.3);
+  }
+  for (const SeedSpeed& s : seeds) out[s.road] = s.speed_kmh;
+  return out;
+}
+
+}  // namespace trendspeed

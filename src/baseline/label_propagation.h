@@ -1,0 +1,49 @@
+// Baseline: graph-regularized label propagation ("global optimization").
+//
+// Deviations diffuse over the full road-adjacency graph until convergence,
+// with seeds clamped — iteratively solving the harmonic/energy-minimization
+// system min sum_(i,j) (d_i - d_j)^2 + mu * sum_i d_i^2. Accuracy is decent
+// but every estimate touches the whole graph for hundreds of sweeps; this is
+// the method family against which the paper reports its ~2 orders of
+// magnitude efficiency advantage.
+
+#ifndef TRENDSPEED_BASELINE_LABEL_PROPAGATION_H_
+#define TRENDSPEED_BASELINE_LABEL_PROPAGATION_H_
+
+#include <vector>
+
+#include "probe/history.h"
+#include "roadnet/road_network.h"
+#include "speed/propagation.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+struct LabelPropagationOptions {
+  uint32_t max_iters = 300;
+  /// Ridge pull toward zero deviation (prevents drift in sparse regions).
+  double mu = 0.05;
+  double tol = 1e-7;
+};
+
+class LabelPropagationEstimator {
+ public:
+  LabelPropagationEstimator(const RoadNetwork* net, const HistoricalDb* db,
+                            const LabelPropagationOptions& opts = {});
+
+  Result<std::vector<double>> Estimate(uint64_t slot,
+                                       const std::vector<SeedSpeed>& seeds) const;
+
+  /// Iterations used by the last Estimate call (efficiency reporting).
+  uint32_t last_iterations() const { return last_iterations_; }
+
+ private:
+  const RoadNetwork* net_;
+  const HistoricalDb* db_;
+  LabelPropagationOptions opts_;
+  mutable uint32_t last_iterations_ = 0;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_BASELINE_LABEL_PROPAGATION_H_

@@ -1,0 +1,148 @@
+#include "baseline/matrix_completion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/matrix.h"
+#include "util/random.h"
+
+namespace trendspeed {
+
+namespace {
+
+/// Solves the ridge system for one latent vector given its observed
+/// counterpart factors: min sum (f_j . z - y_j)^2 + lambda |z|^2.
+std::vector<double> SolveLatent(const std::vector<const double*>& factors,
+                                const std::vector<double>& targets,
+                                uint32_t rank, double lambda) {
+  Matrix gram(rank, rank);
+  std::vector<double> rhs(rank, 0.0);
+  for (size_t s = 0; s < factors.size(); ++s) {
+    const double* f = factors[s];
+    for (uint32_t a = 0; a < rank; ++a) {
+      rhs[a] += f[a] * targets[s];
+      for (uint32_t b = a; b < rank; ++b) gram(a, b) += f[a] * f[b];
+    }
+  }
+  for (uint32_t a = 0; a < rank; ++a) {
+    gram(a, a) += lambda;
+    for (uint32_t b = 0; b < a; ++b) gram(a, b) = gram(b, a);
+  }
+  auto solved = CholeskySolve(gram, rhs);
+  if (solved.ok()) return std::move(solved).value();
+  return std::vector<double>(rank, 0.0);
+}
+
+}  // namespace
+
+Result<MatrixCompletionEstimator> MatrixCompletionEstimator::Train(
+    const RoadNetwork* net, const HistoricalDb* db,
+    const MatrixCompletionOptions& opts) {
+  if (net == nullptr || db == nullptr) {
+    return Status::InvalidArgument("null network or history");
+  }
+  if (net->num_roads() != db->num_roads()) {
+    return Status::InvalidArgument("network / history size mismatch");
+  }
+  if (opts.rank == 0) return Status::InvalidArgument("rank must be positive");
+
+  size_t n = net->num_roads();
+  uint64_t t = db->num_slots();
+  uint32_t r = opts.rank;
+  MatrixCompletionEstimator est;
+  est.net_ = net;
+  est.db_ = db;
+  est.opts_ = opts;
+
+  Rng rng(opts.seed);
+  est.u_.resize(n * r);
+  std::vector<double> v(t * r);
+  for (double& x : est.u_) x = rng.Gaussian(0.0, 0.1);
+  for (double& x : v) x = rng.Gaussian(0.0, 0.1);
+
+  // Observed cells per road and per slot (indices into the other factor).
+  // Deviations are recomputed on the fly from the db.
+  auto deviation = [&](RoadId road, uint64_t slot) {
+    return db->DeviationOf(road, slot, db->Observation(road, slot));
+  };
+
+  for (uint32_t iter = 0; iter < opts.als_iterations; ++iter) {
+    // Fix V, solve each road row.
+    for (RoadId road = 0; road < n; ++road) {
+      std::vector<const double*> factors;
+      std::vector<double> targets;
+      for (uint64_t slot = 0; slot < t; ++slot) {
+        if (!db->HasObservation(road, slot)) continue;
+        factors.push_back(&v[slot * r]);
+        targets.push_back(deviation(road, slot));
+      }
+      if (factors.empty()) continue;
+      std::vector<double> z = SolveLatent(factors, targets, r, opts.lambda);
+      std::copy(z.begin(), z.end(), est.u_.begin() + road * r);
+    }
+    // Fix U, solve each slot column.
+    for (uint64_t slot = 0; slot < t; ++slot) {
+      std::vector<const double*> factors;
+      std::vector<double> targets;
+      for (RoadId road = 0; road < n; ++road) {
+        if (!db->HasObservation(road, slot)) continue;
+        factors.push_back(&est.u_[road * r]);
+        targets.push_back(deviation(road, slot));
+      }
+      if (factors.empty()) continue;
+      std::vector<double> z = SolveLatent(factors, targets, r, opts.lambda);
+      std::copy(z.begin(), z.end(), v.begin() + slot * r);
+    }
+  }
+
+  // Training RMSE diagnostic.
+  double se = 0.0;
+  uint64_t cells = 0;
+  for (RoadId road = 0; road < n; ++road) {
+    for (uint64_t slot = 0; slot < t; ++slot) {
+      if (!db->HasObservation(road, slot)) continue;
+      double pred = 0.0;
+      for (uint32_t a = 0; a < r; ++a) {
+        pred += est.u_[road * r + a] * v[slot * r + a];
+      }
+      double diff = pred - deviation(road, slot);
+      se += diff * diff;
+      ++cells;
+    }
+  }
+  est.train_rmse_ = cells > 0 ? std::sqrt(se / static_cast<double>(cells)) : 0.0;
+  return est;
+}
+
+Result<std::vector<double>> MatrixCompletionEstimator::Estimate(
+    uint64_t slot, const std::vector<SeedSpeed>& seeds) const {
+  size_t n = net_->num_roads();
+  uint32_t r = opts_.rank;
+  std::vector<const double*> factors;
+  std::vector<double> targets;
+  for (const SeedSpeed& s : seeds) {
+    if (s.road >= n) return Status::InvalidArgument("seed road out of range");
+    double hist =
+        db_->HistoricalMeanOr(s.road, slot, net_->road(s.road).free_flow_kmh);
+    factors.push_back(&u_[s.road * r]);
+    targets.push_back(hist > 0.0 ? s.speed_kmh / hist - 1.0 : 0.0);
+  }
+  std::vector<double> z(r, 0.0);
+  if (!factors.empty()) {
+    z = SolveLatent(factors, targets, r, opts_.lambda);
+  }
+  std::vector<double> out(n);
+  for (RoadId road = 0; road < n; ++road) {
+    double pred = 0.0;
+    for (uint32_t a = 0; a < r; ++a) pred += u_[road * r + a] * z[a];
+    pred = std::clamp(pred, -0.9, 1.5);
+    double free_flow = net_->road(road).free_flow_kmh;
+    double hist = db_->HistoricalMeanOr(road, slot, free_flow);
+    out[road] = std::clamp(hist * (1.0 + pred), 2.0, free_flow * 1.3);
+  }
+  for (const SeedSpeed& s : seeds) out[s.road] = s.speed_kmh;
+  return out;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,53 @@
+// Baseline: low-rank matrix completion (compressed-sensing family).
+//
+// Offline, ALS factorizes the observed (road x slot) deviation matrix into
+// road factors U and slot factors V. Online, the current slot's latent
+// vector z is solved from the seed observations (ridge least squares over
+// the seed rows of U), and every road's deviation is predicted as u_i . z.
+
+#ifndef TRENDSPEED_BASELINE_MATRIX_COMPLETION_H_
+#define TRENDSPEED_BASELINE_MATRIX_COMPLETION_H_
+
+#include <vector>
+
+#include "probe/history.h"
+#include "roadnet/road_network.h"
+#include "speed/propagation.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+struct MatrixCompletionOptions {
+  uint32_t rank = 8;
+  uint32_t als_iterations = 12;
+  double lambda = 0.5;
+  uint64_t seed = 5;
+};
+
+class MatrixCompletionEstimator {
+ public:
+  /// Trains road factors via ALS over the historical deviation matrix.
+  static Result<MatrixCompletionEstimator> Train(
+      const RoadNetwork* net, const HistoricalDb* db,
+      const MatrixCompletionOptions& opts = {});
+
+  Result<std::vector<double>> Estimate(uint64_t slot,
+                                       const std::vector<SeedSpeed>& seeds) const;
+
+  /// Training RMSE over observed history cells (fit diagnostic).
+  double train_rmse() const { return train_rmse_; }
+
+ private:
+  MatrixCompletionEstimator() = default;
+
+  const RoadNetwork* net_ = nullptr;
+  const HistoricalDb* db_ = nullptr;
+  MatrixCompletionOptions opts_;
+  /// Row-major (num_roads x rank) road factors.
+  std::vector<double> u_;
+  double train_rmse_ = 0.0;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_BASELINE_MATRIX_COMPLETION_H_

@@ -1,0 +1,30 @@
+#include "core/config.h"
+
+namespace trendspeed {
+
+Status PipelineConfig::Validate() const {
+  if (corr.min_same_prob < 0.5 || corr.min_same_prob >= 1.0) {
+    return Status::InvalidArgument("corr.min_same_prob must be in [0.5, 1)");
+  }
+  if (corr.max_hops == 0) {
+    return Status::InvalidArgument("corr.max_hops must be positive");
+  }
+  if (influence.max_hops == 0) {
+    return Status::InvalidArgument("influence.max_hops must be positive");
+  }
+  if (influence.min_influence <= 0.0 || influence.min_influence >= 1.0) {
+    return Status::InvalidArgument("influence.min_influence must be in (0,1)");
+  }
+  if (propagation.max_layers == 0) {
+    return Status::InvalidArgument("propagation.max_layers must be positive");
+  }
+  if (speed.ridge_lambda < 0.0) {
+    return Status::InvalidArgument("speed.ridge_lambda must be >= 0");
+  }
+  if (trend.bp.damping < 0.0 || trend.bp.damping >= 1.0) {
+    return Status::InvalidArgument("trend.bp.damping must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace trendspeed

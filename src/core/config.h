@@ -1,0 +1,31 @@
+// End-to-end pipeline configuration for the TrafficSpeedEstimator.
+
+#ifndef TRENDSPEED_CORE_CONFIG_H_
+#define TRENDSPEED_CORE_CONFIG_H_
+
+#include "corr/correlation_graph.h"
+#include "seed/objective.h"
+#include "speed/hierarchical_model.h"
+#include "speed/propagation.h"
+#include "trend/trend_model.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+struct PipelineConfig {
+  CorrelationGraphOptions corr;
+  TrendModelOptions trend;
+  HierarchicalModelOptions speed;
+  PropagationOptions propagation;
+  InfluenceOptions influence;
+  /// Feed the calibrated logistic of the influence-weighted seed deviation
+  /// into the trend MRF as soft node evidence (magnitude-aware Step 1).
+  bool use_trend_evidence = true;
+
+  /// Basic sanity validation; Build paths also validate individually.
+  Status Validate() const;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_CORE_CONFIG_H_

@@ -1,0 +1,199 @@
+#include "core/estimator.h"
+
+#include "seed/exact.h"
+#include "seed/greedy.h"
+#include "seed/heuristics.h"
+#include "seed/lazy_greedy.h"
+#include "seed/stochastic_greedy.h"
+
+namespace trendspeed {
+
+const char* SeedStrategyName(SeedStrategy strategy) {
+  switch (strategy) {
+    case SeedStrategy::kGreedy:
+      return "greedy";
+    case SeedStrategy::kLazyGreedy:
+      return "lazy-greedy";
+    case SeedStrategy::kStochasticGreedy:
+      return "stochastic-greedy";
+    case SeedStrategy::kRandom:
+      return "random";
+    case SeedStrategy::kTopDegree:
+      return "top-degree";
+    case SeedStrategy::kTopVariance:
+      return "top-variance";
+    case SeedStrategy::kPageRank:
+      return "pagerank";
+    case SeedStrategy::kKCenter:
+      return "k-center";
+  }
+  return "?";
+}
+
+Result<TrafficSpeedEstimator> TrafficSpeedEstimator::Train(
+    const RoadNetwork* net, const HistoricalDb* db,
+    const PipelineConfig& config) {
+  if (net == nullptr || db == nullptr) {
+    return Status::InvalidArgument("null network or history");
+  }
+  TS_RETURN_NOT_OK(config.Validate());
+  TS_ASSIGN_OR_RETURN(CorrelationGraph graph,
+                      CorrelationGraph::Build(*net, *db, config.corr));
+  TS_ASSIGN_OR_RETURN(InfluenceModel influence,
+                      InfluenceModel::Build(graph, *db, config.influence));
+  TS_ASSIGN_OR_RETURN(
+      HierarchicalSpeedModel speed_model,
+      HierarchicalSpeedModel::Train(*net, *db, graph, influence,
+                                    config.speed));
+  return FromComponents(net, db, config, std::move(graph),
+                        std::move(influence), std::move(speed_model));
+}
+
+Result<TrafficSpeedEstimator> TrafficSpeedEstimator::FromComponents(
+    const RoadNetwork* net, const HistoricalDb* db,
+    const PipelineConfig& config, CorrelationGraph graph,
+    InfluenceModel influence, HierarchicalSpeedModel speed_model) {
+  if (net == nullptr || db == nullptr) {
+    return Status::InvalidArgument("null network or history");
+  }
+  TS_RETURN_NOT_OK(config.Validate());
+  if (graph.num_roads() != net->num_roads() ||
+      influence.num_roads() != net->num_roads()) {
+    return Status::InvalidArgument("components / network size mismatch");
+  }
+  TrafficSpeedEstimator est;
+  est.net_ = net;
+  est.db_ = db;
+  est.config_ = config;
+  est.graph_ = std::make_unique<CorrelationGraph>(std::move(graph));
+  est.influence_ = std::make_unique<InfluenceModel>(std::move(influence));
+  est.speed_model_ =
+      std::make_unique<HierarchicalSpeedModel>(std::move(speed_model));
+  est.trend_model_ =
+      std::make_unique<TrendModel>(est.graph_.get(), db, config.trend);
+  return est;
+}
+
+Result<SeedSelectionResult> TrafficSpeedEstimator::SelectSeeds(
+    size_t k, SeedStrategy strategy, uint64_t rng_seed) const {
+  switch (strategy) {
+    case SeedStrategy::kGreedy:
+      return SelectSeedsGreedy(*influence_, k);
+    case SeedStrategy::kLazyGreedy:
+      return SelectSeedsLazyGreedy(*influence_, k);
+    case SeedStrategy::kStochasticGreedy: {
+      StochasticGreedyOptions opts;
+      opts.seed = rng_seed;
+      return SelectSeedsStochasticGreedy(*influence_, k, opts);
+    }
+    case SeedStrategy::kRandom:
+      return SelectSeedsRandom(*influence_, k, rng_seed);
+    case SeedStrategy::kTopDegree:
+      return SelectSeedsTopDegree(*influence_, *graph_, k);
+    case SeedStrategy::kTopVariance:
+      return SelectSeedsTopVariance(*influence_, k);
+    case SeedStrategy::kPageRank:
+      return SelectSeedsPageRank(*influence_, *graph_, k);
+    case SeedStrategy::kKCenter:
+      return SelectSeedsKCenter(*influence_, *graph_, k, rng_seed);
+  }
+  return Status::InvalidArgument("unknown seed strategy");
+}
+
+Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
+    uint64_t slot, const std::vector<SeedSpeed>& seeds) const {
+  // Seed trends come from comparing the crowdsourced speed with the road's
+  // historical mean.
+  std::vector<SeedTrend> seed_trends;
+  seed_trends.reserve(seeds.size());
+  for (const SeedSpeed& s : seeds) {
+    if (s.road >= net_->num_roads()) {
+      return Status::InvalidArgument("seed road out of range");
+    }
+    SeedTrend t;
+    t.road = s.road;
+    t.trend = db_->TrendOf(s.road, slot, s.speed_kmh,
+                           net_->road(s.road).free_flow_kmh);
+    seed_trends.push_back(t);
+  }
+  // The influence-weighted seed-deviation aggregate is shared by both
+  // steps: trend evidence in Step 1, the regression input in Step 2.
+  InfluenceAggregate aggregate =
+      AggregateSeedDeviations(*influence_, *net_, *db_, seeds, slot);
+
+  // Step 1: trends.
+  Output out;
+  const LogisticCalibration& cal = speed_model_->evidence();
+  if (config_.use_trend_evidence && cal.trained) {
+    size_t n = net_->num_roads();
+    std::vector<double> evidence(n, 0.0);
+    std::vector<bool> assigned(n, false);
+    for (RoadId v = 0; v < n; ++v) {
+      if (aggregate.weight[v] > 0.0) {
+        evidence[v] = cal.LogOdds(aggregate.x[v]);
+        assigned[v] = true;
+      }
+    }
+    // Spatial backfill: roads outside every seed's influence neighbourhood
+    // inherit damped evidence from physically adjacent covered roads, so
+    // the whole network gets at least weak real-time signal.
+    std::vector<RoadId> frontier;
+    for (RoadId v = 0; v < n; ++v) {
+      if (assigned[v]) frontier.push_back(v);
+    }
+    for (int step = 0; step < 3 && !frontier.empty(); ++step) {
+      std::vector<RoadId> next;
+      std::vector<bool> pending(n, false);
+      for (RoadId u : frontier) {
+        auto consider = [&](RoadId v) {
+          if (!assigned[v] && !pending[v]) {
+            pending[v] = true;
+            next.push_back(v);
+          }
+        };
+        for (RoadId v : net_->RoadSuccessors(u)) consider(v);
+        for (RoadId v : net_->RoadPredecessors(u)) consider(v);
+        RoadId twin = net_->ReverseTwin(u);
+        if (twin != kInvalidRoad) consider(twin);
+      }
+      for (RoadId v : next) {
+        double sum = 0.0;
+        size_t cnt = 0;
+        auto take = [&](RoadId u) {
+          if (assigned[u]) {
+            sum += evidence[u];
+            ++cnt;
+          }
+        };
+        for (RoadId u : net_->RoadSuccessors(v)) take(u);
+        for (RoadId u : net_->RoadPredecessors(v)) take(u);
+        RoadId twin = net_->ReverseTwin(v);
+        if (twin != kInvalidRoad) take(twin);
+        if (cnt > 0) evidence[v] = 0.6 * sum / static_cast<double>(cnt);
+      }
+      for (RoadId v : next) assigned[v] = true;
+      frontier = std::move(next);
+    }
+    TS_ASSIGN_OR_RETURN(out.trends,
+                        trend_model_->Infer(slot, seed_trends, &evidence));
+  } else {
+    TS_ASSIGN_OR_RETURN(out.trends, trend_model_->Infer(slot, seed_trends));
+  }
+
+  // Step 2: speeds.
+  if (config_.propagation.mode == AggregationMode::kInfluence) {
+    TS_ASSIGN_OR_RETURN(
+        out.speeds,
+        EstimateSpeedsInfluence(*net_, *influence_, *db_, *speed_model_,
+                                out.trends, seeds, aggregate, slot,
+                                config_.propagation));
+  } else {
+    TS_ASSIGN_OR_RETURN(
+        out.speeds,
+        PropagateSpeeds(*net_, *graph_, *db_, *speed_model_, out.trends,
+                        seeds, slot, config_.propagation));
+  }
+  return out;
+}
+
+}  // namespace trendspeed

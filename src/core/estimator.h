@@ -1,0 +1,94 @@
+// TrafficSpeedEstimator — the library's primary public API.
+//
+// Lifecycle:
+//   1. Train(net, history, config)      offline: mines the correlation
+//      graph, trains the hierarchical speed model, precomputes influence.
+//   2. SelectSeeds(K, strategy)         choose the K roads to crowdsource.
+//   3. Estimate(slot, seed_speeds)      online, per time slot: infer trends
+//      (Step 1) then speeds (Step 2) for every road. O(V + E).
+
+#ifndef TRENDSPEED_CORE_ESTIMATOR_H_
+#define TRENDSPEED_CORE_ESTIMATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "corr/correlation_graph.h"
+#include "probe/history.h"
+#include "roadnet/road_network.h"
+#include "seed/objective.h"
+#include "speed/hierarchical_model.h"
+#include "speed/propagation.h"
+#include "trend/trend_model.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// Seed-selection algorithms exposed through the pipeline.
+enum class SeedStrategy {
+  kGreedy,
+  kLazyGreedy,
+  kStochasticGreedy,
+  kRandom,
+  kTopDegree,
+  kTopVariance,
+  kPageRank,
+  kKCenter,
+};
+
+const char* SeedStrategyName(SeedStrategy strategy);
+
+class TrafficSpeedEstimator {
+ public:
+  /// Trains all offline components. `net` and `db` must outlive the
+  /// estimator.
+  static Result<TrafficSpeedEstimator> Train(const RoadNetwork* net,
+                                             const HistoricalDb* db,
+                                             const PipelineConfig& config);
+
+  /// Assembles an estimator from pre-built (e.g. deserialized) components;
+  /// see core/model_io.h for the save/load round trip. Components must be
+  /// consistent with `net`/`db` sizes.
+  static Result<TrafficSpeedEstimator> FromComponents(
+      const RoadNetwork* net, const HistoricalDb* db,
+      const PipelineConfig& config, CorrelationGraph graph,
+      InfluenceModel influence, HierarchicalSpeedModel speed_model);
+
+  /// Selects K seed roads; `rng_seed` affects only the randomized
+  /// strategies.
+  Result<SeedSelectionResult> SelectSeeds(size_t k, SeedStrategy strategy,
+                                          uint64_t rng_seed = 1) const;
+
+  /// One online estimation: trends then speeds for every road.
+  struct Output {
+    TrendEstimate trends;
+    SpeedEstimateResult speeds;
+  };
+  Result<Output> Estimate(uint64_t slot,
+                          const std::vector<SeedSpeed>& seeds) const;
+
+  const CorrelationGraph& correlation_graph() const { return *graph_; }
+  const InfluenceModel& influence() const { return *influence_; }
+  const HierarchicalSpeedModel& speed_model() const { return *speed_model_; }
+  const TrendModel& trend_model() const { return *trend_model_; }
+  const PipelineConfig& config() const { return config_; }
+  const RoadNetwork& network() const { return *net_; }
+  const HistoricalDb& history() const { return *db_; }
+
+ private:
+  TrafficSpeedEstimator() = default;
+
+  const RoadNetwork* net_ = nullptr;
+  const HistoricalDb* db_ = nullptr;
+  PipelineConfig config_;
+  // unique_ptr keeps the estimator cheaply movable.
+  std::unique_ptr<CorrelationGraph> graph_;
+  std::unique_ptr<InfluenceModel> influence_;
+  std::unique_ptr<HierarchicalSpeedModel> speed_model_;
+  std::unique_ptr<TrendModel> trend_model_;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_CORE_ESTIMATOR_H_

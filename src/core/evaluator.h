@@ -1,0 +1,107 @@
+// Experiment harness: runs any estimation method over a dataset's held-out
+// test slots against ground truth, producing the metrics the paper's tables
+// and figures report.
+
+#ifndef TRENDSPEED_CORE_EVALUATOR_H_
+#define TRENDSPEED_CORE_EVALUATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "io/dataset.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// Any per-slot estimator: (slot, seed speeds) -> all-road speeds.
+using EstimateFn = std::function<Result<std::vector<double>>(
+    uint64_t, const std::vector<SeedSpeed>&)>;
+
+/// A named method under evaluation.
+struct MethodAdapter {
+  std::string name;
+  EstimateFn estimate;
+};
+
+struct EvalOptions {
+  /// Relative error above this counts toward the error rate.
+  double error_rate_tau = 0.2;
+  /// Gaussian noise on the crowdsourced seed speeds (worker imprecision).
+  double seed_noise_kmh = 1.5;
+  /// Evaluate every `stride`-th test slot (1 = all).
+  uint32_t slot_stride = 3;
+  uint64_t rng_seed = 99;
+};
+
+struct EvalResult {
+  SpeedMetrics metrics;          ///< over non-seed roads only
+  double seconds_total = 0.0;    ///< estimation wall clock
+  double ms_per_slot = 0.0;
+  size_t slots = 0;
+};
+
+/// Drives evaluations over one dataset.
+class Evaluator {
+ public:
+  explicit Evaluator(const Dataset* dataset);
+
+  /// Test slots honouring the stride.
+  std::vector<uint64_t> TestSlots(uint32_t stride) const;
+
+  /// Crowdsourced observations of `seeds` at `slot` (truth + noise).
+  std::vector<SeedSpeed> ObserveSeeds(uint64_t slot,
+                                      const std::vector<RoadId>& seeds,
+                                      double noise_kmh, Rng* rng) const;
+
+  /// True trends at `slot` (vs the dataset's own history).
+  std::vector<int> TrueTrends(uint64_t slot) const;
+
+  /// Runs `method` over the test slots with the given seed set.
+  Result<EvalResult> Run(const MethodAdapter& method,
+                         const std::vector<RoadId>& seeds,
+                         const EvalOptions& opts) const;
+
+  /// Repeats Run over `repetitions` observation-noise seeds and reports the
+  /// spread — the error bars behind a figure point.
+  struct RepeatedResult {
+    double mae_mean = 0.0;
+    double mae_stddev = 0.0;
+    double mape_mean = 0.0;
+    double mape_stddev = 0.0;
+    size_t repetitions = 0;
+  };
+  Result<RepeatedResult> RunRepeated(const MethodAdapter& method,
+                                     const std::vector<RoadId>& seeds,
+                                     const EvalOptions& opts,
+                                     size_t repetitions) const;
+
+  /// Trend-inference accuracy of the pipeline's Step 1 over non-seed roads.
+  Result<double> RunTrendAccuracy(const TrafficSpeedEstimator& estimator,
+                                  const std::vector<RoadId>& seeds,
+                                  const EvalOptions& opts) const;
+
+  const Dataset& dataset() const { return *dataset_; }
+
+ private:
+  const Dataset* dataset_;
+};
+
+/// Wraps the pipeline and each baseline into MethodAdapters sharing one
+/// trained state. All returned adapters reference `estimator` and the
+/// baselines constructed inside; the returned holder keeps them alive.
+struct MethodSuite {
+  std::vector<MethodAdapter> methods;
+  /// Opaque owners for the baseline instances.
+  std::vector<std::shared_ptr<void>> owners;
+};
+Result<MethodSuite> BuildMethodSuite(const Dataset& dataset,
+                                     const TrafficSpeedEstimator& estimator,
+                                     bool include_matrix_completion = true);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_CORE_EVALUATOR_H_

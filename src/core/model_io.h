@@ -1,0 +1,37 @@
+// Save/load of trained estimator models.
+//
+// The offline phase (correlation mining + model fitting + influence
+// precomputation) can take minutes at city scale; a deployment trains once,
+// ships the model file to the online service, and re-attaches it to the
+// (much smaller) network + history handles there.
+//
+// File layout: "TSPD" header + version, the pipeline config knobs the online
+// phase needs, then the CORR / INFL / HSPD sections.
+
+#ifndef TRENDSPEED_CORE_MODEL_IO_H_
+#define TRENDSPEED_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "core/estimator.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// Serializes a trained estimator to a buffer / file.
+std::string SerializeTrainedModel(const TrafficSpeedEstimator& estimator);
+Status SaveTrainedModel(const TrafficSpeedEstimator& estimator,
+                        const std::string& path);
+
+/// Re-attaches a serialized model to a network + history. `net` and `db`
+/// must describe the same road network the model was trained on (sizes are
+/// validated; semantics are the caller's contract).
+Result<TrafficSpeedEstimator> DeserializeTrainedModel(
+    const RoadNetwork* net, const HistoricalDb* db, std::string bytes);
+Result<TrafficSpeedEstimator> LoadTrainedModel(const RoadNetwork* net,
+                                               const HistoricalDb* db,
+                                               const std::string& path);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_CORE_MODEL_IO_H_

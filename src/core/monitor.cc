@@ -1,0 +1,69 @@
+#include "core/monitor.h"
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+OnlineTrafficMonitor::OnlineTrafficMonitor(
+    const TrafficSpeedEstimator* estimator, const MonitorOptions& opts)
+    : estimator_(estimator),
+      opts_(opts),
+      ewma_(estimator->network().num_roads(), 0.0),
+      below_streak_(estimator->network().num_roads(), 0),
+      alert_active_(estimator->network().num_roads(), false) {
+  TS_CHECK(estimator != nullptr);
+  TS_CHECK_GT(opts.ewma_alpha, 0.0);
+  TS_CHECK_LE(opts.ewma_alpha, 1.0);
+  TS_CHECK_LT(opts.alert_deviation, opts.clear_deviation);
+}
+
+Result<OnlineTrafficMonitor::SlotReport> OnlineTrafficMonitor::Process(
+    uint64_t slot, const std::vector<SeedSpeed>& observations) {
+  if (slots_processed_ > 0 && slot < last_slot_) {
+    return Status::InvalidArgument("slots must be processed in order");
+  }
+  SlotReport report;
+  TS_ASSIGN_OR_RETURN(report.estimate, estimator_->Estimate(slot, observations));
+  const RoadNetwork& net = estimator_->network();
+  double speed_sum = 0.0;
+  for (RoadId r = 0; r < net.num_roads(); ++r) {
+    double d = report.estimate.speeds.deviation[r];
+    ewma_[r] = slots_processed_ == 0
+                   ? d
+                   : (1.0 - opts_.ewma_alpha) * ewma_[r] +
+                         opts_.ewma_alpha * d;
+    speed_sum += report.estimate.speeds.speed_kmh[r];
+    if (ewma_[r] < -0.15) ++report.congested_roads;
+
+    if (!alert_active_[r]) {
+      if (ewma_[r] <= opts_.alert_deviation) {
+        ++below_streak_[r];
+        if (below_streak_[r] >= opts_.alert_after_slots) {
+          alert_active_[r] = true;
+          report.new_alerts.push_back(TrafficAlert{r, slot, true, ewma_[r]});
+        }
+      } else {
+        below_streak_[r] = 0;
+      }
+    } else if (ewma_[r] >= opts_.clear_deviation) {
+      alert_active_[r] = false;
+      below_streak_[r] = 0;
+      report.new_alerts.push_back(TrafficAlert{r, slot, false, ewma_[r]});
+    }
+  }
+  report.mean_speed_kmh =
+      speed_sum / static_cast<double>(net.num_roads());
+  last_slot_ = slot;
+  ++slots_processed_;
+  return report;
+}
+
+std::vector<RoadId> OnlineTrafficMonitor::ActiveAlerts() const {
+  std::vector<RoadId> out;
+  for (RoadId r = 0; r < alert_active_.size(); ++r) {
+    if (alert_active_[r]) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace trendspeed

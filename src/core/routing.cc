@@ -1,0 +1,99 @@
+#include "core/routing.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "roadnet/shortest_path.h"
+#include "util/logging.h"
+
+namespace trendspeed {
+
+Result<double> PathTravelTime(const RoadNetwork& net,
+                              const std::vector<double>& speeds_kmh,
+                              const std::vector<RoadId>& path) {
+  if (speeds_kmh.size() != net.num_roads()) {
+    return Status::InvalidArgument("speeds size mismatch");
+  }
+  if (path.empty()) return Status::InvalidArgument("empty path");
+  double seconds = 0.0;
+  for (size_t i = 0; i < path.size(); ++i) {
+    RoadId r = path[i];
+    if (r >= net.num_roads()) {
+      return Status::InvalidArgument("path road out of range");
+    }
+    if (i > 0 && net.road(path[i - 1]).to != net.road(r).from) {
+      return Status::InvalidArgument("path is not contiguous");
+    }
+    if (speeds_kmh[r] <= 0.0) {
+      return Status::InvalidArgument("non-positive speed on path");
+    }
+    seconds += net.road(r).length_m / (speeds_kmh[r] / 3.6);
+  }
+  return seconds;
+}
+
+Result<RouteResult> FastestRoute(const RoadNetwork& net,
+                                 const std::vector<double>& speeds_kmh,
+                                 NodeId from, NodeId to) {
+  if (speeds_kmh.size() != net.num_roads()) {
+    return Status::InvalidArgument("speeds size mismatch");
+  }
+  if (from >= net.num_nodes() || to >= net.num_nodes()) {
+    return Status::InvalidArgument("node out of range");
+  }
+  const double kInf = 1e300;
+  std::vector<double> dist(net.num_nodes(), kInf);
+  std::vector<RoadId> via(net.num_nodes(), kInvalidRoad);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[from] = 0.0;
+  pq.emplace(0.0, from);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == to) break;
+    for (RoadId r : net.OutRoads(u)) {
+      double v_kmh = speeds_kmh[r];
+      if (v_kmh <= 0.0) continue;  // impassable
+      NodeId w = net.road(r).to;
+      double nd = d + net.road(r).length_m / (v_kmh / 3.6);
+      if (nd < dist[w]) {
+        dist[w] = nd;
+        via[w] = r;
+        pq.emplace(nd, w);
+      }
+    }
+  }
+  if (dist[to] >= kInf) return Status::NotFound("target unreachable");
+  RouteResult result;
+  result.travel_seconds = dist[to];
+  NodeId cur = to;
+  while (cur != from) {
+    RoadId r = via[cur];
+    result.roads.push_back(r);
+    result.length_m += net.road(r).length_m;
+    cur = net.road(r).from;
+  }
+  std::reverse(result.roads.begin(), result.roads.end());
+  return result;
+}
+
+Result<double> CongestionRatio(const RoadNetwork& net,
+                               const std::vector<double>& speeds_kmh,
+                               NodeId from, NodeId to) {
+  TS_ASSIGN_OR_RETURN(RouteResult current,
+                      FastestRoute(net, speeds_kmh, from, to));
+  std::vector<double> free_flow(net.num_roads());
+  for (RoadId r = 0; r < net.num_roads(); ++r) {
+    free_flow[r] = net.road(r).free_flow_kmh;
+  }
+  TS_ASSIGN_OR_RETURN(RouteResult base,
+                      FastestRoute(net, free_flow, from, to));
+  if (base.travel_seconds <= 0.0) {
+    return Status::Internal("degenerate free-flow route");
+  }
+  return current.travel_seconds / base.travel_seconds;
+}
+
+}  // namespace trendspeed

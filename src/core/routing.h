@@ -1,0 +1,44 @@
+// Live-speed routing: the navigation application the paper's introduction
+// motivates. Consumes the all-road speed estimates produced each slot and
+// answers travel-time and fastest-route queries against *current* (not
+// free-flow) conditions.
+
+#ifndef TRENDSPEED_CORE_ROUTING_H_
+#define TRENDSPEED_CORE_ROUTING_H_
+
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// Travel time (seconds) along a road sequence at the given per-road speeds.
+/// Fails if the sequence is not a contiguous drivable path or any speed is
+/// non-positive.
+Result<double> PathTravelTime(const RoadNetwork& net,
+                              const std::vector<double>& speeds_kmh,
+                              const std::vector<RoadId>& path);
+
+struct RouteResult {
+  std::vector<RoadId> roads;
+  double travel_seconds = 0.0;
+  double length_m = 0.0;
+};
+
+/// Fastest route under the given per-road speeds (Dijkstra). NotFound when
+/// `to` is unreachable from `from`.
+Result<RouteResult> FastestRoute(const RoadNetwork& net,
+                                 const std::vector<double>& speeds_kmh,
+                                 NodeId from, NodeId to);
+
+/// Convenience: how much longer the current-conditions fastest route takes
+/// than the free-flow fastest route between the same endpoints (>= ~1;
+/// the classic congestion "travel time index").
+Result<double> CongestionRatio(const RoadNetwork& net,
+                               const std::vector<double>& speeds_kmh,
+                               NodeId from, NodeId to);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_CORE_ROUTING_H_

@@ -1,0 +1,163 @@
+#include "corr/correlation_graph.h"
+
+#include <algorithm>
+
+#include "roadnet/shortest_path.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace trendspeed {
+
+namespace {
+
+struct PairStat {
+  RoadId i;
+  RoadId j;
+  CoTrendStats stats;
+};
+
+}  // namespace
+
+Result<CorrelationGraph> CorrelationGraph::Build(
+    const RoadNetwork& net, const HistoricalDb& db,
+    const CorrelationGraphOptions& opts) {
+  if (db.num_roads() != net.num_roads()) {
+    return Status::InvalidArgument("history / network road count mismatch");
+  }
+  if (opts.min_same_prob < 0.5 || opts.min_same_prob >= 1.0) {
+    return Status::InvalidArgument("min_same_prob must be in [0.5, 1)");
+  }
+  if (opts.max_hops == 0 || opts.max_degree == 0) {
+    return Status::InvalidArgument("max_hops and max_degree must be positive");
+  }
+  size_t n = net.num_roads();
+  // Mine candidate pairs in parallel, bucketed per source road so the final
+  // pair order (and therefore the graph) is independent of thread count.
+  std::vector<std::vector<PairStat>> per_source(n);
+  ParallelFor(
+      n,
+      [&](size_t begin, size_t end) {
+        for (RoadId i = static_cast<RoadId>(begin); i < end; ++i) {
+          if (db.CoverageCount(i) == 0) continue;
+          for (const RoadHop& hop : RoadsWithinHops(net, i, opts.max_hops)) {
+            RoadId j = hop.road;
+            if (j <= i) continue;  // unordered pair once
+            if (db.CoverageCount(j) == 0) continue;
+            CoTrendStats stats =
+                ComputeCoTrend(db, i, j, net.road(i).free_flow_kmh,
+                               net.road(j).free_flow_kmh);
+            if (stats.co_observed < opts.min_co_observed) continue;
+            double p = stats.SameProbability();
+            if (std::max(p, 1.0 - p) < opts.min_same_prob) continue;
+            per_source[i].push_back(PairStat{i, j, stats});
+          }
+        }
+      },
+      opts.num_threads);
+  std::vector<PairStat> pairs;
+  for (auto& bucket : per_source) {
+    pairs.insert(pairs.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+    bucket.shrink_to_fit();
+  }
+  // Degree capping: an edge survives when it ranks within the top
+  // `max_degree` strongest edges of *either* endpoint (union keeps the
+  // graph symmetric).
+  std::vector<std::vector<std::pair<double, size_t>>> incident(n);
+  for (size_t e = 0; e < pairs.size(); ++e) {
+    double p = pairs[e].stats.SameProbability();
+    double strength = std::max(p, 1.0 - p);
+    incident[pairs[e].i].emplace_back(strength, e);
+    incident[pairs[e].j].emplace_back(strength, e);
+  }
+  std::vector<bool> keep(pairs.size(), false);
+  for (RoadId v = 0; v < n; ++v) {
+    auto& inc = incident[v];
+    size_t cap = std::min<size_t>(opts.max_degree, inc.size());
+    std::partial_sort(inc.begin(), inc.begin() + static_cast<long>(cap),
+                      inc.end(), std::greater<>());
+    for (size_t k = 0; k < cap; ++k) keep[inc[k].second] = true;
+  }
+
+  CorrelationGraph g;
+  g.opts_ = opts;
+  g.offsets_.assign(n + 1, 0);
+  for (size_t e = 0; e < pairs.size(); ++e) {
+    if (!keep[e]) continue;
+    ++g.offsets_[pairs[e].i + 1];
+    ++g.offsets_[pairs[e].j + 1];
+  }
+  for (size_t v = 1; v <= n; ++v) g.offsets_[v] += g.offsets_[v - 1];
+  g.edges_.resize(g.offsets_[n]);
+  std::vector<uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (size_t e = 0; e < pairs.size(); ++e) {
+    if (!keep[e]) continue;
+    const PairStat& p = pairs[e];
+    CorrEdge fwd;  // stored at i, pointing to j
+    fwd.neighbor = p.j;
+    fwd.same_prob = static_cast<float>(p.stats.SameProbability());
+    fwd.pearson = static_cast<float>(p.stats.pearson);
+    CorrEdge bwd = fwd;  // stored at j, pointing to i (transposed table)
+    bwd.neighbor = p.i;
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        float psi = static_cast<float>(p.stats.Compatibility(a, b));
+        fwd.compat[a][b] = psi;
+        bwd.compat[b][a] = psi;
+      }
+    }
+    g.edges_[cursor[p.i]++] = fwd;
+    g.edges_[cursor[p.j]++] = bwd;
+  }
+  return g;
+}
+
+void CorrelationGraph::Serialize(BinaryWriter* writer) const {
+  writer->PutTag("CORR", 1);
+  writer->PutU32(opts_.max_hops);
+  writer->PutF64(opts_.min_same_prob);
+  writer->PutU32(opts_.min_co_observed);
+  writer->PutU32(opts_.max_degree);
+  writer->PutVec(offsets_);
+  writer->PutVec(edges_);
+}
+
+Result<CorrelationGraph> CorrelationGraph::Deserialize(BinaryReader* reader) {
+  TS_ASSIGN_OR_RETURN(uint32_t version, reader->ExpectTag("CORR"));
+  if (version != 1) {
+    return Status::InvalidArgument("unsupported correlation-graph version");
+  }
+  CorrelationGraph g;
+  TS_ASSIGN_OR_RETURN(g.opts_.max_hops, reader->GetU32());
+  TS_ASSIGN_OR_RETURN(g.opts_.min_same_prob, reader->GetF64());
+  TS_ASSIGN_OR_RETURN(g.opts_.min_co_observed, reader->GetU32());
+  TS_ASSIGN_OR_RETURN(g.opts_.max_degree, reader->GetU32());
+  TS_ASSIGN_OR_RETURN(g.offsets_, reader->GetVec<uint32_t>());
+  TS_ASSIGN_OR_RETURN(g.edges_, reader->GetVec<CorrEdge>());
+  if (g.offsets_.empty() || g.offsets_.front() != 0 ||
+      g.offsets_.back() != g.edges_.size()) {
+    return Status::InvalidArgument("corrupt correlation graph offsets");
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    if (g.offsets_[i] < g.offsets_[i - 1]) {
+      return Status::InvalidArgument(
+          "corrupt correlation graph: non-monotonic offsets");
+    }
+  }
+  for (const CorrEdge& e : g.edges_) {
+    if (e.neighbor >= g.num_roads()) {
+      return Status::InvalidArgument("corrupt correlation graph edge");
+    }
+  }
+  return g;
+}
+
+size_t CorrelationGraph::CountIsolated() const {
+  size_t isolated = 0;
+  for (size_t v = 0; v + 1 < offsets_.size(); ++v) {
+    if (offsets_[v + 1] == offsets_[v]) ++isolated;
+  }
+  return isolated;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,99 @@
+// The correlation graph: roads as vertices, strong co-trend relations as
+// edges. This is the structure both inference steps and seed selection
+// operate on.
+//
+// Construction (offline, from history): for every road, examine candidates
+// within `max_hops` road-adjacency hops; keep pairs with enough co-observed
+// slots and a same-trend probability above threshold; cap each vertex's
+// degree by keeping its strongest edges (union over both endpoints, so the
+// graph stays symmetric).
+
+#ifndef TRENDSPEED_CORR_CORRELATION_GRAPH_H_
+#define TRENDSPEED_CORR_CORRELATION_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "corr/cotrend.h"
+#include "probe/history.h"
+#include "roadnet/road_network.h"
+#include "util/binary_io.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+struct CorrelationGraphOptions {
+  /// Spatial candidate horizon over road adjacency.
+  uint32_t max_hops = 2;
+  /// Minimum Laplace-smoothed trend association for an edge:
+  /// max(P(same), 1 - P(same)) must reach this. Values below 0.5 of
+  /// P(same) denote *anti-correlated* pairs (e.g. a bottleneck and its
+  /// starved downstream roads), which are just as informative as positive
+  /// ones and are kept as edges with same_prob < 0.5.
+  double min_same_prob = 0.62;
+  /// Minimum co-observed slots for an edge to be trusted.
+  uint32_t min_co_observed = 12;
+  /// Per-vertex cap on incident edges (strongest kept).
+  uint32_t max_degree = 10;
+  /// Worker threads for mining (0 = hardware concurrency). Results are
+  /// identical for any value.
+  uint32_t num_threads = 0;
+};
+
+/// One directed half of an undirected correlation edge, stored per vertex.
+struct CorrEdge {
+  RoadId neighbor = kInvalidRoad;
+  float same_prob = 0.5f;   ///< P(trend_self == trend_neighbor)
+  float pearson = 0.0f;     ///< deviation correlation
+  /// MRF compatibility psi[self trend][neighbor trend], 0=down 1=up.
+  float compat[2][2] = {{1.f, 1.f}, {1.f, 1.f}};
+};
+
+/// Immutable symmetric correlation graph (CSR).
+class CorrelationGraph {
+ public:
+  /// Mines the graph from history. O(n * candidates * num_slots).
+  static Result<CorrelationGraph> Build(const RoadNetwork& net,
+                                        const HistoricalDb& db,
+                                        const CorrelationGraphOptions& opts);
+
+  size_t num_roads() const { return offsets_.size() - 1; }
+  /// Undirected edge count.
+  size_t num_edges() const { return edges_.size() / 2; }
+  double average_degree() const {
+    return num_roads() == 0
+               ? 0.0
+               : static_cast<double>(edges_.size()) /
+                     static_cast<double>(num_roads());
+  }
+
+  std::span<const CorrEdge> Neighbors(RoadId road) const {
+    return {edges_.data() + offsets_[road],
+            offsets_[road + 1] - offsets_[road]};
+  }
+
+  size_t Degree(RoadId road) const {
+    return offsets_[road + 1] - offsets_[road];
+  }
+
+  /// Number of isolated vertices (no correlation edges).
+  size_t CountIsolated() const;
+
+  const CorrelationGraphOptions& options() const { return opts_; }
+
+  /// Binary (de)serialization for trained-model files.
+  void Serialize(BinaryWriter* writer) const;
+  static Result<CorrelationGraph> Deserialize(BinaryReader* reader);
+
+ private:
+  CorrelationGraph() = default;
+
+  CorrelationGraphOptions opts_;
+  std::vector<uint32_t> offsets_;
+  std::vector<CorrEdge> edges_;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_CORR_CORRELATION_GRAPH_H_

@@ -1,0 +1,38 @@
+#include "corr/cotrend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace trendspeed {
+
+double CoTrendStats::Compatibility(int a, int b, double clip) const {
+  double joint = Joint(a, b);
+  double mi = Joint(a, 0) + Joint(a, 1);
+  double mj = Joint(0, b) + Joint(1, b);
+  double psi = joint / (mi * mj);
+  return std::clamp(psi, 1.0 / clip, clip);
+}
+
+CoTrendStats ComputeCoTrend(const HistoricalDb& db, RoadId i, RoadId j,
+                            double fallback_i, double fallback_j) {
+  CoTrendStats stats;
+  std::vector<double> dev_i, dev_j;
+  for (uint64_t slot = 0; slot < db.num_slots(); ++slot) {
+    if (!db.HasObservation(i, slot) || !db.HasObservation(j, slot)) continue;
+    double vi = db.Observation(i, slot);
+    double vj = db.Observation(j, slot);
+    int ti = db.TrendOf(i, slot, vi, fallback_i);
+    int tj = db.TrendOf(j, slot, vj, fallback_j);
+    ++stats.counts[TrendIndex(ti)][TrendIndex(tj)];
+    ++stats.co_observed;
+    dev_i.push_back(db.DeviationOf(i, slot, vi));
+    dev_j.push_back(db.DeviationOf(j, slot, vj));
+  }
+  stats.pearson = PearsonCorrelation(dev_i, dev_j);
+  return stats;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,58 @@
+// Pairwise co-trend statistics mined from the historical database.
+//
+// For two roads i and j, the statistics are computed over the slots where
+// both were observed: the 2x2 joint distribution of their trends, the
+// probability that their trends agree, and the Pearson correlation of their
+// relative deviations. These numbers quantify the paper's core observation —
+// correlated roads rise and fall together relative to their own norms.
+
+#ifndef TRENDSPEED_CORR_COTREND_H_
+#define TRENDSPEED_CORR_COTREND_H_
+
+#include <cstdint>
+
+#include "probe/history.h"
+#include "roadnet/road_network.h"
+
+namespace trendspeed {
+
+/// Index into trend tables: 0 = down (-1), 1 = up (+1).
+inline int TrendIndex(int trend) { return trend > 0 ? 1 : 0; }
+inline int TrendFromIndex(int idx) { return idx == 1 ? +1 : -1; }
+
+/// Co-trend statistics for an (i, j) road pair.
+struct CoTrendStats {
+  uint32_t co_observed = 0;
+  /// counts[a][b]: slots with trend_i = a, trend_j = b (0=down, 1=up).
+  uint32_t counts[2][2] = {{0, 0}, {0, 0}};
+  /// Pearson correlation of relative deviations over co-observed slots.
+  double pearson = 0.0;
+
+  uint32_t SameCount() const { return counts[0][0] + counts[1][1]; }
+
+  /// Laplace-smoothed P(trend_i == trend_j).
+  double SameProbability() const {
+    return (static_cast<double>(SameCount()) + 1.0) /
+           (static_cast<double>(co_observed) + 2.0);
+  }
+
+  /// Smoothed joint P(trend_i = a, trend_j = b).
+  double Joint(int a, int b) const {
+    return (static_cast<double>(counts[a][b]) + 0.5) /
+           (static_cast<double>(co_observed) + 2.0);
+  }
+
+  /// MRF edge compatibility psi(a, b) = joint / (marginal_a * marginal_b),
+  /// clipped to [1/clip, clip]; equals 1 under independence.
+  double Compatibility(int a, int b, double clip = 8.0) const;
+};
+
+/// Computes co-trend statistics for (i, j). `fallback_i`/`fallback_j` are
+/// the historical-mean fallbacks (typically free-flow speed) used when a
+/// bucket has no history. O(num_slots).
+CoTrendStats ComputeCoTrend(const HistoricalDb& db, RoadId i, RoadId j,
+                            double fallback_i, double fallback_j);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_CORR_COTREND_H_

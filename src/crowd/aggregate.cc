@@ -1,0 +1,129 @@
+#include "crowd/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+const char* AggregationMethodName(AggregationMethod method) {
+  switch (method) {
+    case AggregationMethod::kMean:
+      return "mean";
+    case AggregationMethod::kMedian:
+      return "median";
+    case AggregationMethod::kTrimmedMean:
+      return "trimmed-mean";
+    case AggregationMethod::kReliabilityWeighted:
+      return "reliability";
+  }
+  return "?";
+}
+
+ReliabilityTracker::ReliabilityTracker(size_t num_workers)
+    : abs_err_ewma_(num_workers, 0.0), counts_(num_workers, 0) {}
+
+double ReliabilityTracker::WeightOf(uint32_t worker) const {
+  TS_CHECK_LT(worker, abs_err_ewma_.size());
+  if (counts_[worker] == 0) return 1.0;
+  // Soft inverse-error weighting: 3 km/h of average consensus error halves
+  // the weight.
+  return 1.0 / (1.0 + abs_err_ewma_[worker] / 3.0);
+}
+
+void ReliabilityTracker::Record(uint32_t worker, double answer,
+                                double consensus) {
+  TS_CHECK_LT(worker, abs_err_ewma_.size());
+  double err = std::fabs(answer - consensus);
+  const double kAlpha = 0.1;
+  if (counts_[worker] == 0) {
+    abs_err_ewma_[worker] = err;
+  } else {
+    abs_err_ewma_[worker] =
+        (1.0 - kAlpha) * abs_err_ewma_[worker] + kAlpha * err;
+  }
+  ++counts_[worker];
+}
+
+double ReliabilityTracker::MeanAbsError(uint32_t worker) const {
+  TS_CHECK_LT(worker, abs_err_ewma_.size());
+  return abs_err_ewma_[worker];
+}
+
+namespace {
+
+double Median(std::vector<double> v) {
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  double lo = *std::max_element(v.begin(), v.begin() + static_cast<long>(mid));
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
+
+Result<double> AggregateAnswers(const std::vector<WorkerAnswer>& answers,
+                                const AggregateOptions& opts) {
+  if (answers.empty()) {
+    return Status::InvalidArgument("no answers to aggregate");
+  }
+  if (opts.method == AggregationMethod::kReliabilityWeighted &&
+      opts.tracker == nullptr) {
+    return Status::InvalidArgument(
+        "reliability-weighted aggregation requires a tracker");
+  }
+  if (opts.trim_fraction < 0.0 || opts.trim_fraction >= 0.5) {
+    return Status::InvalidArgument("trim_fraction must be in [0, 0.5)");
+  }
+  std::vector<double> values;
+  values.reserve(answers.size());
+  for (const WorkerAnswer& a : answers) values.push_back(a.speed_kmh);
+
+  double result = 0.0;
+  switch (opts.method) {
+    case AggregationMethod::kMean: {
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      result = sum / static_cast<double>(values.size());
+      break;
+    }
+    case AggregationMethod::kMedian:
+      result = Median(values);
+      break;
+    case AggregationMethod::kTrimmedMean: {
+      std::sort(values.begin(), values.end());
+      size_t drop = static_cast<size_t>(
+          std::floor(opts.trim_fraction * static_cast<double>(values.size())));
+      double sum = 0.0;
+      size_t n = 0;
+      for (size_t i = drop; i + drop < values.size(); ++i) {
+        sum += values[i];
+        ++n;
+      }
+      result = n > 0 ? sum / static_cast<double>(n) : Median(values);
+      break;
+    }
+    case AggregationMethod::kReliabilityWeighted: {
+      double wsum = 0.0, acc = 0.0;
+      for (const WorkerAnswer& a : answers) {
+        double w = opts.tracker->WeightOf(a.worker);
+        wsum += w;
+        acc += w * a.speed_kmh;
+      }
+      result = wsum > 0.0 ? acc / wsum
+                          : values[0];  // all-zero weights cannot happen
+      break;
+    }
+  }
+  // Online quality control: score every worker against the consensus.
+  if (opts.tracker != nullptr) {
+    for (const WorkerAnswer& a : answers) {
+      opts.tracker->Record(a.worker, a.speed_kmh, result);
+    }
+  }
+  return result;
+}
+
+}  // namespace trendspeed

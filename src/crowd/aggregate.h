@@ -1,0 +1,62 @@
+// Answer aggregation: turning several noisy worker answers for one road
+// into a single speed estimate, with optional reliability weighting.
+
+#ifndef TRENDSPEED_CROWD_AGGREGATE_H_
+#define TRENDSPEED_CROWD_AGGREGATE_H_
+
+#include <vector>
+
+#include "crowd/worker.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+enum class AggregationMethod {
+  kMean,
+  kMedian,
+  /// Mean after discarding the lowest and highest `trim_fraction` answers.
+  kTrimmedMean,
+  /// Weight each answer by the worker's tracked reliability.
+  kReliabilityWeighted,
+};
+
+const char* AggregationMethodName(AggregationMethod method);
+
+/// Running per-worker reliability estimates, updated from each answer's
+/// agreement with the consensus (simple online quality control: workers
+/// whose answers repeatedly sit far from consensus are down-weighted).
+class ReliabilityTracker {
+ public:
+  explicit ReliabilityTracker(size_t num_workers);
+
+  /// Weight in (0, 1]; new workers start at 1.
+  double WeightOf(uint32_t worker) const;
+
+  /// Records one answer against the consensus value for that road.
+  void Record(uint32_t worker, double answer, double consensus);
+
+  /// Mean absolute consensus error tracked for a worker (diagnostics).
+  double MeanAbsError(uint32_t worker) const;
+  size_t AnswerCount(uint32_t worker) const { return counts_[worker]; }
+
+ private:
+  std::vector<double> abs_err_ewma_;
+  std::vector<size_t> counts_;
+};
+
+struct AggregateOptions {
+  AggregationMethod method = AggregationMethod::kMedian;
+  double trim_fraction = 0.2;
+  /// Optional tracker (required for kReliabilityWeighted; updated as a side
+  /// effect for every method when provided).
+  ReliabilityTracker* tracker = nullptr;
+};
+
+/// Aggregates one road's answers. Fails on an empty answer set, or when
+/// kReliabilityWeighted is requested without a tracker.
+Result<double> AggregateAnswers(const std::vector<WorkerAnswer>& answers,
+                                const AggregateOptions& opts);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_CROWD_AGGREGATE_H_

@@ -1,0 +1,54 @@
+#include "crowd/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace trendspeed {
+
+Result<std::vector<uint32_t>> AllocateAnswers(
+    const std::vector<double>& weights, uint32_t total_answers) {
+  size_t n = weights.size();
+  if (n == 0) return Status::InvalidArgument("no seeds to allocate to");
+  if (total_answers < n) {
+    return Status::InvalidArgument(
+        "budget smaller than one answer per seed");
+  }
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("weights must be finite and >= 0");
+    }
+  }
+  std::vector<uint32_t> alloc(n, 1);
+  uint32_t remaining = total_answers - static_cast<uint32_t>(n);
+  double wsum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (remaining == 0) return alloc;
+  if (wsum <= 0.0) {
+    // Uninformative weights: spread the remainder round-robin.
+    for (uint32_t i = 0; i < remaining; ++i) ++alloc[i % n];
+    return alloc;
+  }
+  // Largest-remainder apportionment of the remaining answers.
+  std::vector<double> exact(n);
+  std::vector<uint32_t> floor_alloc(n);
+  uint32_t used = 0;
+  for (size_t i = 0; i < n; ++i) {
+    exact[i] = static_cast<double>(remaining) * weights[i] / wsum;
+    floor_alloc[i] = static_cast<uint32_t>(std::floor(exact[i]));
+    used += floor_alloc[i];
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double ra = exact[a] - std::floor(exact[a]);
+    double rb = exact[b] - std::floor(exact[b]);
+    return ra != rb ? ra > rb : a < b;
+  });
+  for (size_t k = 0; k < remaining - used; ++k) {
+    ++floor_alloc[order[k % n]];
+  }
+  for (size_t i = 0; i < n; ++i) alloc[i] += floor_alloc[i];
+  return alloc;
+}
+
+}  // namespace trendspeed

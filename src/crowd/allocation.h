@@ -1,0 +1,31 @@
+// Answer-budget allocation across seed roads.
+//
+// A campaign buys `total_answers` worker answers per slot. Spending them
+// uniformly wastes redundancy on placid roads; the optimal split for
+// minimizing total observation variance puts answer counts proportional to
+// each road's observation noise-to-importance profile. We allocate
+// proportionally to the seeds' historical deviation variability sigma
+// (important, volatile seeds get more answers), with a floor of one answer
+// per seed.
+
+#ifndef TRENDSPEED_CROWD_ALLOCATION_H_
+#define TRENDSPEED_CROWD_ALLOCATION_H_
+
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// Splits `total_answers` across seeds proportionally to `weights`
+/// (>= 0, typically per-seed sigma), at least one per seed. The result sums
+/// to exactly total_answers. Largest-remainder rounding keeps the split
+/// deterministic and fair. Fails when total_answers < seeds or inputs are
+/// inconsistent.
+Result<std::vector<uint32_t>> AllocateAnswers(
+    const std::vector<double>& weights, uint32_t total_answers);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_CROWD_ALLOCATION_H_

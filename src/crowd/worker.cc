@@ -1,0 +1,50 @@
+#include "crowd/worker.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+WorkerPool::WorkerPool(const Options& opts) {
+  TS_CHECK_GT(opts.num_workers, 0u);
+  TS_CHECK_LE(opts.noise_min_kmh, opts.noise_max_kmh);
+  Rng rng(opts.seed);
+  profiles_.resize(opts.num_workers);
+  for (WorkerProfile& p : profiles_) {
+    p.bias_kmh = rng.Gaussian(0.0, opts.bias_spread_kmh);
+    p.noise_kmh = rng.Uniform(opts.noise_min_kmh, opts.noise_max_kmh);
+    p.outlier_prob = rng.Uniform(0.0, opts.max_outlier_prob);
+  }
+}
+
+WorkerAnswer WorkerPool::Answer(uint32_t worker, double true_speed_kmh,
+                                Rng* rng) const {
+  TS_CHECK_LT(worker, profiles_.size());
+  TS_CHECK(rng != nullptr);
+  const WorkerProfile& p = profiles_[worker];
+  WorkerAnswer answer;
+  answer.worker = worker;
+  if (rng->NextBool(p.outlier_prob)) {
+    // Garbage: unrelated to the truth.
+    answer.speed_kmh = rng->Uniform(1.0, 120.0);
+  } else {
+    answer.speed_kmh =
+        true_speed_kmh + p.bias_kmh + rng->Gaussian(0.0, p.noise_kmh);
+  }
+  answer.speed_kmh = std::max(1.0, answer.speed_kmh);
+  return answer;
+}
+
+std::vector<uint32_t> WorkerPool::Draw(size_t k, Rng* rng) const {
+  TS_CHECK(rng != nullptr);
+  k = std::min(k, profiles_.size());
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  for (size_t idx : rng->SampleWithoutReplacement(profiles_.size(), k)) {
+    out.push_back(static_cast<uint32_t>(idx));
+  }
+  return out;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,70 @@
+// Crowd worker response model.
+//
+// The paper obtains seed speeds "using crowdsourcing": human reporters (or
+// probe drivers) answer "how fast is traffic moving on road r right now?".
+// Workers are imperfect in three distinct ways the aggregation layer must
+// survive: a per-worker systematic bias (pessimists / optimists), zero-mean
+// reporting noise, and occasional outright garbage (mistaken road, stale
+// answer, spam).
+
+#ifndef TRENDSPEED_CROWD_WORKER_H_
+#define TRENDSPEED_CROWD_WORKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// Latent quality parameters of one worker.
+struct WorkerProfile {
+  /// Systematic additive bias (km/h); negative workers under-report.
+  double bias_kmh = 0.0;
+  /// Standard deviation of honest reporting noise (km/h).
+  double noise_kmh = 3.0;
+  /// Probability a given answer is garbage (uniform in a wide range).
+  double outlier_prob = 0.02;
+};
+
+/// One submitted answer.
+struct WorkerAnswer {
+  uint32_t worker = 0;
+  double speed_kmh = 0.0;
+};
+
+/// A fixed population of workers with heterogeneous quality.
+class WorkerPool {
+ public:
+  struct Options {
+    size_t num_workers = 200;
+    /// Bias drawn N(0, bias_spread); noise U(min,max); outlier U(0,max).
+    double bias_spread_kmh = 2.0;
+    double noise_min_kmh = 1.0;
+    double noise_max_kmh = 6.0;
+    double max_outlier_prob = 0.08;
+    uint64_t seed = 555;
+  };
+
+  explicit WorkerPool(const Options& opts);
+
+  size_t size() const { return profiles_.size(); }
+  const WorkerProfile& profile(uint32_t worker) const {
+    return profiles_[worker];
+  }
+
+  /// One answer from `worker` observing a road whose true speed is
+  /// `true_speed_kmh`. Answers are floored at 1 km/h.
+  WorkerAnswer Answer(uint32_t worker, double true_speed_kmh, Rng* rng) const;
+
+  /// Draws `k` distinct workers.
+  std::vector<uint32_t> Draw(size_t k, Rng* rng) const;
+
+ private:
+  std::vector<WorkerProfile> profiles_;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_CROWD_WORKER_H_

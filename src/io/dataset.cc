@@ -1,0 +1,89 @@
+#include "io/dataset.h"
+
+#include <utility>
+
+namespace trendspeed {
+
+Result<Dataset> BuildDataset(std::string name, RoadNetwork net,
+                             const DatasetOptions& opts) {
+  if (opts.history_days == 0 || opts.test_days == 0) {
+    return Status::InvalidArgument("history_days and test_days must be >= 1");
+  }
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.net = std::move(net);
+  ds.history_days = opts.history_days;
+  ds.test_days = opts.test_days;
+  TS_ASSIGN_OR_RETURN(
+      ds.truth, GenerateSpeedField(ds.net, opts.traffic,
+                                   opts.history_days + opts.test_days));
+  // History sees only the first history_days of truth.
+  SpeedField history_field;
+  history_field.slots_per_day = ds.truth.slots_per_day;
+  uint64_t history_slots =
+      static_cast<uint64_t>(opts.history_days) * ds.truth.slots_per_day;
+  history_field.speeds.assign(ds.truth.speeds.begin(),
+                              ds.truth.speeds.begin() + history_slots);
+  if (opts.use_probe_fleet) {
+    TS_ASSIGN_OR_RETURN(ds.history, CollectProbeHistory(ds.net, history_field,
+                                                        opts.fleet));
+  } else {
+    TS_ASSIGN_OR_RETURN(
+        ds.history,
+        CollectIdealizedHistory(ds.net, history_field, opts.idealized_coverage,
+                                opts.idealized_noise_kmh, opts.seed));
+  }
+  return ds;
+}
+
+Result<Dataset> BuildCityA(const DatasetOptions& opts) {
+  RingRadialOptions ring;
+  ring.num_rings = 6;
+  ring.num_spokes = 16;
+  ring.highway_rings = 2;
+  ring.seed = opts.seed;
+  TS_ASSIGN_OR_RETURN(RoadNetwork net, MakeRingRadialNetwork(ring));
+  DatasetOptions local = opts;
+  // CityA congests harder (denser incidents, stronger disturbances).
+  local.traffic.incidents.rate_per_slot = 0.05;
+  local.traffic.disturbance.shock_sigma = 0.18;
+  local.traffic.seed = opts.seed + 1;
+  return BuildDataset("CityA", std::move(net), local);
+}
+
+Result<Dataset> BuildCityB(const DatasetOptions& opts) {
+  GridNetworkOptions grid;
+  grid.rows = 11;
+  grid.cols = 11;
+  grid.arterial_every = 5;
+  grid.dropout = 0.08;
+  grid.seed = opts.seed;
+  TS_ASSIGN_OR_RETURN(RoadNetwork net, MakeGridNetwork(grid));
+  DatasetOptions local = opts;
+  local.traffic.incidents.rate_per_slot = 0.03;
+  local.traffic.disturbance.shock_sigma = 0.14;
+  local.traffic.seed = opts.seed + 2;
+  return BuildDataset("CityB", std::move(net), local);
+}
+
+Result<Dataset> BuildTinyCity(const DatasetOptions& opts) {
+  GridNetworkOptions grid;
+  grid.rows = 5;
+  grid.cols = 5;
+  grid.arterial_every = 2;
+  grid.seed = opts.seed;
+  TS_ASSIGN_OR_RETURN(RoadNetwork net, MakeGridNetwork(grid));
+  return BuildDataset("TinyCity", std::move(net), opts);
+}
+
+Result<Dataset> BuildTinyCity() {
+  DatasetOptions opts;
+  opts.history_days = 10;
+  opts.test_days = 1;
+  // The idealized collector keeps test suites fast; the probe-fleet path is
+  // covered by its own tests.
+  opts.use_probe_fleet = false;
+  return BuildTinyCity(opts);
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,70 @@
+// Canned evaluation datasets.
+//
+// The paper evaluates on two proprietary taxi-GPS corpora. These builders
+// produce the synthetic equivalents (see DESIGN.md, "Substitutions"):
+//   CityA — ring-radial ("Beijing-like") network, heavier congestion,
+//           full probe-fleet data pipeline (GPS -> map matching -> history);
+//   CityB — grid ("second city") network, lighter congestion.
+// Each dataset = road network + ground-truth speed field spanning a history
+// period and a held-out test period + a HistoricalDb built from probe
+// observations of the history period only.
+
+#ifndef TRENDSPEED_IO_DATASET_H_
+#define TRENDSPEED_IO_DATASET_H_
+
+#include <string>
+
+#include "probe/history.h"
+#include "roadnet/generators.h"
+#include "roadnet/road_network.h"
+#include "traffic/simulator.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+struct Dataset {
+  std::string name;
+  RoadNetwork net;
+  /// Ground truth over history + test days.
+  SpeedField truth;
+  /// Probe history of the first `history_days` only.
+  HistoricalDb history;
+  uint32_t history_days = 0;
+  uint32_t test_days = 0;
+
+  uint64_t first_test_slot() const {
+    return static_cast<uint64_t>(history_days) * truth.slots_per_day;
+  }
+  uint64_t num_slots() const { return truth.num_slots(); }
+};
+
+struct DatasetOptions {
+  uint32_t history_days = 21;
+  uint32_t test_days = 2;
+  TrafficOptions traffic;
+  /// When true, history comes from the full GPS pipeline (probe fleet, map
+  /// matching); when false, from the fast idealized collector.
+  bool use_probe_fleet = true;
+  ProbeFleetOptions fleet;
+  double idealized_coverage = 0.3;
+  double idealized_noise_kmh = 2.5;
+  uint64_t seed = 2024;
+};
+
+/// Builds a dataset over an arbitrary network (takes ownership of `net`).
+Result<Dataset> BuildDataset(std::string name, RoadNetwork net,
+                             const DatasetOptions& opts);
+
+/// Ring-radial city, ~1.3k directed road segments by default.
+Result<Dataset> BuildCityA(const DatasetOptions& opts = {});
+
+/// Grid city, ~0.9k directed road segments by default.
+Result<Dataset> BuildCityB(const DatasetOptions& opts = {});
+
+/// Small dataset for tests and the quickstart example (fast to build).
+Result<Dataset> BuildTinyCity(const DatasetOptions& opts);
+Result<Dataset> BuildTinyCity();
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_IO_DATASET_H_

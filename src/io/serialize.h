@@ -1,0 +1,46 @@
+// CSV serialization of networks, speed fields, and raw speed records —
+// the interchange format for feeding real data into the library (and the
+// data_pipeline example).
+
+#ifndef TRENDSPEED_IO_SERIALIZE_H_
+#define TRENDSPEED_IO_SERIALIZE_H_
+
+#include <string>
+
+#include "probe/history.h"
+#include "roadnet/road_network.h"
+#include "traffic/simulator.h"
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// Network <-> two CSV tables.
+/// nodes: id,x,y        roads: id,from,to,class,free_flow_kmh
+CsvTable NetworkNodesToCsv(const RoadNetwork& net);
+CsvTable NetworkRoadsToCsv(const RoadNetwork& net);
+Result<RoadNetwork> NetworkFromCsv(const CsvTable& nodes,
+                                   const CsvTable& roads);
+
+/// Speed field -> long-form CSV: slot,road,speed_kmh.
+CsvTable SpeedFieldToCsv(const SpeedField& field);
+Result<SpeedField> SpeedFieldFromCsv(const CsvTable& table,
+                                     size_t num_roads, uint32_t slots_per_day);
+
+/// Raw speed records -> CSV (road,slot,speed_kmh) and back into a builder.
+struct RawRecord {
+  RoadId road;
+  uint64_t slot;
+  double speed_kmh;
+};
+CsvTable RecordsToCsv(const std::vector<RawRecord>& records);
+Result<std::vector<RawRecord>> RecordsFromCsv(const CsvTable& table);
+
+/// Convenience: rebuilds a HistoricalDb from raw records.
+Result<HistoricalDb> HistoryFromRecords(const std::vector<RawRecord>& records,
+                                        size_t num_roads, uint64_t num_slots,
+                                        uint32_t slots_per_day);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_IO_SERIALIZE_H_

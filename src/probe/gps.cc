@@ -1,0 +1,44 @@
+#include "probe/gps.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+GpsTrace DriveTrip(const RoadNetwork& net, const TripPlan& trip,
+                   const std::vector<double>& speeds_kmh,
+                   const GpsOptions& opts, double max_duration_s,
+                   uint32_t vehicle, Rng* rng) {
+  TS_CHECK(rng != nullptr);
+  TS_CHECK_EQ(speeds_kmh.size(), net.num_roads());
+  TS_CHECK_GT(opts.sample_interval_s, 0.0);
+  GpsTrace trace;
+  double t = 0.0;           // current time
+  double next_sample = 0.0; // time of next fix
+  for (RoadId r : trip.roads) {
+    const Road& road = net.road(r);
+    double v_ms = std::max(speeds_kmh[r], 1.0) / 3.6;
+    double travel = road.length_m / v_ms;
+    const Node& a = net.node(road.from);
+    const Node& b = net.node(road.to);
+    // Emit every fix that falls inside this road's traversal window.
+    while (next_sample < t + travel) {
+      if (next_sample > max_duration_s) return trace;
+      double frac = (next_sample - t) / travel;
+      GpsPoint p;
+      p.x = a.x + frac * (b.x - a.x) + rng->Gaussian(0.0, opts.position_noise_m);
+      p.y = a.y + frac * (b.y - a.y) + rng->Gaussian(0.0, opts.position_noise_m);
+      p.t_seconds = next_sample;
+      p.vehicle = vehicle;
+      trace.points.push_back(p);
+      trace.true_roads.push_back(r);
+      next_sample += opts.sample_interval_s;
+    }
+    t += travel;
+    if (t > max_duration_s) break;
+  }
+  return trace;
+}
+
+}  // namespace trendspeed

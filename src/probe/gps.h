@@ -1,0 +1,48 @@
+// GPS point emission along a trip.
+//
+// A probe vehicle drives a TripPlan at the current true speed of each road,
+// emitting a position fix every `sample_interval_s` seconds with isotropic
+// Gaussian position noise — the raw material the map matcher has to undo.
+
+#ifndef TRENDSPEED_PROBE_GPS_H_
+#define TRENDSPEED_PROBE_GPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "probe/trips.h"
+#include "roadnet/road_network.h"
+#include "util/random.h"
+
+namespace trendspeed {
+
+/// One GPS fix.
+struct GpsPoint {
+  double x = 0.0;
+  double y = 0.0;
+  double t_seconds = 0.0;  ///< since slot start
+  uint32_t vehicle = 0;
+};
+
+struct GpsOptions {
+  double sample_interval_s = 20.0;
+  double position_noise_m = 12.0;
+};
+
+/// Emits the fixes produced while driving `trip` with per-road true speeds
+/// `speeds_kmh` (indexed by RoadId), starting at t=0, truncated at
+/// `max_duration_s`. Also returns, per emitted point, the road the vehicle
+/// was actually on (ground truth for map-matching evaluation).
+struct GpsTrace {
+  std::vector<GpsPoint> points;
+  std::vector<RoadId> true_roads;  ///< parallel to points
+};
+
+GpsTrace DriveTrip(const RoadNetwork& net, const TripPlan& trip,
+                   const std::vector<double>& speeds_kmh,
+                   const GpsOptions& opts, double max_duration_s,
+                   uint32_t vehicle, Rng* rng);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_PROBE_GPS_H_

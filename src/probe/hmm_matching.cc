@@ -1,0 +1,128 @@
+#include "probe/hmm_matching.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "roadnet/shortest_path.h"
+#include "util/logging.h"
+
+namespace trendspeed {
+
+namespace {
+
+struct Candidate {
+  RoadId road = kInvalidRoad;
+  double emission_log = 0.0;
+  double best_log = -1e300;  // best path log-prob ending here
+  int back = -1;             // index into the previous step's candidates
+};
+
+}  // namespace
+
+std::vector<RoadId> MatchTraceHmm(const SegmentIndex& index,
+                                  const std::vector<GpsPoint>& points,
+                                  const HmmMatchOptions& opts) {
+  const RoadNetwork& net = index.network();
+  std::vector<RoadId> matched(points.size(), kInvalidRoad);
+  if (points.empty()) return matched;
+
+  // Candidate lattice.
+  std::vector<std::vector<Candidate>> lattice(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (RoadId r : index.Candidates(points[i].x, points[i].y)) {
+      Candidate c;
+      c.road = r;
+      double d = index.DistanceTo(r, points[i].x, points[i].y);
+      double z = d / opts.emission_sigma_m;
+      c.emission_log = -0.5 * z * z;
+      lattice[i].push_back(c);
+    }
+  }
+
+  // Viterbi with restart after empty candidate sets. Transitions are scored
+  // with hop distances from each previous candidate (one bounded BFS per
+  // previous candidate per step).
+  size_t chain_start = 0;
+  auto decode_chain = [&](size_t begin, size_t end) {
+    if (begin >= end) return;
+    for (Candidate& c : lattice[begin]) c.best_log = c.emission_log;
+    for (size_t i = begin + 1; i < end; ++i) {
+      double dx = points[i].x - points[i - 1].x;
+      double dy = points[i].y - points[i - 1].y;
+      double straight = std::sqrt(dx * dx + dy * dy);
+      for (size_t pj = 0; pj < lattice[i - 1].size(); ++pj) {
+        const Candidate& prev = lattice[i - 1][pj];
+        std::vector<uint32_t> hops =
+            RoadHopDistances(net, prev.road, opts.max_transition_hops);
+        double avg_len = std::max(30.0, net.road(prev.road).length_m);
+        for (Candidate& cur : lattice[i]) {
+          double trans_log;
+          if (hops[cur.road] == kUnreachable) {
+            trans_log = opts.min_log_prob;
+          } else {
+            // Network travel approximated by hops * typical segment length;
+            // penalize disagreement with the straight-line movement.
+            double network = static_cast<double>(hops[cur.road]) * avg_len;
+            trans_log =
+                -std::fabs(network - straight) / opts.transition_beta_m;
+          }
+          double score = prev.best_log + trans_log + cur.emission_log;
+          if (score > cur.best_log) {
+            cur.best_log = score;
+            cur.back = static_cast<int>(pj);
+          }
+        }
+      }
+      // Dead lattice layer (all -inf): restart the chain here.
+      bool alive = false;
+      for (const Candidate& c : lattice[i]) {
+        if (c.best_log > -1e299) alive = true;
+      }
+      if (!alive) {
+        for (Candidate& c : lattice[i]) {
+          c.best_log = c.emission_log;
+          c.back = -1;
+        }
+      }
+    }
+    // Backtrack from the best terminal candidate.
+    size_t i = end - 1;
+    int best = -1;
+    double best_log = -1e300;
+    for (size_t k = 0; k < lattice[i].size(); ++k) {
+      if (lattice[i][k].best_log > best_log) {
+        best_log = lattice[i][k].best_log;
+        best = static_cast<int>(k);
+      }
+    }
+    while (best >= 0) {
+      matched[i] = lattice[i][static_cast<size_t>(best)].road;
+      best = lattice[i][static_cast<size_t>(best)].back;
+      if (i == begin) break;
+      --i;
+    }
+    // Points before a mid-chain restart are not reached by the backtrack;
+    // give them their best emission candidate.
+    for (size_t k = begin; k < end; ++k) {
+      if (matched[k] != kInvalidRoad || lattice[k].empty()) continue;
+      size_t arg = 0;
+      for (size_t c = 1; c < lattice[k].size(); ++c) {
+        if (lattice[k][c].emission_log > lattice[k][arg].emission_log) {
+          arg = c;
+        }
+      }
+      matched[k] = lattice[k][arg].road;
+    }
+  };
+
+  for (size_t i = 0; i <= points.size(); ++i) {
+    bool boundary = i == points.size() || lattice[i].empty();
+    if (boundary) {
+      decode_chain(chain_start, i);
+      chain_start = i + 1;
+    }
+  }
+  return matched;
+}
+
+}  // namespace trendspeed

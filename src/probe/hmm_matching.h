@@ -1,0 +1,39 @@
+// HMM map matching (Viterbi decoding), the production-standard algorithm
+// (Newson & Krumm style): hidden states are candidate roads per GPS fix;
+// emission likelihood decays with point-to-segment distance; transition
+// likelihood favours pairs of roads whose on-network travel is consistent
+// with the straight-line movement between fixes. Decoding picks the jointly
+// most likely road sequence, which rides out individual noisy fixes the
+// greedy per-point matcher (map_matching.h) gets wrong.
+
+#ifndef TRENDSPEED_PROBE_HMM_MATCHING_H_
+#define TRENDSPEED_PROBE_HMM_MATCHING_H_
+
+#include <vector>
+
+#include "probe/map_matching.h"
+
+namespace trendspeed {
+
+struct HmmMatchOptions {
+  /// Emission model: Gaussian over point-to-segment distance (meters).
+  double emission_sigma_m = 15.0;
+  /// Transition model: exponential over |on-network hop distance * typical
+  /// segment length - straight-line distance| (meters).
+  double transition_beta_m = 80.0;
+  /// Hop radius used when scoring transitions between candidate roads.
+  uint32_t max_transition_hops = 4;
+  /// Log-probability floor for an impossible transition.
+  double min_log_prob = -50.0;
+};
+
+/// Matches each fix of a trace to a road via Viterbi decoding over the
+/// candidate sets from `index`. Points with no candidate in range break the
+/// chain (they match kInvalidRoad and decoding restarts after them).
+std::vector<RoadId> MatchTraceHmm(const SegmentIndex& index,
+                                  const std::vector<GpsPoint>& points,
+                                  const HmmMatchOptions& opts = {});
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_PROBE_HMM_MATCHING_H_

@@ -1,0 +1,178 @@
+#include "probe/map_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+namespace {
+
+double PointSegmentDistance(double px, double py, const Node& a,
+                            const Node& b) {
+  double vx = b.x - a.x;
+  double vy = b.y - a.y;
+  double len2 = vx * vx + vy * vy;
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = ((px - a.x) * vx + (py - a.y) * vy) / len2;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  double cx = a.x + t * vx;
+  double cy = a.y + t * vy;
+  double dx = px - cx;
+  double dy = py - cy;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+SegmentIndex::SegmentIndex(const RoadNetwork* net, double cell_m,
+                           double search_radius_m)
+    : net_(net), cell_(cell_m), radius_(search_radius_m) {
+  TS_CHECK(net != nullptr);
+  TS_CHECK_GT(cell_m, 0.0);
+  min_x_ = min_y_ = 0.0;
+  double max_x = 1.0, max_y = 1.0;
+  if (net->num_nodes() > 0) {
+    min_x_ = max_x = net->node(0).x;
+    min_y_ = max_y = net->node(0).y;
+    for (NodeId i = 1; i < net->num_nodes(); ++i) {
+      const Node& n = net->node(i);
+      min_x_ = std::min(min_x_, n.x);
+      max_x = std::max(max_x, n.x);
+      min_y_ = std::min(min_y_, n.y);
+      max_y = std::max(max_y, n.y);
+    }
+  }
+  // Pad by the search radius so off-network fixes land in valid cells.
+  min_x_ -= radius_;
+  min_y_ -= radius_;
+  max_x += radius_;
+  max_y += radius_;
+  nx_ = static_cast<size_t>((max_x - min_x_) / cell_) + 1;
+  ny_ = static_cast<size_t>((max_y - min_y_) / cell_) + 1;
+  cells_.resize(nx_ * ny_);
+  for (RoadId r = 0; r < net->num_roads(); ++r) {
+    const Road& road = net->road(r);
+    const Node& a = net->node(road.from);
+    const Node& b = net->node(road.to);
+    double lo_x = std::min(a.x, b.x) - radius_;
+    double hi_x = std::max(a.x, b.x) + radius_;
+    double lo_y = std::min(a.y, b.y) - radius_;
+    double hi_y = std::max(a.y, b.y) + radius_;
+    size_t cx0 = static_cast<size_t>(std::max(0.0, (lo_x - min_x_) / cell_));
+    size_t cx1 = std::min(nx_ - 1,
+                          static_cast<size_t>(std::max(0.0, (hi_x - min_x_) / cell_)));
+    size_t cy0 = static_cast<size_t>(std::max(0.0, (lo_y - min_y_) / cell_));
+    size_t cy1 = std::min(ny_ - 1,
+                          static_cast<size_t>(std::max(0.0, (hi_y - min_y_) / cell_)));
+    for (size_t cy = cy0; cy <= cy1; ++cy) {
+      for (size_t cx = cx0; cx <= cx1; ++cx) {
+        cells_[cy * nx_ + cx].push_back(r);
+      }
+    }
+  }
+}
+
+size_t SegmentIndex::CellOf(double x, double y) const {
+  double fx = (x - min_x_) / cell_;
+  double fy = (y - min_y_) / cell_;
+  size_t cx = fx <= 0.0 ? 0 : std::min(nx_ - 1, static_cast<size_t>(fx));
+  size_t cy = fy <= 0.0 ? 0 : std::min(ny_ - 1, static_cast<size_t>(fy));
+  return cy * nx_ + cx;
+}
+
+std::vector<RoadId> SegmentIndex::Candidates(double x, double y) const {
+  std::vector<RoadId> out;
+  for (RoadId r : cells_[CellOf(x, y)]) {
+    if (DistanceTo(r, x, y) <= radius_) out.push_back(r);
+  }
+  return out;
+}
+
+double SegmentIndex::DistanceTo(RoadId road, double x, double y) const {
+  const Road& r = net_->road(road);
+  return PointSegmentDistance(x, y, net_->node(r.from), net_->node(r.to));
+}
+
+std::vector<RoadId> MatchTrace(const SegmentIndex& index,
+                               const std::vector<GpsPoint>& points,
+                               const MatchOptions& opts) {
+  const RoadNetwork& net = index.network();
+  std::vector<RoadId> matched(points.size(), kInvalidRoad);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const GpsPoint& p = points[i];
+    double mvx = 0.0, mvy = 0.0;
+    bool has_heading = false;
+    if (i > 0) {
+      mvx = p.x - points[i - 1].x;
+      mvy = p.y - points[i - 1].y;
+      double norm = std::sqrt(mvx * mvx + mvy * mvy);
+      if (norm > 1e-6) {
+        mvx /= norm;
+        mvy /= norm;
+        has_heading = true;
+      }
+    }
+    double best_score = 1e300;
+    RoadId best = kInvalidRoad;
+    for (RoadId cand : index.Candidates(p.x, p.y)) {
+      double score = index.DistanceTo(cand, p.x, p.y);
+      if (has_heading) {
+        const Road& road = net.road(cand);
+        const Node& a = net.node(road.from);
+        const Node& b = net.node(road.to);
+        double rx = b.x - a.x;
+        double ry = b.y - a.y;
+        double rn = std::sqrt(rx * rx + ry * ry);
+        if (rn > 1e-6) {
+          double cosine = (mvx * rx + mvy * ry) / rn;
+          // cosine 1 -> no penalty; -1 (driving against the segment
+          // direction, i.e. the reverse twin) -> full penalty.
+          score += opts.heading_weight_m * (1.0 - cosine);
+        }
+      }
+      if (score < best_score) {
+        best_score = score;
+        best = cand;
+      }
+    }
+    matched[i] = best;
+  }
+  return matched;
+}
+
+std::vector<SpeedObservation> ExtractSpeeds(
+    const std::vector<GpsPoint>& points, const std::vector<RoadId>& matched,
+    double max_speed_kmh) {
+  TS_CHECK_EQ(points.size(), matched.size());
+  std::vector<SpeedObservation> out;
+  size_t i = 0;
+  while (i < points.size()) {
+    RoadId r = matched[i];
+    size_t j = i + 1;
+    while (j < points.size() && matched[j] == r) ++j;
+    if (r != kInvalidRoad && j - i >= 2) {
+      double dist = 0.0;
+      for (size_t k = i + 1; k < j; ++k) {
+        double dx = points[k].x - points[k - 1].x;
+        double dy = points[k].y - points[k - 1].y;
+        dist += std::sqrt(dx * dx + dy * dy);
+      }
+      double dt = points[j - 1].t_seconds - points[i].t_seconds;
+      if (dt > 0.0) {
+        double kmh = dist / dt * 3.6;
+        if (kmh > 0.0 && kmh <= max_speed_kmh) {
+          out.push_back(SpeedObservation{r, kmh});
+        }
+      }
+    }
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace trendspeed

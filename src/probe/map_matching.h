@@ -1,0 +1,74 @@
+// Map matching: snapping noisy GPS fixes back onto road segments and
+// extracting per-road speed observations from the matched sequence.
+//
+// Matching uses a uniform spatial grid over segment bounding boxes for
+// candidate lookup, point-to-segment distance for the geometric score, and a
+// heading term (alignment of the movement vector with the directed segment)
+// to disambiguate the two directions of a two-way street.
+
+#ifndef TRENDSPEED_PROBE_MAP_MATCHING_H_
+#define TRENDSPEED_PROBE_MAP_MATCHING_H_
+
+#include <vector>
+
+#include "probe/gps.h"
+#include "roadnet/road_network.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// Spatial index over road segments for nearest-segment queries.
+class SegmentIndex {
+ public:
+  /// cell_m controls grid resolution; search_radius_m bounds candidates.
+  explicit SegmentIndex(const RoadNetwork* net, double cell_m = 250.0,
+                        double search_radius_m = 60.0);
+
+  /// Roads whose segment passes within search_radius of (x, y).
+  std::vector<RoadId> Candidates(double x, double y) const;
+
+  /// Distance from point to the closed segment of `road`.
+  double DistanceTo(RoadId road, double x, double y) const;
+
+  const RoadNetwork& network() const { return *net_; }
+  double search_radius_m() const { return radius_; }
+
+ private:
+  size_t CellOf(double x, double y) const;
+
+  const RoadNetwork* net_;
+  double cell_;
+  double radius_;
+  double min_x_, min_y_;
+  size_t nx_, ny_;
+  std::vector<std::vector<RoadId>> cells_;
+};
+
+struct MatchOptions {
+  /// Weight of the heading penalty relative to metric distance.
+  double heading_weight_m = 25.0;
+};
+
+/// Matches each fix of a trace to a road (kInvalidRoad when nothing within
+/// the search radius). Uses the previous->current movement vector for the
+/// heading term; the first point is matched on distance alone.
+std::vector<RoadId> MatchTrace(const SegmentIndex& index,
+                               const std::vector<GpsPoint>& points,
+                               const MatchOptions& opts = {});
+
+/// One speed observation extracted from a matched trace.
+struct SpeedObservation {
+  RoadId road = kInvalidRoad;
+  double speed_kmh = 0.0;
+};
+
+/// Derives speeds from runs of >=2 consecutive fixes matched to the same
+/// road: straight-line distance over elapsed time. Implausible speeds
+/// (<= 0 or > max_speed_kmh) are discarded.
+std::vector<SpeedObservation> ExtractSpeeds(
+    const std::vector<GpsPoint>& points, const std::vector<RoadId>& matched,
+    double max_speed_kmh = 130.0);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_PROBE_MAP_MATCHING_H_

@@ -1,0 +1,249 @@
+#include "roadnet/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace trendspeed {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+double ClassSpeed(RoadClass c) {
+  switch (c) {
+    case RoadClass::kHighway:
+      return 90.0;
+    case RoadClass::kArterial:
+      return 60.0;
+    case RoadClass::kLocal:
+      return 40.0;
+  }
+  return 40.0;
+}
+}  // namespace
+
+Result<RoadNetwork> MakeGridNetwork(const GridNetworkOptions& opts) {
+  if (opts.rows < 2 || opts.cols < 2) {
+    return Status::InvalidArgument("grid needs at least 2x2 nodes");
+  }
+  if (opts.dropout < 0.0 || opts.dropout >= 0.5) {
+    return Status::InvalidArgument("grid dropout must be in [0, 0.5)");
+  }
+  Rng rng(opts.seed);
+  RoadNetwork::Builder b;
+  auto node_id = [&](size_t r, size_t c) {
+    return static_cast<NodeId>(r * opts.cols + c);
+  };
+  for (size_t r = 0; r < opts.rows; ++r) {
+    for (size_t c = 0; c < opts.cols; ++c) {
+      b.AddNode(static_cast<double>(c) * opts.spacing_m,
+                static_cast<double>(r) * opts.spacing_m);
+    }
+  }
+  auto is_arterial_row = [&](size_t r) {
+    return opts.arterial_every > 0 && r % opts.arterial_every == 0;
+  };
+  for (size_t r = 0; r < opts.rows; ++r) {
+    for (size_t c = 0; c < opts.cols; ++c) {
+      // Horizontal edge to (r, c+1).
+      if (c + 1 < opts.cols) {
+        RoadClass rc =
+            is_arterial_row(r) ? RoadClass::kArterial : RoadClass::kLocal;
+        // Keep the frame (boundary + arterials) intact so the network stays
+        // connected under dropout.
+        bool droppable = !is_arterial_row(r) && r > 0 && r + 1 < opts.rows;
+        if (!droppable || !rng.NextBool(opts.dropout)) {
+          b.AddTwoWay(node_id(r, c), node_id(r, c + 1), rc, ClassSpeed(rc));
+        }
+      }
+      // Vertical edge to (r+1, c).
+      if (r + 1 < opts.rows) {
+        bool art = opts.arterial_every > 0 && c % opts.arterial_every == 0;
+        RoadClass rc = art ? RoadClass::kArterial : RoadClass::kLocal;
+        bool droppable = !art && c > 0 && c + 1 < opts.cols;
+        if (!droppable || !rng.NextBool(opts.dropout)) {
+          b.AddTwoWay(node_id(r, c), node_id(r + 1, c), rc, ClassSpeed(rc));
+        }
+      }
+    }
+  }
+  return b.Finish();
+}
+
+Result<RoadNetwork> MakeRingRadialNetwork(const RingRadialOptions& opts) {
+  if (opts.num_rings < 1 || opts.num_spokes < 3) {
+    return Status::InvalidArgument(
+        "ring-radial needs >=1 ring and >=3 spokes");
+  }
+  RoadNetwork::Builder b;
+  // Center node plus num_rings * num_spokes ring nodes.
+  NodeId center = b.AddNode(0.0, 0.0);
+  auto ring_node = [&](size_t ring, size_t spoke) {
+    return static_cast<NodeId>(1 + ring * opts.num_spokes +
+                               (spoke % opts.num_spokes));
+  };
+  for (size_t ring = 0; ring < opts.num_rings; ++ring) {
+    double radius =
+        opts.inner_radius_m + static_cast<double>(ring) * opts.ring_gap_m;
+    for (size_t s = 0; s < opts.num_spokes; ++s) {
+      double theta =
+          2.0 * kPi * static_cast<double>(s) / static_cast<double>(opts.num_spokes);
+      b.AddNode(radius * std::cos(theta), radius * std::sin(theta));
+    }
+  }
+  // Ring roads: outermost `highway_rings` are highways, rest arterials.
+  for (size_t ring = 0; ring < opts.num_rings; ++ring) {
+    bool highway = ring + opts.highway_rings >= opts.num_rings;
+    RoadClass rc = highway ? RoadClass::kHighway : RoadClass::kArterial;
+    for (size_t s = 0; s < opts.num_spokes; ++s) {
+      b.AddTwoWay(ring_node(ring, s), ring_node(ring, s + 1), rc,
+                  ClassSpeed(rc));
+    }
+  }
+  // Radial spokes: center -> ring0 arterial, then local/arterial outward.
+  for (size_t s = 0; s < opts.num_spokes; ++s) {
+    b.AddTwoWay(center, ring_node(0, s), RoadClass::kArterial,
+                ClassSpeed(RoadClass::kArterial));
+    for (size_t ring = 0; ring + 1 < opts.num_rings; ++ring) {
+      RoadClass rc =
+          (s % 2 == 0) ? RoadClass::kArterial : RoadClass::kLocal;
+      b.AddTwoWay(ring_node(ring, s), ring_node(ring + 1, s), rc,
+                  ClassSpeed(rc));
+    }
+  }
+  // Diagonal connectors inside every other cell add local-street texture.
+  if (opts.with_connectors) {
+    Rng rng(opts.seed);
+    for (size_t ring = 0; ring + 1 < opts.num_rings; ++ring) {
+      for (size_t s = 0; s < opts.num_spokes; s += 2) {
+        if (rng.NextBool(0.7)) {
+          b.AddTwoWay(ring_node(ring, s), ring_node(ring + 1, s + 1),
+                      RoadClass::kLocal, ClassSpeed(RoadClass::kLocal));
+        }
+      }
+    }
+  }
+  return b.Finish();
+}
+
+Result<RoadNetwork> MakeCompositeCity(const CompositeCityOptions& opts) {
+  // Build the two districts standalone first (validating their options),
+  // then replay them into one builder with the suburb translated east.
+  TS_ASSIGN_OR_RETURN(RoadNetwork core, MakeRingRadialNetwork(opts.core));
+  TS_ASSIGN_OR_RETURN(RoadNetwork suburb, MakeGridNetwork(opts.suburb));
+  if (opts.num_links == 0) {
+    return Status::InvalidArgument("composite city needs >= 1 link");
+  }
+
+  double core_radius =
+      opts.core.inner_radius_m +
+      static_cast<double>(opts.core.num_rings - 1) * opts.core.ring_gap_m;
+  double offset_x = core_radius + opts.suburb_gap_m;
+  // Center the suburb vertically on the core.
+  double suburb_height =
+      static_cast<double>(opts.suburb.rows - 1) * opts.suburb.spacing_m;
+  double offset_y = -suburb_height / 2.0;
+
+  RoadNetwork::Builder b;
+  for (NodeId i = 0; i < core.num_nodes(); ++i) {
+    b.AddNode(core.node(i).x, core.node(i).y);
+  }
+  NodeId suburb_base = static_cast<NodeId>(core.num_nodes());
+  for (NodeId i = 0; i < suburb.num_nodes(); ++i) {
+    b.AddNode(suburb.node(i).x + offset_x, suburb.node(i).y + offset_y);
+  }
+  for (RoadId r = 0; r < core.num_roads(); ++r) {
+    const Road& road = core.road(r);
+    b.AddRoad(road.from, road.to, road.road_class, road.free_flow_kmh);
+  }
+  for (RoadId r = 0; r < suburb.num_roads(); ++r) {
+    const Road& road = suburb.road(r);
+    b.AddRoad(suburb_base + road.from, suburb_base + road.to, road.road_class,
+              road.free_flow_kmh);
+  }
+  // Highway links: eastmost core nodes to the suburb's west-column nodes,
+  // spread vertically.
+  for (size_t link = 0; link < opts.num_links; ++link) {
+    // Suburb west column, rows spread across the grid.
+    size_t row = opts.suburb.rows == 1
+                     ? 0
+                     : link * (opts.suburb.rows - 1) /
+                           std::max<size_t>(1, opts.num_links - 1);
+    NodeId west = suburb_base + static_cast<NodeId>(row * opts.suburb.cols);
+    // Closest core node to that suburb gate.
+    NodeId gate = 0;
+    double best = 1e300;
+    for (NodeId i = 0; i < core.num_nodes(); ++i) {
+      double dx = core.node(i).x - (0.0 + offset_x);
+      double dy = core.node(i).y -
+                  (static_cast<double>(row) * opts.suburb.spacing_m + offset_y);
+      double d2 = dx * dx + dy * dy;
+      if (d2 < best) {
+        best = d2;
+        gate = i;
+      }
+    }
+    b.AddTwoWay(gate, west, RoadClass::kHighway, 90.0);
+  }
+  return b.Finish();
+}
+
+Result<RoadNetwork> MakeRandomPlanarNetwork(const RandomPlanarOptions& opts) {
+  if (opts.num_nodes < 2) {
+    return Status::InvalidArgument("random network needs >=2 nodes");
+  }
+  if (opts.k_nearest < 1) {
+    return Status::InvalidArgument("k_nearest must be >=1");
+  }
+  Rng rng(opts.seed);
+  std::vector<Node> pts(opts.num_nodes);
+  for (auto& p : pts) {
+    p.x = rng.Uniform(0.0, opts.extent_m);
+    p.y = rng.Uniform(0.0, opts.extent_m);
+  }
+  RoadNetwork::Builder b;
+  for (const auto& p : pts) b.AddNode(p.x, p.y);
+
+  auto dist2 = [&](size_t i, size_t j) {
+    double dx = pts[i].x - pts[j].x;
+    double dy = pts[i].y - pts[j].y;
+    return dx * dx + dy * dy;
+  };
+  // Deduplicate undirected pairs so AddTwoWay runs once per pair.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (size_t i = 0; i < opts.num_nodes; ++i) {
+    std::vector<size_t> order;
+    order.reserve(opts.num_nodes - 1);
+    for (size_t j = 0; j < opts.num_nodes; ++j) {
+      if (j != i) order.push_back(j);
+    }
+    size_t k = std::min(opts.k_nearest, order.size());
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                      order.end(),
+                      [&](size_t a, size_t c) { return dist2(i, a) < dist2(i, c); });
+    for (size_t t = 0; t < k; ++t) {
+      uint32_t a = static_cast<uint32_t>(std::min(i, order[t]));
+      uint32_t c = static_cast<uint32_t>(std::max(i, order[t]));
+      pairs.emplace_back(a, c);
+    }
+  }
+  // Spanning chain over an x-sorted order keeps the graph connected.
+  std::vector<size_t> xorder(opts.num_nodes);
+  for (size_t i = 0; i < opts.num_nodes; ++i) xorder[i] = i;
+  std::sort(xorder.begin(), xorder.end(),
+            [&](size_t a, size_t c) { return pts[a].x < pts[c].x; });
+  for (size_t i = 0; i + 1 < xorder.size(); ++i) {
+    uint32_t a = static_cast<uint32_t>(std::min(xorder[i], xorder[i + 1]));
+    uint32_t c = static_cast<uint32_t>(std::max(xorder[i], xorder[i + 1]));
+    pairs.emplace_back(a, c);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  for (const auto& [a, c] : pairs) {
+    RoadClass rc = rng.NextBool(0.2) ? RoadClass::kArterial : RoadClass::kLocal;
+    b.AddTwoWay(a, c, rc, ClassSpeed(rc));
+  }
+  return b.Finish();
+}
+
+}  // namespace trendspeed

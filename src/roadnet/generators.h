@@ -1,0 +1,76 @@
+// Synthetic urban road network generators.
+//
+// These stand in for the paper's two city maps: RingRadial approximates a
+// Beijing-style ring-road city ("CityA"), Grid approximates a Manhattan-style
+// grid ("CityB"), and RandomPlanar provides irregular suburban sprawl for
+// robustness tests.
+
+#ifndef TRENDSPEED_ROADNET_GENERATORS_H_
+#define TRENDSPEED_ROADNET_GENERATORS_H_
+
+#include "roadnet/road_network.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+struct GridNetworkOptions {
+  size_t rows = 10;
+  size_t cols = 10;
+  double spacing_m = 400.0;
+  /// Every k-th row/column is an arterial (faster, higher capacity).
+  size_t arterial_every = 4;
+  /// Fraction of interior edges randomly removed (irregular city blocks).
+  double dropout = 0.0;
+  uint64_t seed = 7;
+};
+
+/// Builds a rows x cols two-way street grid.
+Result<RoadNetwork> MakeGridNetwork(const GridNetworkOptions& opts);
+
+struct RingRadialOptions {
+  size_t num_rings = 5;
+  size_t num_spokes = 12;
+  double inner_radius_m = 800.0;
+  double ring_gap_m = 700.0;
+  /// Outermost ring(s) are highways; inner rings arterials.
+  size_t highway_rings = 2;
+  /// Adds local connector roads between adjacent ring/spoke cells.
+  bool with_connectors = true;
+  uint64_t seed = 11;
+};
+
+/// Builds a ring-and-spoke network (concentric ring roads + radial avenues).
+Result<RoadNetwork> MakeRingRadialNetwork(const RingRadialOptions& opts);
+
+struct RandomPlanarOptions {
+  size_t num_nodes = 200;
+  double extent_m = 6000.0;
+  /// Each node connects to its k nearest neighbours (two-way).
+  size_t k_nearest = 3;
+  uint64_t seed = 13;
+};
+
+/// Builds an irregular planar-ish network via k-nearest-neighbour linking.
+/// The result is connected (a spanning chain is forced).
+Result<RoadNetwork> MakeRandomPlanarNetwork(const RandomPlanarOptions& opts);
+
+struct CompositeCityOptions {
+  RingRadialOptions core;
+  GridNetworkOptions suburb;
+  /// Distance from the core's outer ring to the suburb grid's near corner.
+  double suburb_gap_m = 900.0;
+  /// Number of highway links connecting the core to the suburb.
+  size_t num_links = 2;
+};
+
+/// Builds a realistic composite city: a ring-radial core with a grid suburb
+/// to its east, joined by a few highway links. Exercises topologies where
+/// different districts have different structure (and where the cross-town
+/// links are the critical, high-variability roads seed selection should
+/// find).
+Result<RoadNetwork> MakeCompositeCity(const CompositeCityOptions& opts);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_ROADNET_GENERATORS_H_

@@ -1,0 +1,116 @@
+#include "roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace trendspeed {
+
+namespace {
+
+// Shared BFS over undirected road adjacency from multiple sources.
+std::vector<uint32_t> RoadBfs(const RoadNetwork& net,
+                              const std::vector<RoadId>& sources,
+                              uint32_t max_hops) {
+  std::vector<uint32_t> dist(net.num_roads(), kUnreachable);
+  std::queue<RoadId> queue;
+  for (RoadId s : sources) {
+    if (dist[s] != kUnreachable) continue;
+    dist[s] = 0;
+    queue.push(s);
+  }
+  while (!queue.empty()) {
+    RoadId u = queue.front();
+    queue.pop();
+    if (dist[u] >= max_hops) continue;
+    auto visit = [&](RoadId v) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push(v);
+      }
+    };
+    for (RoadId v : net.RoadSuccessors(u)) visit(v);
+    for (RoadId v : net.RoadPredecessors(u)) visit(v);
+    // The reverse twin is the same physical street; spatially 1 hop.
+    RoadId twin = net.ReverseTwin(u);
+    if (twin != kInvalidRoad) visit(twin);
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<uint32_t> RoadHopDistances(const RoadNetwork& net, RoadId source,
+                                       uint32_t max_hops) {
+  return RoadBfs(net, {source}, max_hops);
+}
+
+std::vector<uint32_t> RoadHopDistancesMulti(const RoadNetwork& net,
+                                            const std::vector<RoadId>& sources,
+                                            uint32_t max_hops) {
+  return RoadBfs(net, sources, max_hops);
+}
+
+std::vector<RoadHop> RoadsWithinHops(const RoadNetwork& net, RoadId source,
+                                     uint32_t max_hops) {
+  std::vector<uint32_t> dist = RoadBfs(net, {source}, max_hops);
+  std::vector<RoadHop> out;
+  for (RoadId r = 0; r < net.num_roads(); ++r) {
+    if (r != source && dist[r] != kUnreachable) {
+      out.push_back(RoadHop{r, dist[r]});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const RoadHop& a, const RoadHop& b) {
+    return a.hops != b.hops ? a.hops < b.hops : a.road < b.road;
+  });
+  return out;
+}
+
+Result<std::vector<RoadId>> FastestPath(const RoadNetwork& net, NodeId from,
+                                        NodeId to) {
+  if (from >= net.num_nodes() || to >= net.num_nodes()) {
+    return Status::InvalidArgument("FastestPath: node out of range");
+  }
+  const double kInf = 1e300;
+  std::vector<double> dist(net.num_nodes(), kInf);
+  std::vector<RoadId> via(net.num_nodes(), kInvalidRoad);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[from] = 0.0;
+  pq.emplace(0.0, from);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == to) break;
+    for (RoadId r : net.OutRoads(u)) {
+      NodeId v = net.road(r).to;
+      double nd = d + net.FreeFlowSeconds(r);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        via[v] = r;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  if (dist[to] >= kInf) {
+    return Status::NotFound("FastestPath: target unreachable");
+  }
+  std::vector<RoadId> path;
+  NodeId cur = to;
+  while (cur != from) {
+    RoadId r = via[cur];
+    path.push_back(r);
+    cur = net.road(r).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool IsRoadGraphConnected(const RoadNetwork& net) {
+  if (net.num_roads() == 0) return true;
+  std::vector<uint32_t> dist = RoadHopDistances(net, 0, kUnreachable - 1);
+  return std::all_of(dist.begin(), dist.end(),
+                     [](uint32_t d) { return d != kUnreachable; });
+}
+
+}  // namespace trendspeed

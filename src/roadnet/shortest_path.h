@@ -1,0 +1,49 @@
+// Graph traversals over the road network: road-level hop BFS (spatial
+// locality for correlation mining / kNN / k-center) and node-level Dijkstra
+// (trip routing for the probe fleet).
+
+#ifndef TRENDSPEED_ROADNET_SHORTEST_PATH_H_
+#define TRENDSPEED_ROADNET_SHORTEST_PATH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace trendspeed {
+
+inline constexpr uint32_t kUnreachable = UINT32_MAX;
+
+/// Hop distances from `source` over the *undirected* road-adjacency graph
+/// (successors + predecessors), truncated at `max_hops`. Entries beyond
+/// max_hops are kUnreachable. O(V+E) within the horizon.
+std::vector<uint32_t> RoadHopDistances(const RoadNetwork& net, RoadId source,
+                                       uint32_t max_hops);
+
+/// Multi-source variant: distance to the nearest of `sources`.
+std::vector<uint32_t> RoadHopDistancesMulti(const RoadNetwork& net,
+                                            const std::vector<RoadId>& sources,
+                                            uint32_t max_hops);
+
+/// All roads within `max_hops` of `source` (excluding source), with their
+/// hop distance, in BFS order.
+struct RoadHop {
+  RoadId road;
+  uint32_t hops;
+};
+std::vector<RoadHop> RoadsWithinHops(const RoadNetwork& net, RoadId source,
+                                     uint32_t max_hops);
+
+/// Node-level Dijkstra on free-flow travel time. Returns the sequence of
+/// *roads* on the fastest path from `from` to `to`, or NotFound when
+/// disconnected.
+Result<std::vector<RoadId>> FastestPath(const RoadNetwork& net, NodeId from,
+                                        NodeId to);
+
+/// True when every road can reach every other road over undirected
+/// road-adjacency (sanity check for generators).
+bool IsRoadGraphConnected(const RoadNetwork& net);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_ROADNET_SHORTEST_PATH_H_

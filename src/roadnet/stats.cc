@@ -1,0 +1,49 @@
+#include "roadnet/stats.h"
+
+#include <algorithm>
+
+#include "roadnet/shortest_path.h"
+
+namespace trendspeed {
+
+NetworkStats ComputeNetworkStats(const RoadNetwork& net) {
+  NetworkStats stats;
+  stats.num_nodes = net.num_nodes();
+  stats.num_roads = net.num_roads();
+  if (net.num_roads() == 0) return stats;
+  size_t degree_sum = 0;
+  for (RoadId r = 0; r < net.num_roads(); ++r) {
+    const Road& road = net.road(r);
+    ++stats.roads_by_class[static_cast<size_t>(road.road_class)];
+    stats.total_length_km += road.length_m / 1000.0;
+    size_t deg = net.RoadSuccessors(r).size() + net.RoadPredecessors(r).size();
+    degree_sum += deg;
+    stats.max_degree = std::max(stats.max_degree, deg);
+  }
+  stats.avg_road_length_m =
+      stats.total_length_km * 1000.0 / static_cast<double>(net.num_roads());
+  stats.avg_degree =
+      static_cast<double>(degree_sum) / static_cast<double>(net.num_roads());
+  // Double-sweep: BFS from road 0 to the farthest road, then from there —
+  // the classic diameter lower bound.
+  auto d0 = RoadHopDistances(net, 0, UINT32_MAX - 1);
+  RoadId far = 0;
+  bool connected = true;
+  for (RoadId r = 0; r < net.num_roads(); ++r) {
+    if (d0[r] == kUnreachable) {
+      connected = false;
+    } else if (d0[r] > d0[far]) {
+      far = r;
+    }
+  }
+  auto d1 = RoadHopDistances(net, far, UINT32_MAX - 1);
+  for (uint32_t d : d1) {
+    if (d != kUnreachable) {
+      stats.diameter_lower_bound = std::max(stats.diameter_lower_bound, d);
+    }
+  }
+  stats.connected = connected;
+  return stats;
+}
+
+}  // namespace trendspeed

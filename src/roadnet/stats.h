@@ -1,0 +1,32 @@
+// Network structural statistics for the dataset tables and diagnostics.
+
+#ifndef TRENDSPEED_ROADNET_STATS_H_
+#define TRENDSPEED_ROADNET_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace trendspeed {
+
+struct NetworkStats {
+  size_t num_nodes = 0;
+  size_t num_roads = 0;
+  size_t roads_by_class[3] = {0, 0, 0};
+  double total_length_km = 0.0;
+  double avg_road_length_m = 0.0;
+  /// Road-adjacency degree (successors + predecessors) distribution.
+  double avg_degree = 0.0;
+  size_t max_degree = 0;
+  /// Eccentricity of road 0 over undirected road adjacency — a cheap
+  /// diameter lower bound.
+  uint32_t diameter_lower_bound = 0;
+  bool connected = false;
+};
+
+NetworkStats ComputeNetworkStats(const RoadNetwork& net);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_ROADNET_STATS_H_

@@ -1,0 +1,99 @@
+#include "seed/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "seed/lazy_greedy.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace trendspeed {
+
+std::vector<double> PeriodSigma(const HistoricalDb& db, double begin_h,
+                                double end_h) {
+  const SlotClock& clock = db.clock();
+  auto in_period = [&](uint64_t slot) {
+    double h = clock.HourOfDay(slot);
+    if (begin_h <= end_h) return h >= begin_h && h < end_h;
+    return h >= begin_h || h < end_h;  // wraps midnight
+  };
+  std::vector<double> sigma(db.num_roads(), 0.0);
+  for (RoadId r = 0; r < db.num_roads(); ++r) {
+    OnlineStats dev;
+    for (uint64_t slot = 0; slot < db.num_slots(); ++slot) {
+      if (!in_period(slot) || !db.HasObservation(r, slot)) continue;
+      dev.Add(db.DeviationOf(r, slot, db.Observation(r, slot)));
+    }
+    sigma[r] = dev.stddev();
+  }
+  return sigma;
+}
+
+Result<AdaptiveSeedPlan> AdaptiveSeedPlan::Build(
+    const CorrelationGraph& graph, const HistoricalDb& db, size_t k,
+    const AdaptivePlanOptions& opts) {
+  if (opts.period_boundaries_h.size() < 2) {
+    return Status::InvalidArgument("need at least 2 period boundaries");
+  }
+  if (!std::is_sorted(opts.period_boundaries_h.begin(),
+                      opts.period_boundaries_h.end())) {
+    return Status::InvalidArgument("period boundaries must be ascending");
+  }
+  for (double h : opts.period_boundaries_h) {
+    if (h < 0.0 || h >= 24.0) {
+      return Status::InvalidArgument("boundaries must be in [0, 24)");
+    }
+  }
+  AdaptiveSeedPlan plan;
+  plan.clock_ = db.clock();
+  plan.boundaries_h_ = opts.period_boundaries_h;
+  size_t periods = opts.period_boundaries_h.size();
+  plan.seeds_.resize(periods);
+  for (size_t p = 0; p < periods; ++p) {
+    double begin_h = opts.period_boundaries_h[p];
+    double end_h = opts.period_boundaries_h[(p + 1) % periods];
+    std::vector<double> sigma = PeriodSigma(db, begin_h, end_h);
+    // Reuse the influence structure (correlations are mined over the whole
+    // history) but weight coverage by the period's variability.
+    TS_ASSIGN_OR_RETURN(InfluenceModel base,
+                        InfluenceModel::Build(graph, db, opts.influence));
+    std::vector<std::vector<CoverEntry>> covers;
+    covers.reserve(base.num_roads());
+    for (RoadId j = 0; j < base.num_roads(); ++j) {
+      covers.emplace_back(base.CoverList(j).begin(),
+                          base.CoverList(j).end());
+    }
+    InfluenceModel weighted = InfluenceModel::FromCoverLists(
+        base.num_roads(), std::move(covers), std::move(sigma));
+    TS_ASSIGN_OR_RETURN(SeedSelectionResult selected,
+                        SelectSeedsLazyGreedy(weighted, k));
+    plan.seeds_[p] = std::move(selected.seeds);
+  }
+  return plan;
+}
+
+size_t AdaptiveSeedPlan::PeriodOf(uint64_t slot) const {
+  double h = clock_.HourOfDay(slot);
+  size_t periods = boundaries_h_.size();
+  // Period p spans [boundary[p], boundary[p+1]) with the last wrapping.
+  for (size_t p = 0; p + 1 < periods; ++p) {
+    if (h >= boundaries_h_[p] && h < boundaries_h_[p + 1]) return p;
+  }
+  return periods - 1;  // the wrapping period
+}
+
+double AdaptiveSeedPlan::OverlapFraction(size_t period_a,
+                                         size_t period_b) const {
+  TS_CHECK_LT(period_a, seeds_.size());
+  TS_CHECK_LT(period_b, seeds_.size());
+  const auto& a = seeds_[period_a];
+  const auto& b = seeds_[period_b];
+  if (a.empty()) return 0.0;
+  size_t shared = 0;
+  for (RoadId r : a) {
+    if (std::find(b.begin(), b.end(), r) != b.end()) ++shared;
+  }
+  return static_cast<double>(shared) / static_cast<double>(a.size());
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,82 @@
+#include "seed/exact.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace trendspeed {
+
+namespace {
+
+struct BnbContext {
+  const InfluenceModel* model;
+  size_t k;
+  double best_value = -1.0;
+  std::vector<RoadId> best_seeds;
+  uint64_t evaluations = 0;
+};
+
+// Explores candidates with ids >= `next`, extending `state`.
+void Recurse(BnbContext* ctx, ObjectiveState* state, RoadId next) {
+  size_t n = ctx->model->num_roads();
+  if (state->seeds().size() == ctx->k) {
+    if (state->value() > ctx->best_value) {
+      ctx->best_value = state->value();
+      ctx->best_seeds = state->seeds();
+    }
+    return;
+  }
+  size_t remaining = ctx->k - state->seeds().size();
+  if (n - next < remaining) return;  // not enough candidates left
+
+  // Upper bound: current value + top `remaining` marginal gains among the
+  // remaining candidates (valid by submodularity).
+  std::vector<double> gains;
+  gains.reserve(n - next);
+  for (RoadId j = next; j < n; ++j) {
+    gains.push_back(state->GainOf(j));
+    ++ctx->evaluations;
+  }
+  std::vector<double> sorted = gains;
+  std::partial_sort(sorted.begin(),
+                    sorted.begin() + static_cast<long>(remaining),
+                    sorted.end(), std::greater<>());
+  double bound = state->value();
+  for (size_t i = 0; i < remaining; ++i) bound += sorted[i];
+  if (bound <= ctx->best_value) return;
+
+  for (RoadId j = next; j < n; ++j) {
+    if (n - j < remaining) break;
+    // Re-branch: copy the state (cover arrays are small on exact-sized
+    // instances) and descend.
+    ObjectiveState child = *state;
+    child.Add(j);
+    Recurse(ctx, &child, j + 1);
+  }
+}
+
+}  // namespace
+
+Result<SeedSelectionResult> SelectSeedsExact(const InfluenceModel& model,
+                                             size_t k) {
+  size_t n = model.num_roads();
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("k must be in [1, num_roads]");
+  }
+  if (n > kMaxExactCandidates) {
+    return Status::InvalidArgument(
+        "exact selection limited to " + std::to_string(kMaxExactCandidates) +
+        " candidates");
+  }
+  BnbContext ctx;
+  ctx.model = &model;
+  ctx.k = k;
+  ObjectiveState root(&model);
+  Recurse(&ctx, &root, 0);
+  SeedSelectionResult result;
+  result.seeds = ctx.best_seeds;
+  result.objective = ctx.best_value;
+  result.gain_evaluations = ctx.evaluations;
+  return result;
+}
+
+}  // namespace trendspeed

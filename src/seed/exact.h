@@ -1,0 +1,22 @@
+// Exact seed selection by branch and bound. Exponential; used to measure the
+// greedy algorithms' empirical approximation ratio on small instances
+// (experiment T2) and in tests of the (1 - 1/e) guarantee.
+
+#ifndef TRENDSPEED_SEED_EXACT_H_
+#define TRENDSPEED_SEED_EXACT_H_
+
+#include "seed/objective.h"
+
+namespace trendspeed {
+
+/// Maximum candidate count the exact solver accepts.
+inline constexpr size_t kMaxExactCandidates = 30;
+
+/// Finds the optimal size-k seed set. Prunes with the submodular upper
+/// bound f(S) + sum of the (k - |S|) largest remaining marginal gains.
+Result<SeedSelectionResult> SelectSeedsExact(const InfluenceModel& model,
+                                             size_t k);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_SEED_EXACT_H_

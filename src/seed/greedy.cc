@@ -1,0 +1,37 @@
+#include "seed/greedy.h"
+
+#include <vector>
+
+namespace trendspeed {
+
+Result<SeedSelectionResult> SelectSeedsGreedy(const InfluenceModel& model,
+                                              size_t k) {
+  size_t n = model.num_roads();
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("k must be in [1, num_roads]");
+  }
+  SeedSelectionResult result;
+  ObjectiveState state(&model);
+  std::vector<bool> selected(n, false);
+  for (size_t round = 0; round < k; ++round) {
+    double best_gain = -1.0;
+    RoadId best = kInvalidRoad;
+    for (RoadId j = 0; j < n; ++j) {
+      if (selected[j]) continue;
+      double gain = state.GainOf(j);
+      ++result.gain_evaluations;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = j;
+      }
+    }
+    if (best == kInvalidRoad) break;
+    state.Add(best);
+    selected[best] = true;
+  }
+  result.seeds = state.seeds();
+  result.objective = state.value();
+  return result;
+}
+
+}  // namespace trendspeed

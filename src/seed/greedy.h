@@ -1,0 +1,17 @@
+// Plain greedy seed selection with the (1 - 1/e) guarantee.
+
+#ifndef TRENDSPEED_SEED_GREEDY_H_
+#define TRENDSPEED_SEED_GREEDY_H_
+
+#include "seed/objective.h"
+
+namespace trendspeed {
+
+/// Repeatedly adds the candidate with the largest marginal gain.
+/// O(K * n * avg_cover) gain evaluations.
+Result<SeedSelectionResult> SelectSeedsGreedy(const InfluenceModel& model,
+                                              size_t k);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_SEED_GREEDY_H_

@@ -1,0 +1,158 @@
+#include "seed/heuristics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace trendspeed {
+
+namespace {
+
+Status CheckK(size_t k, size_t n) {
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("k must be in [1, num_roads]");
+  }
+  return Status::OK();
+}
+
+/// Packages a fixed seed list with its objective value.
+SeedSelectionResult Finish(const InfluenceModel& model,
+                           std::vector<RoadId> seeds) {
+  SeedSelectionResult result;
+  result.objective = ObjectiveValue(model, seeds);
+  result.seeds = std::move(seeds);
+  return result;
+}
+
+/// Selects the K roads with the largest score (ties by id).
+std::vector<RoadId> TopK(const std::vector<double>& score, size_t k) {
+  std::vector<RoadId> order(score.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&](RoadId a, RoadId b) {
+                      return score[a] != score[b] ? score[a] > score[b]
+                                                  : a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace
+
+Result<SeedSelectionResult> SelectSeedsRandom(const InfluenceModel& model,
+                                              size_t k, uint64_t seed) {
+  TS_RETURN_NOT_OK(CheckK(k, model.num_roads()));
+  Rng rng(seed);
+  std::vector<RoadId> seeds;
+  for (size_t idx : rng.SampleWithoutReplacement(model.num_roads(), k)) {
+    seeds.push_back(static_cast<RoadId>(idx));
+  }
+  return Finish(model, std::move(seeds));
+}
+
+Result<SeedSelectionResult> SelectSeedsTopDegree(const InfluenceModel& model,
+                                                 const CorrelationGraph& graph,
+                                                 size_t k) {
+  TS_RETURN_NOT_OK(CheckK(k, model.num_roads()));
+  std::vector<double> score(model.num_roads());
+  for (RoadId j = 0; j < model.num_roads(); ++j) {
+    score[j] = static_cast<double>(graph.Degree(j));
+  }
+  return Finish(model, TopK(score, k));
+}
+
+Result<SeedSelectionResult> SelectSeedsTopVariance(const InfluenceModel& model,
+                                                   size_t k) {
+  TS_RETURN_NOT_OK(CheckK(k, model.num_roads()));
+  return Finish(model, TopK(model.sigmas(), k));
+}
+
+Result<SeedSelectionResult> SelectSeedsPageRank(
+    const InfluenceModel& model, const CorrelationGraph& graph, size_t k,
+    const PageRankOptions& opts) {
+  TS_RETURN_NOT_OK(CheckK(k, model.num_roads()));
+  size_t n = graph.num_roads();
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  std::vector<double> out_weight(n, 0.0);
+  for (RoadId v = 0; v < n; ++v) {
+    for (const CorrEdge& e : graph.Neighbors(v)) {
+      out_weight[v] += e.same_prob;
+    }
+  }
+  for (uint32_t it = 0; it < opts.iterations; ++it) {
+    double teleport = (1.0 - opts.damping) / static_cast<double>(n);
+    // Rank of dangling (isolated) vertices is redistributed uniformly.
+    double dangling = 0.0;
+    for (RoadId v = 0; v < n; ++v) {
+      if (out_weight[v] <= 0.0) dangling += rank[v];
+    }
+    std::fill(next.begin(), next.end(),
+              teleport + opts.damping * dangling / static_cast<double>(n));
+    for (RoadId v = 0; v < n; ++v) {
+      if (out_weight[v] <= 0.0) continue;
+      double share = opts.damping * rank[v] / out_weight[v];
+      for (const CorrEdge& e : graph.Neighbors(v)) {
+        next[e.neighbor] += share * e.same_prob;
+      }
+    }
+    rank.swap(next);
+  }
+  return Finish(model, TopK(rank, k));
+}
+
+Result<SeedSelectionResult> SelectSeedsKCenter(const InfluenceModel& model,
+                                               const CorrelationGraph& graph,
+                                               size_t k, uint64_t seed) {
+  TS_RETURN_NOT_OK(CheckK(k, model.num_roads()));
+  size_t n = graph.num_roads();
+  Rng rng(seed);
+  std::vector<RoadId> seeds;
+  seeds.push_back(static_cast<RoadId>(rng.NextIndex(n)));
+  // dist[i]: hop distance to the nearest chosen seed.
+  std::vector<uint32_t> dist(n, UINT32_MAX);
+  auto relax_from = [&](RoadId s) {
+    std::queue<RoadId> q;
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      q.push(s);
+    }
+    while (!q.empty()) {
+      RoadId u = q.front();
+      q.pop();
+      for (const CorrEdge& e : graph.Neighbors(u)) {
+        if (dist[u] + 1 < dist[e.neighbor]) {
+          dist[e.neighbor] = dist[u] + 1;
+          q.push(e.neighbor);
+        }
+      }
+    }
+  };
+  relax_from(seeds[0]);
+  while (seeds.size() < k) {
+    // Farthest road from the current seed set; unreachable roads first.
+    RoadId far = kInvalidRoad;
+    uint32_t far_d = 0;
+    for (RoadId v = 0; v < n; ++v) {
+      if (dist[v] > far_d &&
+          std::find(seeds.begin(), seeds.end(), v) == seeds.end()) {
+        far_d = dist[v];
+        far = v;
+      }
+    }
+    if (far == kInvalidRoad) {
+      // Everything is at distance 0 (degenerate); fill randomly.
+      for (RoadId v = 0; v < n && seeds.size() < k; ++v) {
+        if (std::find(seeds.begin(), seeds.end(), v) == seeds.end()) {
+          seeds.push_back(v);
+        }
+      }
+      break;
+    }
+    seeds.push_back(far);
+    relax_from(far);
+  }
+  return Finish(model, std::move(seeds));
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,46 @@
+// Non-greedy seed-selection baselines used in the evaluation's comparison:
+// random, top-degree, top-variability, weighted PageRank, and k-center.
+
+#ifndef TRENDSPEED_SEED_HEURISTICS_H_
+#define TRENDSPEED_SEED_HEURISTICS_H_
+
+#include "corr/correlation_graph.h"
+#include "roadnet/road_network.h"
+#include "seed/objective.h"
+#include "util/random.h"
+
+namespace trendspeed {
+
+/// Uniform random K roads.
+Result<SeedSelectionResult> SelectSeedsRandom(const InfluenceModel& model,
+                                              size_t k, uint64_t seed);
+
+/// The K roads with the most correlation-graph edges.
+Result<SeedSelectionResult> SelectSeedsTopDegree(const InfluenceModel& model,
+                                                 const CorrelationGraph& graph,
+                                                 size_t k);
+
+/// The K roads with the largest historical deviation variability sigma.
+Result<SeedSelectionResult> SelectSeedsTopVariance(const InfluenceModel& model,
+                                                   size_t k);
+
+/// The K roads with the highest PageRank on the same-prob-weighted
+/// correlation graph.
+struct PageRankOptions {
+  double damping = 0.85;
+  uint32_t iterations = 40;
+};
+Result<SeedSelectionResult> SelectSeedsPageRank(const InfluenceModel& model,
+                                                const CorrelationGraph& graph,
+                                                size_t k,
+                                                const PageRankOptions& opts = {});
+
+/// Farthest-point k-center over correlation-graph hop distance: spreads
+/// seeds spatially with no regard to influence strength.
+Result<SeedSelectionResult> SelectSeedsKCenter(const InfluenceModel& model,
+                                               const CorrelationGraph& graph,
+                                               size_t k, uint64_t seed);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_SEED_HEURISTICS_H_

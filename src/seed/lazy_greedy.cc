@@ -1,0 +1,50 @@
+#include "seed/lazy_greedy.h"
+
+#include <queue>
+#include <vector>
+
+namespace trendspeed {
+
+Result<SeedSelectionResult> SelectSeedsLazyGreedy(const InfluenceModel& model,
+                                                  size_t k) {
+  size_t n = model.num_roads();
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("k must be in [1, num_roads]");
+  }
+  SeedSelectionResult result;
+  ObjectiveState state(&model);
+
+  struct QEntry {
+    double gain;
+    RoadId road;
+    uint32_t round;  // round the gain was computed in
+    bool operator<(const QEntry& other) const { return gain < other.gain; }
+  };
+  std::priority_queue<QEntry> pq;
+  // Initial gains are computed against the empty set, which is exactly the
+  // state of round 1, so they enter the queue fresh.
+  for (RoadId j = 0; j < n; ++j) {
+    pq.push(QEntry{state.GainOf(j), j, 1});
+    ++result.gain_evaluations;
+  }
+  for (uint32_t round = 1; round <= k && !pq.empty();) {
+    QEntry top = pq.top();
+    pq.pop();
+    if (top.round == round) {
+      // Fresh for this round: submodularity guarantees no other candidate
+      // can beat it, so commit.
+      state.Add(top.road);
+      ++round;
+    } else {
+      top.gain = state.GainOf(top.road);
+      ++result.gain_evaluations;
+      top.round = round;
+      pq.push(top);
+    }
+  }
+  result.seeds = state.seeds();
+  result.objective = state.value();
+  return result;
+}
+
+}  // namespace trendspeed

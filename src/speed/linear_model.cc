@@ -1,0 +1,171 @@
+#include "speed/linear_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/matrix.h"
+
+namespace trendspeed {
+
+double TrendLine::PredictHard(double x, int t) const {
+  if (trained[t]) return a[t] + b[t] * x;
+  int other = 1 - t;
+  if (trained[other]) return a[other] + b[other] * x;
+  return x;  // pass-through: assume the road deviates like its neighbours
+}
+
+double TrendMean::PredictHard(int t) const {
+  if (trained[t]) return mean[t];
+  int other = 1 - t;
+  if (trained[other]) return mean[other];
+  return 0.0;  // no information: no deviation from the historical mean
+}
+
+TrendLine FitTrendLine(const std::vector<RegressionSample>& samples,
+                       double ridge_lambda, uint32_t min_samples) {
+  TrendLine line;
+  for (int t = 0; t < 2; ++t) {
+    std::vector<std::vector<double>> design;
+    std::vector<double> targets;
+    for (const RegressionSample& s : samples) {
+      if (s.t != t) continue;
+      design.push_back({1.0, s.x});
+      targets.push_back(s.y);
+    }
+    line.samples[t] = static_cast<uint32_t>(targets.size());
+    if (targets.size() < min_samples) continue;
+    auto fit = RidgeRegression(Matrix::FromRows(design), targets, ridge_lambda);
+    if (!fit.ok()) continue;
+    line.a[t] = (*fit)[0];
+    line.b[t] = (*fit)[1];
+    line.trained[t] = true;
+  }
+  return line;
+}
+
+TrendLine FitTrendAffine(const std::vector<RegressionSample>& samples,
+                         double ridge_lambda, uint32_t min_samples) {
+  TrendLine line;
+  uint32_t per_trend[2] = {0, 0};
+  for (const RegressionSample& s : samples) ++per_trend[s.t];
+  line.samples[0] = per_trend[0];
+  line.samples[1] = per_trend[1];
+  if (samples.size() < min_samples || per_trend[0] == 0 || per_trend[1] == 0) {
+    // Not enough mixed data for the trend shift: fall back to a plain line.
+    if (samples.size() >= min_samples) {
+      std::vector<std::vector<double>> design;
+      std::vector<double> targets;
+      for (const RegressionSample& s : samples) {
+        design.push_back({1.0, s.x});
+        targets.push_back(s.y);
+      }
+      auto fit =
+          RidgeRegression(Matrix::FromRows(design), targets, ridge_lambda);
+      if (fit.ok()) {
+        line.a[0] = line.a[1] = (*fit)[0];
+        line.b[0] = line.b[1] = (*fit)[1];
+        line.trained[0] = line.trained[1] = true;
+      }
+    }
+    return line;
+  }
+  std::vector<std::vector<double>> design;
+  std::vector<double> targets;
+  for (const RegressionSample& s : samples) {
+    design.push_back({1.0, s.x, s.t == 1 ? 1.0 : -1.0});
+    targets.push_back(s.y);
+  }
+  auto fit = RidgeRegression(Matrix::FromRows(design), targets, ridge_lambda);
+  if (!fit.ok()) return line;
+  double a = (*fit)[0];
+  double b = (*fit)[1];
+  double c = (*fit)[2];
+  line.a[0] = a - c;
+  line.a[1] = a + c;
+  line.b[0] = line.b[1] = b;
+  line.trained[0] = line.trained[1] = true;
+  return line;
+}
+
+WeightedTrendModel FitWeightedTrendModel(
+    const std::vector<RegressionSample>& samples, double ridge_lambda,
+    uint32_t min_samples) {
+  WeightedTrendModel model;
+  uint32_t per_trend[2] = {0, 0};
+  for (const RegressionSample& s : samples) ++per_trend[s.t];
+  model.samples = static_cast<uint32_t>(samples.size());
+  if (samples.size() < min_samples || per_trend[0] == 0 ||
+      per_trend[1] == 0) {
+    return model;
+  }
+  std::vector<std::vector<double>> design;
+  std::vector<double> targets;
+  design.reserve(samples.size());
+  for (const RegressionSample& s : samples) {
+    double wc = std::min(s.w, WeightedTrendModel::kWeightCap);
+    design.push_back({1.0, s.t == 1 ? 1.0 : -1.0, s.x, s.x * wc});
+    targets.push_back(s.y);
+  }
+  auto fit = RidgeRegression(Matrix::FromRows(design), targets, ridge_lambda);
+  if (!fit.ok()) return model;
+  model.a = (*fit)[0];
+  model.c = (*fit)[1];
+  model.b0 = (*fit)[2];
+  model.b1 = (*fit)[3];
+  model.trained = true;
+  return model;
+}
+
+LogisticCalibration FitLogistic(const std::vector<RegressionSample>& samples,
+                                uint32_t min_samples, uint32_t newton_iters) {
+  LogisticCalibration cal;
+  if (samples.size() < min_samples) return cal;
+  double w0 = 0.0, w1 = 0.0;  // bias, gamma
+  for (uint32_t iter = 0; iter < newton_iters; ++iter) {
+    // Gradient and Hessian of the negative log likelihood (+ tiny ridge).
+    double g0 = 1e-6 * w0, g1 = 1e-6 * w1;
+    double h00 = 1e-6, h01 = 0.0, h11 = 1e-6;
+    for (const RegressionSample& s : samples) {
+      double z = w0 + w1 * s.x;
+      double p = 1.0 / (1.0 + std::exp(-z));
+      double y = s.t == 1 ? 1.0 : 0.0;
+      double diff = p - y;
+      g0 += diff;
+      g1 += diff * s.x;
+      double v = p * (1.0 - p);
+      h00 += v;
+      h01 += v * s.x;
+      h11 += v * s.x * s.x;
+    }
+    double det = h00 * h11 - h01 * h01;
+    if (std::fabs(det) < 1e-12) break;
+    double d0 = (h11 * g0 - h01 * g1) / det;
+    double d1 = (h00 * g1 - h01 * g0) / det;
+    w0 -= d0;
+    w1 -= d1;
+    if (std::fabs(d0) + std::fabs(d1) < 1e-10) break;
+  }
+  cal.bias = w0;
+  cal.gamma = w1;
+  cal.trained = true;
+  return cal;
+}
+
+TrendMean FitTrendMean(const std::vector<RegressionSample>& samples,
+                       uint32_t min_samples) {
+  TrendMean out;
+  double sum[2] = {0.0, 0.0};
+  for (const RegressionSample& s : samples) {
+    sum[s.t] += s.y;
+    ++out.samples[s.t];
+  }
+  for (int t = 0; t < 2; ++t) {
+    if (out.samples[t] >= min_samples) {
+      out.mean[t] = sum[t] / out.samples[t];
+      out.trained[t] = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,134 @@
+// Trend-conditioned linear regression primitives for the speed model.
+//
+// All regressions live in relative-deviation space (d = v / historical_mean
+// - 1) and are conditioned on the road's trend: congestion ("down") episodes
+// and free-flowing ("up") episodes follow visibly different lines, which is
+// why the trend step feeds the speed step.
+
+#ifndef TRENDSPEED_SPEED_LINEAR_MODEL_H_
+#define TRENDSPEED_SPEED_LINEAR_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// d ≈ a[t] + b[t] * x, one line per trend index t (0 = down, 1 = up),
+/// where x is the correlation-weighted mean deviation of the road's known
+/// neighbours. Untrained trend branches fall back to the other branch or to
+/// the pass-through line (a=0, b=1).
+struct TrendLine {
+  double a[2] = {0.0, 0.0};
+  double b[2] = {1.0, 1.0};
+  uint32_t samples[2] = {0, 0};
+  bool trained[2] = {false, false};
+
+  bool any_trained() const { return trained[0] || trained[1]; }
+
+  /// Predicts d from x for a hard trend index.
+  double PredictHard(double x, int t) const;
+
+  /// Blends the two branches by the trend posterior P(up).
+  double Predict(double x, double p_up) const {
+    return (1.0 - p_up) * PredictHard(x, 0) + p_up * PredictHard(x, 1);
+  }
+};
+
+/// Per-trend intercept-only model: the mean deviation given the trend. Used
+/// when no neighbour information is available at prediction time.
+struct TrendMean {
+  double mean[2] = {0.0, 0.0};
+  uint32_t samples[2] = {0, 0};
+  bool trained[2] = {false, false};
+
+  bool any_trained() const { return trained[0] || trained[1]; }
+  double PredictHard(int t) const;
+  double Predict(double p_up) const {
+    return (1.0 - p_up) * PredictHard(0) + p_up * PredictHard(1);
+  }
+};
+
+/// One training sample: neighbour-summary deviation x, own deviation y,
+/// own trend index t, and the total influence weight w backing x (how much
+/// signal the summary aggregates — 0 means x is meaningless).
+struct RegressionSample {
+  double x = 0.0;
+  double y = 0.0;
+  int t = 0;
+  double w = 0.0;
+};
+
+/// Weight-aware affine trend model:
+///     d = a + c*t + (b0 + b1 * min(w, kWeightCap)) * x
+/// The effective slope grows with the influence weight backing x: a
+/// weakly-supported summary is shrunk hard, a strongly-supported one passes
+/// nearly through. Calibrated by training on randomly sparsified neighbour
+/// sets so every weight regime is represented.
+struct WeightedTrendModel {
+  static constexpr double kWeightCap = 2.0;
+
+  double a = 0.0;
+  double c = 0.0;
+  double b0 = 1.0;
+  double b1 = 0.0;
+  uint32_t samples = 0;
+  bool trained = false;
+
+  double SlopeAt(double w) const {
+    double wc = w < kWeightCap ? w : kWeightCap;
+    return b0 + b1 * wc;
+  }
+  /// Blends the trend shift by the posterior P(up).
+  double Predict(double x, double w, double p_up) const {
+    double t = 2.0 * p_up - 1.0;
+    if (!trained) return x;  // pass-through fallback
+    return a + c * t + SlopeAt(w) * x;
+  }
+};
+
+/// Fits a WeightedTrendModel with ridge regularization; stays untrained
+/// below `min_samples` or when only one trend is present.
+WeightedTrendModel FitWeightedTrendModel(
+    const std::vector<RegressionSample>& samples, double ridge_lambda,
+    uint32_t min_samples);
+
+/// Fits a TrendLine over the samples with ridge regularization; branches
+/// with fewer than `min_samples` observations stay untrained. Each branch
+/// gets its own slope and intercept.
+TrendLine FitTrendLine(const std::vector<RegressionSample>& samples,
+                       double ridge_lambda, uint32_t min_samples);
+
+/// Fits the *affine trend* form d = a + b*x + c*t (t = -1/+1): a shared
+/// slope with a trend-shifted intercept, returned as a TrendLine with
+/// a[0] = a - c, a[1] = a + c, b[0] = b[1] = b. More robust than two
+/// independent branches when one trend is underrepresented, and blending by
+/// P(up) degrades gracefully (the slope never changes, only the shift).
+/// Requires `min_samples` TOTAL samples with both trends present.
+TrendLine FitTrendAffine(const std::vector<RegressionSample>& samples,
+                         double ridge_lambda, uint32_t min_samples);
+
+/// 1-D logistic calibration P(t = up | x) = sigmoid(bias + gamma * x),
+/// fit by Newton's method. Used to convert the influence-weighted seed
+/// deviation into soft trend evidence for the MRF.
+struct LogisticCalibration {
+  double bias = 0.0;
+  double gamma = 0.0;
+  bool trained = false;
+
+  /// Log-odds of "up" given x (0 when untrained).
+  double LogOdds(double x) const { return trained ? bias + gamma * x : 0.0; }
+};
+
+LogisticCalibration FitLogistic(const std::vector<RegressionSample>& samples,
+                                uint32_t min_samples = 50,
+                                uint32_t newton_iters = 12);
+
+/// Fits a TrendMean (per-trend average of y).
+TrendMean FitTrendMean(const std::vector<RegressionSample>& samples,
+                       uint32_t min_samples);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_SPEED_LINEAR_MODEL_H_

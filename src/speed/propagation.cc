@@ -1,0 +1,234 @@
+#include "speed/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+namespace {
+
+Status ValidateSeeds(const std::vector<SeedSpeed>& seeds, size_t n) {
+  for (const SeedSpeed& s : seeds) {
+    if (s.road >= n) return Status::InvalidArgument("seed road out of range");
+    if (s.speed_kmh <= 0.0) {
+      return Status::InvalidArgument("seed speed must be positive");
+    }
+  }
+  return Status::OK();
+}
+
+double SeedDeviation(const RoadNetwork& net, const HistoricalDb& db,
+                     const SeedSpeed& s, uint64_t slot) {
+  double hist =
+      db.HistoricalMeanOr(s.road, slot, net.road(s.road).free_flow_kmh);
+  return hist > 0.0 ? s.speed_kmh / hist - 1.0 : 0.0;
+}
+
+// Installs seed deviations/speeds as layer 0 of `out`.
+void SeedLayer(const RoadNetwork& net, const HistoricalDb& db,
+               const std::vector<SeedSpeed>& seeds, uint64_t slot,
+               SpeedEstimateResult* out) {
+  for (const SeedSpeed& s : seeds) {
+    out->deviation[s.road] = SeedDeviation(net, db, s, slot);
+    out->speed_kmh[s.road] = s.speed_kmh;
+    out->layer[s.road] = 0;
+  }
+}
+
+// Spatial fallback + prior fallback + deviation->speed conversion, shared
+// by both aggregation modes. `base_layer` is the first layer id the spatial
+// pass may assign.
+void FinishEstimate(const RoadNetwork& net, const HistoricalDb& db,
+                    const HierarchicalSpeedModel& model,
+                    const TrendEstimate& trends,
+                    const PropagationOptions& opts, uint32_t base_layer,
+                    uint64_t slot, SpeedEstimateResult* out) {
+  size_t n = net.num_roads();
+  // Spatial fallback: unreached roads borrow a discounted deviation from
+  // physically adjacent known roads, layer by layer over road adjacency.
+  if (opts.max_spatial_layers > 0) {
+    std::vector<RoadId> frontier;
+    for (RoadId v = 0; v < n; ++v) {
+      if (out->layer[v] != kUnreachedLayer) frontier.push_back(v);
+    }
+    for (uint32_t step = 0;
+         step < opts.max_spatial_layers && !frontier.empty(); ++step) {
+      uint32_t layer = base_layer + step;
+      std::vector<RoadId> candidates;
+      auto consider = [&](RoadId u) {
+        if (out->layer[u] == kUnreachedLayer) {
+          out->layer[u] = layer;
+          candidates.push_back(u);
+        }
+      };
+      for (RoadId u : frontier) {
+        for (RoadId v : net.RoadSuccessors(u)) consider(v);
+        for (RoadId v : net.RoadPredecessors(u)) consider(v);
+        RoadId twin = net.ReverseTwin(u);
+        if (twin != kInvalidRoad) consider(twin);
+      }
+      for (RoadId v : candidates) {
+        double sum = 0.0;
+        size_t cnt = 0;
+        auto take = [&](RoadId u) {
+          if (out->layer[u] < layer) {
+            sum += out->deviation[u];
+            ++cnt;
+          }
+        };
+        for (RoadId u : net.RoadSuccessors(v)) take(u);
+        for (RoadId u : net.RoadPredecessors(v)) take(u);
+        RoadId twin = net.ReverseTwin(v);
+        if (twin != kInvalidRoad) take(twin);
+        double x = cnt > 0
+                       ? opts.spatial_discount * sum / static_cast<double>(cnt)
+                       : 0.0;
+        // Spatial adjacency is weak signal: a small fixed weight keeps the
+        // effective slope conservative.
+        out->deviation[v] = model.PredictDeviation(v, x, /*weight=*/0.3,
+                                                   /*has_x=*/cnt > 0,
+                                                   trends.p_up[v]);
+      }
+      frontier = std::move(candidates);
+    }
+  }
+  // Roads never reached by any pass: trend-adjusted historical prior.
+  for (RoadId v = 0; v < n; ++v) {
+    if (out->layer[v] == kUnreachedLayer) {
+      out->deviation[v] = model.PredictDeviation(v, 0.0, /*weight=*/0.0,
+                                                 /*has_x=*/false,
+                                                 trends.p_up[v]);
+    }
+  }
+  // Deviation -> speed, with physical clamps (seeds keep their speed).
+  for (RoadId v = 0; v < n; ++v) {
+    if (out->layer[v] == 0) continue;
+    double free_flow = net.road(v).free_flow_kmh;
+    double hist = db.HistoricalMeanOr(v, slot, free_flow);
+    double speed = hist * (1.0 + out->deviation[v]);
+    out->speed_kmh[v] = std::clamp(speed, 2.0, free_flow * 1.3);
+  }
+}
+
+}  // namespace
+
+InfluenceAggregate AggregateSeedDeviations(const InfluenceModel& influence,
+                                           const RoadNetwork& net,
+                                           const HistoricalDb& db,
+                                           const std::vector<SeedSpeed>& seeds,
+                                           uint64_t slot) {
+  size_t n = influence.num_roads();
+  InfluenceAggregate agg;
+  agg.x.assign(n, 0.0);
+  agg.weight.assign(n, 0.0);
+  std::vector<double> xsum(n, 0.0);
+  for (const SeedSpeed& s : seeds) {
+    if (s.road >= n) continue;  // validated by the caller
+    double dev = SeedDeviation(net, db, s, slot);
+    for (const CoverEntry& c : influence.CoverList(s.road)) {
+      xsum[c.road] += static_cast<double>(c.influence) * dev;
+      agg.weight[c.road] += std::fabs(static_cast<double>(c.influence));
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (agg.weight[v] > 0.0) agg.x[v] = xsum[v] / agg.weight[v];
+  }
+  return agg;
+}
+
+Result<SpeedEstimateResult> EstimateSpeedsInfluence(
+    const RoadNetwork& net, const InfluenceModel& influence,
+    const HistoricalDb& db, const HierarchicalSpeedModel& model,
+    const TrendEstimate& trends, const std::vector<SeedSpeed>& seeds,
+    const InfluenceAggregate& aggregate, uint64_t slot,
+    const PropagationOptions& opts) {
+  size_t n = net.num_roads();
+  if (influence.num_roads() != n || db.num_roads() != n ||
+      trends.p_up.size() != n || aggregate.x.size() != n) {
+    return Status::InvalidArgument("influence estimation size mismatch");
+  }
+  TS_RETURN_NOT_OK(ValidateSeeds(seeds, n));
+  SpeedEstimateResult out;
+  out.speed_kmh.assign(n, 0.0);
+  out.deviation.assign(n, 0.0);
+  out.layer.assign(n, kUnreachedLayer);
+  SeedLayer(net, db, seeds, slot, &out);
+  for (RoadId v = 0; v < n; ++v) {
+    if (out.layer[v] == 0) continue;
+    if (aggregate.weight[v] <= 0.0) continue;  // spatial fallback later
+    out.deviation[v] =
+        model.PredictDeviation(v, aggregate.x[v], aggregate.weight[v],
+                               /*has_x=*/true, trends.p_up[v]);
+    out.layer[v] = 1;
+  }
+  FinishEstimate(net, db, model, trends, opts, /*base_layer=*/2, slot, &out);
+  return out;
+}
+
+Result<SpeedEstimateResult> PropagateSpeeds(
+    const RoadNetwork& net, const CorrelationGraph& graph,
+    const HistoricalDb& db, const HierarchicalSpeedModel& model,
+    const TrendEstimate& trends, const std::vector<SeedSpeed>& seeds,
+    uint64_t slot, const PropagationOptions& opts) {
+  size_t n = net.num_roads();
+  if (graph.num_roads() != n || db.num_roads() != n ||
+      trends.p_up.size() != n) {
+    return Status::InvalidArgument("propagation input size mismatch");
+  }
+  TS_RETURN_NOT_OK(ValidateSeeds(seeds, n));
+  SpeedEstimateResult out;
+  out.speed_kmh.assign(n, 0.0);
+  out.deviation.assign(n, 0.0);
+  out.layer.assign(n, kUnreachedLayer);
+
+  std::vector<RoadId> frontier;
+  SeedLayer(net, db, seeds, slot, &out);
+  for (const SeedSpeed& s : seeds) frontier.push_back(s.road);
+
+  // BFS layers over the correlation graph.
+  for (uint32_t layer = 1; layer <= opts.max_layers && !frontier.empty();
+       ++layer) {
+    // Candidates: unvisited neighbours of the current frontier.
+    std::vector<RoadId> candidates;
+    for (RoadId u : frontier) {
+      for (const CorrEdge& e : graph.Neighbors(u)) {
+        if (out.layer[e.neighbor] == kUnreachedLayer) {
+          out.layer[e.neighbor] = layer;  // tentative; estimates set below
+          candidates.push_back(e.neighbor);
+        }
+      }
+    }
+    // Estimate every candidate from its already-known neighbours (all
+    // candidates of this layer see only layers < layer, keeping the result
+    // independent of intra-layer ordering).
+    for (RoadId v : candidates) {
+      double wsum = 0.0, xsum = 0.0;
+      for (const CorrEdge& e : graph.Neighbors(v)) {
+        if (out.layer[e.neighbor] >= layer) continue;  // not yet final
+        double w = HierarchicalSpeedModel::EdgeWeight(e);
+        if (w == 0.0) continue;
+        wsum += std::fabs(w);
+        xsum += w * out.deviation[e.neighbor];
+      }
+      double p_up = trends.p_up[v];
+      double d;
+      if (wsum > 0.0) {
+        d = model.PredictDeviation(v, xsum / wsum, wsum, /*has_x=*/true,
+                                   p_up);
+      } else {
+        d = model.PredictDeviation(v, 0.0, 0.0, /*has_x=*/false, p_up);
+      }
+      out.deviation[v] = d;
+    }
+    frontier = std::move(candidates);
+  }
+
+  FinishEstimate(net, db, model, trends, opts,
+                 /*base_layer=*/opts.max_layers + 1, slot, &out);
+  return out;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,70 @@
+#include "traffic/disturbance.h"
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+DisturbanceField::DisturbanceField(const RoadNetwork* net,
+                                   const DisturbanceOptions& opts, Rng rng)
+    : net_(net), opts_(opts), rng_(rng),
+      state_(net->num_roads(), 0.0),
+      local_(net->num_roads(), 0.0),
+      sum_(net->num_roads(), 0.0),
+      innovation_(net->num_roads(), 0.0),
+      scratch_(net->num_roads(), 0.0) {
+  TS_CHECK(net != nullptr);
+  TS_CHECK_GE(opts.temporal_rho, 0.0);
+  TS_CHECK_LT(opts.temporal_rho, 1.0);
+  TS_CHECK_GE(opts.diffusion_alpha, 0.0);
+  TS_CHECK_LE(opts.diffusion_alpha, 1.0);
+  TS_CHECK_GE(opts.cross_class_coupling, 0.0);
+  TS_CHECK_LE(opts.cross_class_coupling, 1.0);
+  // Burn in so the process starts from its stationary distribution rather
+  // than the all-zero state.
+  for (int i = 0; i < 50; ++i) Step();
+}
+
+const std::vector<double>& DisturbanceField::Step() {
+  size_t n = state_.size();
+  // Fresh innovations, then k rounds of class-aware spatial smoothing.
+  // Smoothing the *innovation* (not the persistent state) fixes the spatial
+  // correlation length: a shock spreads over a ~k-hop corridor ball and no
+  // further, so nearby same-class roads co-move strongly while distant
+  // roads stay independent.
+  for (size_t i = 0; i < n; ++i) {
+    innovation_[i] = rng_.Gaussian(0.0, opts_.shock_sigma);
+  }
+  for (uint32_t round = 0; round < opts_.diffusion_rounds; ++round) {
+    for (RoadId r = 0; r < n; ++r) {
+      RoadClass cls = net_->road(r).road_class;
+      double wsum = 0.0;
+      double acc = 0.0;
+      auto take = [&](RoadId v) {
+        double w = net_->road(v).road_class == cls
+                       ? 1.0
+                       : opts_.cross_class_coupling;
+        wsum += w;
+        acc += w * innovation_[v];
+      };
+      for (RoadId v : net_->RoadSuccessors(r)) take(v);
+      for (RoadId v : net_->RoadPredecessors(r)) take(v);
+      if (wsum <= 0.0) {
+        scratch_[r] = innovation_[r];
+      } else {
+        scratch_[r] = (1.0 - opts_.diffusion_alpha) * innovation_[r] +
+                      opts_.diffusion_alpha * acc / wsum;
+      }
+    }
+    innovation_.swap(scratch_);
+  }
+  // AR(1) accumulation in time + the independent per-road component.
+  for (size_t i = 0; i < n; ++i) {
+    state_[i] = opts_.temporal_rho * state_[i] + innovation_[i];
+    local_[i] = opts_.temporal_rho * local_[i] +
+                rng_.Gaussian(0.0, opts_.idiosyncratic_sigma);
+    sum_[i] = state_[i] + local_[i];
+  }
+  return sum_;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,68 @@
+// Spatio-temporally correlated disturbance field over road segments.
+//
+// This is the component that gives the synthetic city the property the
+// paper's model exploits: *nearby roads deviate from their historical norm
+// together*. Each road carries a latent log-deviation that evolves as an
+// AR(1) process in time; after each innovation the field is smoothed by a few
+// rounds of neighbour averaging over the road-adjacency graph, which couples
+// adjacent roads (a graph diffusion, i.e. a discrete heat kernel).
+
+#ifndef TRENDSPEED_TRAFFIC_DISTURBANCE_H_
+#define TRENDSPEED_TRAFFIC_DISTURBANCE_H_
+
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "util/random.h"
+
+namespace trendspeed {
+
+struct DisturbanceOptions {
+  /// AR(1) persistence of the per-road latent state across slots, in [0, 1).
+  double temporal_rho = 0.88;
+  /// Standard deviation of the per-slot innovation (log-speed units),
+  /// before spatial smoothing.
+  double shock_sigma = 0.16;
+  /// Rounds of neighbour averaging applied to each innovation; controls
+  /// the spatial correlation length of the field.
+  uint32_t diffusion_rounds = 3;
+  /// Weight pulled from the neighbour mean per round, in [0, 1].
+  double diffusion_alpha = 0.6;
+  /// Diffusion weight of an edge between roads of *different* classes,
+  /// relative to 1.0 for same-class edges. Congestion travels along
+  /// corridors (a jammed arterial jams the next arterial segment), but
+  /// crosses into side streets far more weakly — the anisotropy that makes
+  /// learned correlation structure genuinely more informative than
+  /// isotropic hop distance.
+  double cross_class_coupling = 0.2;
+  /// Standard deviation of an additional *independent* AR(1) component per
+  /// road (construction, parking, signal timing) that no neighbour shares.
+  double idiosyncratic_sigma = 0.03;
+};
+
+/// Evolving per-road disturbance field; Step() advances one time slot.
+class DisturbanceField {
+ public:
+  DisturbanceField(const RoadNetwork* net, const DisturbanceOptions& opts,
+                   Rng rng);
+
+  /// Advances one slot and returns the current log-deviation per road.
+  const std::vector<double>& Step();
+
+  /// Current combined state (shared + idiosyncratic) without advancing.
+  const std::vector<double>& state() const { return sum_; }
+
+ private:
+  const RoadNetwork* net_;
+  DisturbanceOptions opts_;
+  Rng rng_;
+  std::vector<double> state_;       // shared, diffused component
+  std::vector<double> local_;       // independent per-road component
+  std::vector<double> sum_;         // state_ + local_
+  std::vector<double> innovation_;  // per-step smoothed shock
+  std::vector<double> scratch_;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_TRAFFIC_DISTURBANCE_H_

@@ -1,0 +1,97 @@
+#include "traffic/incidents.h"
+
+#include <algorithm>
+
+#include "roadnet/shortest_path.h"
+#include "util/logging.h"
+
+namespace trendspeed {
+
+IncidentProcess::IncidentProcess(const RoadNetwork* net,
+                                 const IncidentOptions& opts, Rng rng)
+    : net_(net), opts_(opts), rng_(rng), factors_(net->num_roads(), 1.0) {
+  TS_CHECK(net != nullptr);
+  TS_CHECK_GE(opts.severity_min, 0.01);
+  TS_CHECK_LE(opts.severity_max, 1.0);
+  TS_CHECK_LE(opts.severity_min, opts.severity_max);
+  TS_CHECK_GE(opts.duration_max, opts.duration_min);
+  TS_CHECK_GE(opts.duration_min, 1u);
+}
+
+void IncidentProcess::Spawn(uint64_t slot) {
+  int arrivals = rng_.NextPoisson(opts_.rate_per_slot);
+  for (int i = 0; i < arrivals; ++i) {
+    Incident inc;
+    inc.road = static_cast<RoadId>(rng_.NextIndex(net_->num_roads()));
+    inc.severity = rng_.Uniform(opts_.severity_min, opts_.severity_max);
+    inc.start_slot = slot;
+    uint32_t duration =
+        opts_.duration_min +
+        rng_.NextBounded(opts_.duration_max - opts_.duration_min + 1);
+    inc.end_slot = slot + duration;
+    active_.push_back(inc);
+    history_.push_back(inc);
+  }
+}
+
+const std::vector<double>& IncidentProcess::FactorsAt(uint64_t slot) {
+  TS_CHECK_GE(slot, next_slot_ == 0 ? 0 : next_slot_ - 1)
+      << "IncidentProcess must be advanced monotonically";
+  while (next_slot_ <= slot) {
+    Spawn(next_slot_);
+    ++next_slot_;
+  }
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [&](const Incident& inc) {
+                                 return inc.end_slot <= slot;
+                               }),
+                active_.end());
+  std::fill(factors_.begin(), factors_.end(), 1.0);
+  for (const Incident& inc : active_) {
+    if (inc.start_slot > slot) continue;
+    // Upstream queue: the incident road and its predecessors slow down,
+    // halving the severity gap per hop against traffic direction.
+    std::vector<std::pair<RoadId, uint32_t>> frontier = {{inc.road, 0}};
+    std::vector<bool> seen(net_->num_roads(), false);
+    seen[inc.road] = true;
+    while (!frontier.empty()) {
+      auto [r, hops] = frontier.back();
+      frontier.pop_back();
+      double gap = 1.0 - inc.severity;
+      double local = 1.0 - gap / static_cast<double>(1u << hops);
+      factors_[r] = std::min(factors_[r], local);
+      if (hops >= opts_.spill_hops) continue;
+      for (RoadId p : net_->RoadPredecessors(r)) {
+        if (!seen[p]) {
+          seen[p] = true;
+          frontier.emplace_back(p, hops + 1);
+        }
+      }
+    }
+    // Downstream starvation: successor roads receive less inflow and run
+    // faster than normal, decaying per hop.
+    std::fill(seen.begin(), seen.end(), false);
+    seen[inc.road] = true;
+    frontier = {{inc.road, 0}};
+    while (!frontier.empty()) {
+      auto [r, hops] = frontier.back();
+      frontier.pop_back();
+      if (hops > 0) {
+        double boost = 1.0 + opts_.starvation_boost * (1.0 - inc.severity) /
+                                 static_cast<double>(1u << (hops - 1));
+        // Starvation only applies where no queue factor is already active.
+        if (factors_[r] >= 1.0) factors_[r] = std::max(factors_[r], boost);
+      }
+      if (hops >= opts_.starvation_hops) continue;
+      for (RoadId s : net_->RoadSuccessors(r)) {
+        if (!seen[s]) {
+          seen[s] = true;
+          frontier.emplace_back(s, hops + 1);
+        }
+      }
+    }
+  }
+  return factors_;
+}
+
+}  // namespace trendspeed

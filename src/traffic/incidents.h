@@ -1,0 +1,77 @@
+// Random traffic incidents (accidents, closures) with spatial spillover.
+//
+// Incidents arrive as a Poisson process over the whole network; each one
+// slows a road sharply for a bounded duration, with the slowdown decaying
+// over hop distance (upstream queues, rubbernecking). Incidents inject the
+// unpredictable, locally correlated disruptions that make pure historical
+// prediction fail — the scenario that motivates crowdsourced seeds.
+
+#ifndef TRENDSPEED_TRAFFIC_INCIDENTS_H_
+#define TRENDSPEED_TRAFFIC_INCIDENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "util/random.h"
+
+namespace trendspeed {
+
+struct IncidentOptions {
+  /// Expected network-wide incident arrivals per slot.
+  double rate_per_slot = 0.03;
+  /// Remaining-speed multiplier at the incident road: U(min, max).
+  double severity_min = 0.25;
+  double severity_max = 0.6;
+  /// Duration in slots: U(min, max).
+  uint32_t duration_min = 3;
+  uint32_t duration_max = 12;
+  /// How far (road hops) the upstream queue spills, halving per hop.
+  uint32_t spill_hops = 2;
+  /// Downstream starvation: roads immediately *after* the incident receive
+  /// less traffic and speed up by up to this fraction of free flow,
+  /// decaying per hop. Real queueing physics — and the source of the
+  /// anti-correlated road pairs the correlation miner must discover.
+  double starvation_boost = 0.25;
+  uint32_t starvation_hops = 2;
+};
+
+/// One active incident.
+struct Incident {
+  RoadId road = kInvalidRoad;
+  double severity = 1.0;  ///< speed multiplier at the incident road
+  uint64_t start_slot = 0;
+  uint64_t end_slot = 0;  ///< exclusive
+};
+
+/// Generates incidents and exposes the per-road slowdown multiplier per slot.
+class IncidentProcess {
+ public:
+  IncidentProcess(const RoadNetwork* net, const IncidentOptions& opts,
+                  Rng rng);
+
+  /// Advances to `slot` (monotonically) and returns the multiplicative
+  /// slowdown per road in (0, 1]; 1 = unaffected.
+  const std::vector<double>& FactorsAt(uint64_t slot);
+
+  /// Incidents active at the last queried slot.
+  const std::vector<Incident>& active() const { return active_; }
+
+  /// All incidents ever spawned (for analysis/tests).
+  const std::vector<Incident>& history() const { return history_; }
+
+ private:
+  void Spawn(uint64_t slot);
+
+  const RoadNetwork* net_;
+  IncidentOptions opts_;
+  Rng rng_;
+  uint64_t next_slot_ = 0;
+  std::vector<Incident> active_;
+  std::vector<Incident> history_;
+  std::vector<double> factors_;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_TRAFFIC_INCIDENTS_H_

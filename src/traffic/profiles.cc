@@ -1,0 +1,48 @@
+#include "traffic/profiles.h"
+
+#include <cmath>
+
+namespace trendspeed {
+
+namespace {
+
+// Smooth bump centered at `center` hours with the given half-width; the
+// returned value is `depth` at the center and ~0 beyond one width.
+double Dip(double hour, double center, double width, double depth) {
+  double z = (hour - center) / width;
+  return depth * std::exp(-0.5 * z * z);
+}
+
+// How strongly a road class responds to rush-hour demand.
+double ClassSensitivity(RoadClass c) {
+  switch (c) {
+    case RoadClass::kHighway:
+      return 0.85;  // congests hard but recovers between peaks
+    case RoadClass::kArterial:
+      return 1.0;  // the reference: deepest, widest rush dips
+    case RoadClass::kLocal:
+      return 0.55;  // local streets feel peaks but less severely
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double BaseCongestionFactor(RoadClass road_class, double hour_of_day,
+                            bool weekend) {
+  double sensitivity = ClassSensitivity(road_class);
+  double dip = 0.0;
+  if (!weekend) {
+    dip += Dip(hour_of_day, 8.0, 1.3, 0.45);   // AM rush
+    dip += Dip(hour_of_day, 18.0, 1.6, 0.50);  // PM rush
+    dip += Dip(hour_of_day, 12.5, 2.5, 0.12);  // midday plateau
+  } else {
+    dip += Dip(hour_of_day, 11.0, 2.2, 0.25);  // late-morning shopping
+    dip += Dip(hour_of_day, 17.0, 2.5, 0.18);  // afternoon return
+  }
+  double factor = 1.0 - sensitivity * dip;
+  // A floor keeps speeds physical even when dips overlap.
+  return factor < 0.25 ? 0.25 : factor;
+}
+
+}  // namespace trendspeed

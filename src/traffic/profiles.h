@@ -1,0 +1,54 @@
+// Deterministic time-of-day congestion profiles per road class.
+//
+// A profile maps (road class, slot of day, weekend?) to a multiplier in
+// (0, 1] applied to free-flow speed. The shapes encode the empirical pattern
+// the paper's datasets exhibit: weekday AM/PM rush-hour dips (deepest on
+// arterials), a shallow midday plateau, free-flowing nights, and a single
+// late-morning weekend dip.
+
+#ifndef TRENDSPEED_TRAFFIC_PROFILES_H_
+#define TRENDSPEED_TRAFFIC_PROFILES_H_
+
+#include <cstdint>
+
+#include "roadnet/road_network.h"
+
+namespace trendspeed {
+
+/// Number of slots in one day at the paper's 10-minute granularity.
+inline constexpr uint32_t kDefaultSlotsPerDay = 144;
+
+/// Calendar helpers over a global slot counter (day 0 is a Monday).
+struct SlotClock {
+  uint32_t slots_per_day = kDefaultSlotsPerDay;
+
+  uint32_t SlotOfDay(uint64_t global_slot) const {
+    return static_cast<uint32_t>(global_slot % slots_per_day);
+  }
+  uint32_t DayIndex(uint64_t global_slot) const {
+    return static_cast<uint32_t>(global_slot / slots_per_day);
+  }
+  uint32_t DayOfWeek(uint64_t global_slot) const {
+    return DayIndex(global_slot) % 7;
+  }
+  bool IsWeekend(uint64_t global_slot) const {
+    uint32_t dow = DayOfWeek(global_slot);
+    return dow == 5 || dow == 6;
+  }
+  uint32_t SlotOfWeek(uint64_t global_slot) const {
+    return DayOfWeek(global_slot) * slots_per_day + SlotOfDay(global_slot);
+  }
+  /// Hour of day in [0, 24).
+  double HourOfDay(uint64_t global_slot) const {
+    return 24.0 * static_cast<double>(SlotOfDay(global_slot)) /
+           static_cast<double>(slots_per_day);
+  }
+};
+
+/// Base congestion multiplier in (0, 1]; 1 = free flow.
+double BaseCongestionFactor(RoadClass road_class, double hour_of_day,
+                            bool weekend);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_TRAFFIC_PROFILES_H_

@@ -1,0 +1,53 @@
+#include "traffic/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+TrafficSimulator::TrafficSimulator(const RoadNetwork* net,
+                                   const TrafficOptions& opts)
+    : net_(net),
+      opts_(opts),
+      clock_{opts.slots_per_day},
+      disturbance_(net, opts.disturbance, Rng(opts.seed, /*stream=*/101)),
+      incidents_(net, opts.incidents, Rng(opts.seed, /*stream=*/202)),
+      speeds_(net->num_roads(), 0.0) {
+  TS_CHECK(net != nullptr);
+  TS_CHECK_GT(opts.slots_per_day, 0u);
+}
+
+const std::vector<double>& TrafficSimulator::Step() {
+  uint64_t slot = next_slot_++;
+  double hour = clock_.HourOfDay(slot);
+  bool weekend = clock_.IsWeekend(slot);
+  const std::vector<double>& dist = disturbance_.Step();
+  const std::vector<double>& inc = incidents_.FactorsAt(slot);
+  for (RoadId r = 0; r < net_->num_roads(); ++r) {
+    const Road& road = net_->road(r);
+    double base = BaseCongestionFactor(road.road_class, hour, weekend);
+    double v = road.free_flow_kmh * base * std::exp(dist[r]) * inc[r];
+    double hi = road.free_flow_kmh * opts_.max_over_free_flow;
+    speeds_[r] = std::clamp(v, opts_.min_speed_kmh, hi);
+  }
+  return speeds_;
+}
+
+Result<SpeedField> GenerateSpeedField(const RoadNetwork& net,
+                                      const TrafficOptions& opts,
+                                      uint32_t days) {
+  if (days == 0) return Status::InvalidArgument("days must be positive");
+  TrafficSimulator sim(&net, opts);
+  SpeedField field;
+  field.slots_per_day = opts.slots_per_day;
+  uint64_t total = static_cast<uint64_t>(days) * opts.slots_per_day;
+  field.speeds.reserve(total);
+  for (uint64_t s = 0; s < total; ++s) {
+    field.speeds.push_back(sim.Step());
+  }
+  return field;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,80 @@
+// Ground-truth traffic dynamics simulator.
+//
+// speed(road, slot) = free_flow
+//                   * BaseCongestionFactor(class, hour, weekend)   [profiles]
+//                   * exp(disturbance)                             [disturbance]
+//                   * incident factor                              [incidents]
+// clamped to a physical range. This composition gives every road a weekly
+// periodic "historical normal" plus spatially correlated deviations from it —
+// the two statistical properties the paper's model is built on.
+
+#ifndef TRENDSPEED_TRAFFIC_SIMULATOR_H_
+#define TRENDSPEED_TRAFFIC_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "traffic/disturbance.h"
+#include "traffic/incidents.h"
+#include "traffic/profiles.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+struct TrafficOptions {
+  uint32_t slots_per_day = kDefaultSlotsPerDay;
+  DisturbanceOptions disturbance;
+  IncidentOptions incidents;
+  /// Hard bounds on simulated speed as multiples of free flow.
+  double min_speed_kmh = 3.0;
+  double max_over_free_flow = 1.15;
+  uint64_t seed = 42;
+};
+
+/// Step-based simulator; each Step() yields the true speeds for one slot.
+class TrafficSimulator {
+ public:
+  TrafficSimulator(const RoadNetwork* net, const TrafficOptions& opts);
+
+  /// Advances one slot and returns the true speed (km/h) of every road.
+  const std::vector<double>& Step();
+
+  /// Global slot index of the speeds last returned by Step(); the first call
+  /// produces slot 0. Precondition: Step() called at least once.
+  uint64_t current_slot() const { return next_slot_ - 1; }
+
+  const SlotClock& clock() const { return clock_; }
+  const RoadNetwork& network() const { return *net_; }
+  const IncidentProcess& incidents() const { return incidents_; }
+
+ private:
+  const RoadNetwork* net_;
+  TrafficOptions opts_;
+  SlotClock clock_;
+  DisturbanceField disturbance_;
+  IncidentProcess incidents_;
+  uint64_t next_slot_ = 0;
+  std::vector<double> speeds_;
+};
+
+/// Dense ground-truth speeds for `num_slots` consecutive slots.
+/// speeds[slot][road], row per slot.
+struct SpeedField {
+  uint32_t slots_per_day = kDefaultSlotsPerDay;
+  std::vector<std::vector<double>> speeds;
+
+  size_t num_slots() const { return speeds.size(); }
+  size_t num_roads() const { return speeds.empty() ? 0 : speeds[0].size(); }
+  double at(uint64_t slot, RoadId road) const { return speeds[slot][road]; }
+};
+
+/// Runs the simulator for `days` full days and materializes the field.
+Result<SpeedField> GenerateSpeedField(const RoadNetwork& net,
+                                      const TrafficOptions& opts,
+                                      uint32_t days);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_TRAFFIC_SIMULATOR_H_

@@ -1,0 +1,139 @@
+#include "trend/belief_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+BpGraph BpGraph::FromMrf(const PairwiseMrf& mrf) {
+  BpGraph g;
+  g.num_vars = mrf.num_vars();
+  g.off.assign(g.num_vars + 1, 0);
+  for (size_t v = 0; v < g.num_vars; ++v) {
+    g.off[v + 1] = g.off[v] + mrf.Neighbors(v).size();
+  }
+  size_t dir_edges = g.off[g.num_vars];
+  g.rev_slot.resize(dir_edges);
+  g.compat.resize(4 * dir_edges);
+  size_t slot = 0;
+  for (size_t v = 0; v < g.num_vars; ++v) {
+    g.max_degree = std::max(g.max_degree, mrf.Neighbors(v).size());
+    for (const MrfEdge& e : mrf.Neighbors(v)) {
+      g.rev_slot[slot] = static_cast<uint32_t>(g.off[e.to] + e.rev);
+      g.compat[4 * slot + 0] = e.compat[0][0];
+      g.compat[4 * slot + 1] = e.compat[0][1];
+      g.compat[4 * slot + 2] = e.compat[1][0];
+      g.compat[4 * slot + 3] = e.compat[1][1];
+      ++slot;
+    }
+  }
+  return g;
+}
+
+BpResult InferMarginalsBpFlat(const BpGraph& graph,
+                              const std::vector<double>& pot,
+                              const BpOptions& opts) {
+  TS_CHECK_GE(opts.damping, 0.0);
+  TS_CHECK_LT(opts.damping, 1.0);
+  size_t n = graph.num_vars;
+  TS_CHECK_EQ(pot.size(), 2 * n);
+  size_t dir_edges = graph.off[n];
+
+  std::vector<double> msg(2 * dir_edges, 0.5);
+  std::vector<double> next(2 * dir_edges, 0.5);
+  std::vector<double> in0(graph.max_degree), in1(graph.max_degree);
+
+  BpResult result;
+  result.p_up.assign(n, 0.5);
+
+  double max_delta = 0.0;
+  for (uint32_t iter = 0; iter < opts.max_iters; ++iter) {
+    max_delta = 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      size_t begin = graph.off[v];
+      size_t deg = graph.off[v + 1] - begin;
+      if (deg == 0) continue;
+      // Belief factors: phi_v(x) * prod of incoming messages.
+      double in_prod[2] = {pot[2 * v], pot[2 * v + 1]};
+      for (size_t k = 0; k < deg; ++k) {
+        size_t rs = graph.rev_slot[begin + k];
+        in0[k] = msg[2 * rs];
+        in1[k] = msg[2 * rs + 1];
+        in_prod[0] *= in0[k];
+        in_prod[1] *= in1[k];
+      }
+      for (size_t k = 0; k < deg; ++k) {
+        size_t slot = begin + k;
+        // Cavity belief of v excluding neighbour k (division fast path,
+        // re-multiplication fallback when a message underflowed).
+        double cav0, cav1;
+        if (in0[k] > 1e-30 && in1[k] > 1e-30) {
+          cav0 = in_prod[0] / in0[k];
+          cav1 = in_prod[1] / in1[k];
+        } else {
+          cav0 = pot[2 * v];
+          cav1 = pot[2 * v + 1];
+          for (size_t k2 = 0; k2 < deg; ++k2) {
+            if (k2 == k) continue;
+            cav0 *= in0[k2];
+            cav1 *= in1[k2];
+          }
+        }
+        // Message v -> to: m(x_to) = sum_xv cav(xv) * psi(xv, x_to).
+        const float* c = &graph.compat[4 * slot];
+        double out0 = cav0 * c[0] + cav1 * c[2];
+        double out1 = cav0 * c[1] + cav1 * c[3];
+        double z = out0 + out1;
+        if (z <= 0.0 || !std::isfinite(z)) {
+          out0 = out1 = 0.5;
+        } else {
+          out0 /= z;
+          out1 /= z;
+        }
+        double old0 = msg[2 * slot];
+        double new0 = opts.damping * old0 + (1.0 - opts.damping) * out0;
+        double new1 =
+            opts.damping * msg[2 * slot + 1] + (1.0 - opts.damping) * out1;
+        next[2 * slot] = new0;
+        next[2 * slot + 1] = new1;
+        double delta = std::fabs(new0 - old0);
+        if (delta > max_delta) max_delta = delta;
+      }
+    }
+    msg.swap(next);
+    result.iterations = iter + 1;
+    if (max_delta < opts.tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Beliefs. Hard 0/1 potentials (clamped evidence) stay hard because
+  // the potential factor multiplies every belief.
+  for (size_t v = 0; v < n; ++v) {
+    double b0 = pot[2 * v];
+    double b1 = pot[2 * v + 1];
+    for (size_t k = graph.off[v]; k < graph.off[v + 1]; ++k) {
+      size_t rs = graph.rev_slot[k];
+      b0 *= msg[2 * rs];
+      b1 *= msg[2 * rs + 1];
+    }
+    double z = b0 + b1;
+    result.p_up[v] = (z > 0.0 && std::isfinite(z)) ? b1 / z : 0.5;
+  }
+  return result;
+}
+
+BpResult InferMarginalsBp(const PairwiseMrf& mrf, const BpOptions& opts) {
+  BpGraph graph = BpGraph::FromMrf(mrf);
+  std::vector<double> pot(2 * mrf.num_vars());
+  for (size_t v = 0; v < mrf.num_vars(); ++v) {
+    pot[2 * v] = mrf.EffectivePotential(v, 0);
+    pot[2 * v + 1] = mrf.EffectivePotential(v, 1);
+  }
+  return InferMarginalsBpFlat(graph, pot, opts);
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,64 @@
+// Loopy belief propagation (damped sum-product) on a PairwiseMrf.
+//
+// This is the production trend-inference path: linear time per sweep in the
+// number of correlation edges, which is what delivers the paper's ~2 orders
+// of magnitude efficiency advantage over whole-graph optimization baselines.
+
+#ifndef TRENDSPEED_TREND_BELIEF_PROPAGATION_H_
+#define TRENDSPEED_TREND_BELIEF_PROPAGATION_H_
+
+#include <vector>
+
+#include "trend/factor_graph.h"
+
+namespace trendspeed {
+
+struct BpOptions {
+  /// Truncated BP: on the associative, loopy graphs correlation mining
+  /// produces, long message passing saturates marginals (ferromagnetic
+  /// drift) without improving decisions — and the per-node evidence already
+  /// carries most of the signal. A few sweeps of local refinement are both
+  /// faster and empirically at least as accurate; raise this (and pass
+  /// damping 0) for exactness on trees.
+  uint32_t max_iters = 6;
+  /// Fraction of the *old* message retained each update, in [0, 1).
+  double damping = 0.15;
+  /// Convergence threshold on the max message change.
+  double tol = 1e-4;
+};
+
+struct BpResult {
+  /// Marginal P(x_v = up); clamped variables report 0/1 exactly.
+  std::vector<double> p_up;
+  uint32_t iterations = 0;
+  bool converged = false;
+};
+
+/// Flattened, immutable BP message-passing structure. Building it is O(E);
+/// callers that infer repeatedly over the same graph (one per time slot)
+/// should build once and reuse.
+struct BpGraph {
+  size_t num_vars = 0;
+  std::vector<size_t> off;        ///< num_vars + 1 offsets
+  std::vector<uint32_t> rev_slot; ///< reverse directed-edge slot per edge
+  std::vector<float> compat;      ///< 4 entries per directed edge
+  size_t max_degree = 0;
+
+  static BpGraph FromMrf(const PairwiseMrf& mrf);
+};
+
+/// Runs damped sum-product over a prebuilt structure. `pot` holds the
+/// *effective* node potentials (2 per variable, evidence applied: clamped
+/// variables carry a hard 0/1 pair).
+BpResult InferMarginalsBpFlat(const BpGraph& graph,
+                              const std::vector<double>& pot,
+                              const BpOptions& opts = {});
+
+/// Convenience wrapper: flattens `mrf` and infers. Exact on trees (with
+/// enough iterations); empirically accurate on the sparse associative
+/// graphs correlation mining produces.
+BpResult InferMarginalsBp(const PairwiseMrf& mrf, const BpOptions& opts = {});
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_TREND_BELIEF_PROPAGATION_H_

@@ -1,0 +1,42 @@
+#include "trend/exact.h"
+
+#include <cmath>
+
+namespace trendspeed {
+
+Result<std::vector<double>> InferMarginalsExact(const PairwiseMrf& mrf) {
+  size_t n = mrf.num_vars();
+  std::vector<size_t> free_vars;
+  for (size_t v = 0; v < n; ++v) {
+    if (!mrf.IsClamped(v)) free_vars.push_back(v);
+  }
+  if (free_vars.size() > kMaxExactVars) {
+    return Status::InvalidArgument(
+        "exact inference limited to " + std::to_string(kMaxExactVars) +
+        " free variables, got " + std::to_string(free_vars.size()));
+  }
+  std::vector<int> state(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    if (mrf.IsClamped(v)) state[v] = mrf.ClampedState(v);
+  }
+  std::vector<double> up_mass(n, 0.0);
+  double total = 0.0;
+  uint64_t combos = uint64_t{1} << free_vars.size();
+  for (uint64_t mask = 0; mask < combos; ++mask) {
+    for (size_t k = 0; k < free_vars.size(); ++k) {
+      state[free_vars[k]] = (mask >> k) & 1 ? 1 : 0;
+    }
+    double w = std::exp(mrf.LogScore(state));
+    total += w;
+    for (size_t v = 0; v < n; ++v) {
+      if (state[v] == 1) up_mass[v] += w;
+    }
+  }
+  std::vector<double> p_up(n, 0.5);
+  if (total > 0.0) {
+    for (size_t v = 0; v < n; ++v) p_up[v] = up_mass[v] / total;
+  }
+  return p_up;
+}
+
+}  // namespace trendspeed

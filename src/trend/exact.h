@@ -1,0 +1,24 @@
+// Exact marginal computation by enumeration. Test oracle for the approximate
+// engines; limited to small numbers of free variables.
+
+#ifndef TRENDSPEED_TREND_EXACT_H_
+#define TRENDSPEED_TREND_EXACT_H_
+
+#include <vector>
+
+#include "trend/factor_graph.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// Maximum free (unclamped) variables exact enumeration accepts.
+inline constexpr size_t kMaxExactVars = 25;
+
+/// Exact marginals P(x_v = up | evidence). O(2^free * (V + E)).
+/// Fails with InvalidArgument when there are more than kMaxExactVars free
+/// variables.
+Result<std::vector<double>> InferMarginalsExact(const PairwiseMrf& mrf);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_TREND_EXACT_H_

@@ -1,0 +1,94 @@
+#include "trend/factor_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+PairwiseMrf::PairwiseMrf(size_t num_vars)
+    : phi_(2 * num_vars, 1.0f),
+      adj_(std::make_shared<std::vector<std::vector<MrfEdge>>>(num_vars)),
+      clamped_(num_vars, -1) {}
+
+PairwiseMrf PairwiseMrf::FromCorrelationGraph(const CorrelationGraph& graph) {
+  PairwiseMrf mrf(graph.num_roads());
+  for (RoadId v = 0; v < graph.num_roads(); ++v) {
+    for (const CorrEdge& e : graph.Neighbors(v)) {
+      if (e.neighbor <= v) continue;  // insert each undirected edge once
+      double compat[2][2];
+      for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b) compat[a][b] = e.compat[a][b];
+      mrf.AddEdge(v, e.neighbor, compat);
+    }
+  }
+  return mrf;
+}
+
+void PairwiseMrf::SetNodePotential(size_t v, double phi_down, double phi_up) {
+  TS_CHECK_GT(phi_down, 0.0);
+  TS_CHECK_GT(phi_up, 0.0);
+  phi_[2 * v] = static_cast<float>(phi_down);
+  phi_[2 * v + 1] = static_cast<float>(phi_up);
+}
+
+void PairwiseMrf::SetPriorUp(size_t v, double p_up) {
+  double p = std::clamp(p_up, 0.02, 0.98);
+  SetNodePotential(v, 1.0 - p, p);
+}
+
+void PairwiseMrf::AddEdge(size_t u, size_t v, const double compat[2][2]) {
+  TS_CHECK_NE(u, v);
+  TS_CHECK_LT(u, adj_->size());
+  TS_CHECK_LT(v, adj_->size());
+  TS_CHECK_EQ(adj_.use_count(), 1)
+      << "AddEdge on an MRF whose structure is shared with copies";
+  auto& adj = *adj_;
+  uint32_t id = static_cast<uint32_t>(num_edges_++);
+  MrfEdge at_u;
+  at_u.to = static_cast<uint32_t>(v);
+  at_u.edge_id = id;
+  at_u.rev = static_cast<uint32_t>(adj[v].size());
+  MrfEdge at_v;
+  at_v.to = static_cast<uint32_t>(u);
+  at_v.edge_id = id;
+  at_v.rev = static_cast<uint32_t>(adj[u].size());
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      TS_CHECK_GT(compat[a][b], 0.0);
+      at_u.compat[a][b] = static_cast<float>(compat[a][b]);
+      at_v.compat[b][a] = static_cast<float>(compat[a][b]);
+    }
+  }
+  adj[u].push_back(at_u);
+  adj[v].push_back(at_v);
+}
+
+void PairwiseMrf::Clamp(size_t v, int state) {
+  TS_CHECK(state == 0 || state == 1);
+  if (clamped_[v] < 0) ++num_clamped_;
+  clamped_[v] = static_cast<int8_t>(state);
+}
+
+void PairwiseMrf::ClearEvidence() {
+  std::fill(clamped_.begin(), clamped_.end(), int8_t{-1});
+  num_clamped_ = 0;
+}
+
+double PairwiseMrf::LogScore(const std::vector<int>& states) const {
+  TS_CHECK_EQ(states.size(), num_vars());
+  double log_score = 0.0;
+  for (size_t v = 0; v < num_vars(); ++v) {
+    double p = EffectivePotential(v, states[v]);
+    if (p <= 0.0) return -1e300;  // violates evidence
+    log_score += std::log(p);
+    for (const MrfEdge& e : (*adj_)[v]) {
+      if (e.to < v) continue;  // count each edge once
+      log_score += std::log(e.compat[states[v]][states[e.to]]);
+    }
+  }
+  return log_score;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,91 @@
+// Pairwise binary Markov random field over road trends.
+//
+// Variables are roads; states are trend indices (0 = down, 1 = up). The
+// joint is P(x) proportional to prod_v phi_v(x_v) * prod_(u,v) psi_uv(x_u, x_v).
+// Seeds whose trend was observed are clamped (their potential collapses to
+// the observed state). The structure (edges) is fixed at construction; node
+// potentials and evidence are mutable so one MRF can be reused across time
+// slots.
+
+#ifndef TRENDSPEED_TREND_FACTOR_GRAPH_H_
+#define TRENDSPEED_TREND_FACTOR_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "corr/correlation_graph.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// One incident MRF edge as seen from a variable.
+struct MrfEdge {
+  uint32_t to = 0;
+  uint32_t edge_id = 0;  ///< shared id of the undirected edge
+  uint32_t rev = 0;      ///< index of the reciprocal edge within adj[to]
+  /// psi[self state][other state].
+  float compat[2][2] = {{1.f, 1.f}, {1.f, 1.f}};
+};
+
+/// Pairwise binary MRF; see file comment.
+class PairwiseMrf {
+ public:
+  explicit PairwiseMrf(size_t num_vars);
+
+  /// Builds structure and compatibilities from a correlation graph. Node
+  /// potentials start uniform; callers set per-slot priors before inference.
+  static PairwiseMrf FromCorrelationGraph(const CorrelationGraph& graph);
+
+  size_t num_vars() const { return phi_.size() / 2; }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Sets phi_v; values must be positive (normalization is not required).
+  void SetNodePotential(size_t v, double phi_down, double phi_up);
+  /// Sets phi_v from P(up) with clipping away from {0,1}.
+  void SetPriorUp(size_t v, double p_up);
+
+  double NodePotential(size_t v, int state) const {
+    return phi_[2 * v + static_cast<size_t>(state)];
+  }
+
+  /// Adds an undirected edge (stored in both adjacency lists).
+  /// compat is psi[x_u][x_v].
+  void AddEdge(size_t u, size_t v, const double compat[2][2]);
+
+  const std::vector<MrfEdge>& Neighbors(size_t v) const {
+    return (*adj_)[v];
+  }
+
+  /// Evidence management.
+  void Clamp(size_t v, int state);
+  void ClearEvidence();
+  bool IsClamped(size_t v) const { return clamped_[v] >= 0; }
+  int ClampedState(size_t v) const { return clamped_[v]; }
+  size_t num_clamped() const { return num_clamped_; }
+
+  /// Effective node potential after evidence: clamped variables are a hard
+  /// indicator of their observed state.
+  double EffectivePotential(size_t v, int state) const {
+    int c = clamped_[v];
+    if (c >= 0) return c == state ? 1.0 : 0.0;
+    return NodePotential(v, state);
+  }
+
+  /// Unnormalized log-probability of a full assignment (states 0/1).
+  double LogScore(const std::vector<int>& states) const;
+
+ private:
+  std::vector<float> phi_;  // 2 per variable
+  // The edge structure is shared between copies (copying an MRF for
+  // per-slot inference only duplicates potentials and evidence). AddEdge
+  // therefore requires sole ownership.
+  std::shared_ptr<std::vector<std::vector<MrfEdge>>> adj_;
+  std::vector<int8_t> clamped_;  // -1 = free, else state
+  size_t num_clamped_ = 0;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_TREND_FACTOR_GRAPH_H_

@@ -1,0 +1,55 @@
+#include "trend/gibbs.h"
+
+namespace trendspeed {
+
+GibbsResult InferMarginalsGibbs(const PairwiseMrf& mrf,
+                                const GibbsOptions& opts) {
+  size_t n = mrf.num_vars();
+  Rng rng(opts.seed);
+  std::vector<int> state(n);
+  for (size_t v = 0; v < n; ++v) {
+    if (mrf.IsClamped(v)) {
+      state[v] = mrf.ClampedState(v);
+    } else {
+      // Initialize from the node prior for faster mixing.
+      double p1 = mrf.NodePotential(v, 1);
+      double p0 = mrf.NodePotential(v, 0);
+      state[v] = rng.NextBool(p1 / (p0 + p1)) ? 1 : 0;
+    }
+  }
+
+  std::vector<uint32_t> up_count(n, 0);
+  auto sweep = [&](bool record) {
+    for (size_t v = 0; v < n; ++v) {
+      if (!mrf.IsClamped(v)) {
+        double w0 = mrf.NodePotential(v, 0);
+        double w1 = mrf.NodePotential(v, 1);
+        for (const MrfEdge& e : mrf.Neighbors(v)) {
+          int xs = state[e.to];
+          w0 *= e.compat[0][xs];
+          w1 *= e.compat[1][xs];
+        }
+        state[v] = rng.NextBool(w1 / (w0 + w1)) ? 1 : 0;
+      }
+      if (record && state[v] == 1) ++up_count[v];
+    }
+  };
+
+  for (uint32_t s = 0; s < opts.burn_in_sweeps; ++s) sweep(false);
+  for (uint32_t s = 0; s < opts.sample_sweeps; ++s) sweep(true);
+
+  GibbsResult result;
+  result.total_sweeps = opts.burn_in_sweeps + opts.sample_sweeps;
+  result.p_up.resize(n);
+  double denom = std::max<uint32_t>(opts.sample_sweeps, 1);
+  for (size_t v = 0; v < n; ++v) {
+    if (mrf.IsClamped(v)) {
+      result.p_up[v] = mrf.ClampedState(v) == 1 ? 1.0 : 0.0;
+    } else {
+      result.p_up[v] = up_count[v] / denom;
+    }
+  }
+  return result;
+}
+
+}  // namespace trendspeed

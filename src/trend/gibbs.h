@@ -1,0 +1,33 @@
+// Gibbs-sampling marginal estimation on a PairwiseMrf.
+//
+// Reference sampler used to validate loopy BP and as a slower, asymptotically
+// exact inference alternative in the evaluation.
+
+#ifndef TRENDSPEED_TREND_GIBBS_H_
+#define TRENDSPEED_TREND_GIBBS_H_
+
+#include <vector>
+
+#include "trend/factor_graph.h"
+#include "util/random.h"
+
+namespace trendspeed {
+
+struct GibbsOptions {
+  uint32_t burn_in_sweeps = 100;
+  uint32_t sample_sweeps = 400;
+  uint64_t seed = 7;
+};
+
+struct GibbsResult {
+  std::vector<double> p_up;
+  uint32_t total_sweeps = 0;
+};
+
+/// Runs single-site Gibbs sampling; clamped variables never move.
+GibbsResult InferMarginalsGibbs(const PairwiseMrf& mrf,
+                                const GibbsOptions& opts = {});
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_TREND_GIBBS_H_

@@ -1,0 +1,43 @@
+#include "trend/icm.h"
+
+namespace trendspeed {
+
+IcmResult InferMapIcm(const PairwiseMrf& mrf, const IcmOptions& opts) {
+  size_t n = mrf.num_vars();
+  IcmResult result;
+  result.state.resize(n);
+  for (size_t v = 0; v < n; ++v) {
+    if (mrf.IsClamped(v)) {
+      result.state[v] = mrf.ClampedState(v);
+    } else {
+      result.state[v] =
+          mrf.NodePotential(v, 1) >= mrf.NodePotential(v, 0) ? 1 : 0;
+    }
+  }
+  for (uint32_t s = 0; s < opts.max_sweeps; ++s) {
+    bool changed = false;
+    for (size_t v = 0; v < n; ++v) {
+      if (mrf.IsClamped(v)) continue;
+      double w0 = mrf.NodePotential(v, 0);
+      double w1 = mrf.NodePotential(v, 1);
+      for (const MrfEdge& e : mrf.Neighbors(v)) {
+        int xs = result.state[e.to];
+        w0 *= e.compat[0][xs];
+        w1 *= e.compat[1][xs];
+      }
+      int best = w1 >= w0 ? 1 : 0;
+      if (best != result.state[v]) {
+        result.state[v] = best;
+        changed = true;
+      }
+    }
+    result.sweeps = s + 1;
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace trendspeed

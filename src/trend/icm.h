@@ -1,0 +1,32 @@
+// Iterated conditional modes: fast greedy MAP-style trend assignment.
+//
+// Each sweep sets every free variable to its locally most probable state
+// given its neighbours; converges to a local optimum of the joint. Used as
+// the cheap deterministic baseline among the inference engines.
+
+#ifndef TRENDSPEED_TREND_ICM_H_
+#define TRENDSPEED_TREND_ICM_H_
+
+#include <vector>
+
+#include "trend/factor_graph.h"
+
+namespace trendspeed {
+
+struct IcmOptions {
+  uint32_t max_sweeps = 50;
+};
+
+struct IcmResult {
+  /// Hard state per variable (0 = down, 1 = up).
+  std::vector<int> state;
+  uint32_t sweeps = 0;
+  bool converged = false;
+};
+
+/// Runs ICM from the prior-argmax initialization.
+IcmResult InferMapIcm(const PairwiseMrf& mrf, const IcmOptions& opts = {});
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_TREND_ICM_H_

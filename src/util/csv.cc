@@ -1,0 +1,138 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace trendspeed {
+
+Result<size_t> CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return Status::NotFound("csv column not found: " + name);
+}
+
+Result<CsvTable> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // the next field exists even if empty
+        break;
+      case '\r':
+        break;  // handled by the following \n (or ignored, lone \r)
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += c;
+        field_started = true;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("csv: unterminated quote");
+  if (field_started || !field.empty() || !row.empty()) end_row();
+
+  if (rows.empty()) return Status::InvalidArgument("csv: empty input");
+  CsvTable table;
+  table.header = std::move(rows.front());
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() != table.header.size()) {
+      return Status::InvalidArgument("csv: ragged row " + std::to_string(i));
+    }
+    table.rows.push_back(std::move(rows[i]));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  TS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseCsv(text);
+}
+
+namespace {
+void AppendField(const std::string& f, std::string* out) {
+  bool needs_quotes = f.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    *out += f;
+    return;
+  }
+  *out += '"';
+  for (char c : f) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+void AppendRow(const std::vector<std::string>& row, std::string* out) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) *out += ',';
+    AppendField(row[i], out);
+  }
+  *out += '\n';
+}
+}  // namespace
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out;
+  AppendRow(table.header, &out);
+  for (const auto& row : table.rows) AppendRow(row, &out);
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  return WriteStringToFile(path, WriteCsv(table));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << content;
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,45 @@
+// Tiny CSV reader/writer for dataset import/export and experiment output.
+//
+// Supports the subset of RFC 4180 this project emits: comma separation,
+// double-quote quoting with "" escapes, \n or \r\n row terminators.
+
+#ifndef TRENDSPEED_UTIL_CSV_H_
+#define TRENDSPEED_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// One parsed CSV table: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index for `name`, or error.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+};
+
+/// Parses CSV text. Fails on ragged rows or unterminated quotes.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serializes a table; quotes fields containing separators/quotes/newlines.
+std::string WriteCsv(const CsvTable& table);
+
+/// Writes a table to a file (overwrites).
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file (overwrites).
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_UTIL_CSV_H_

@@ -1,0 +1,68 @@
+// Minimal leveled logging plus CHECK assertions for programming errors.
+//
+// TS_CHECK* abort the process with a diagnostic; they guard invariants, not
+// expected runtime failures (those go through Status, see status.h).
+
+#ifndef TRENDSPEED_UTIL_LOGGING_H_
+#define TRENDSPEED_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace trendspeed {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log-message builder; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace trendspeed
+
+#define TS_LOG(level)                                                  \
+  ::trendspeed::internal::LogMessage(::trendspeed::LogLevel::k##level, \
+                                     __FILE__, __LINE__)
+
+#define TS_CHECK(cond)                                                       \
+  if (!(cond))                                                               \
+  ::trendspeed::internal::LogMessage(::trendspeed::LogLevel::kError,         \
+                                     __FILE__, __LINE__, /*fatal=*/true)     \
+      << "Check failed: " #cond " "
+
+#define TS_CHECK_OP(a, b, op) TS_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define TS_CHECK_EQ(a, b) TS_CHECK_OP(a, b, ==)
+#define TS_CHECK_NE(a, b) TS_CHECK_OP(a, b, !=)
+#define TS_CHECK_LT(a, b) TS_CHECK_OP(a, b, <)
+#define TS_CHECK_LE(a, b) TS_CHECK_OP(a, b, <=)
+#define TS_CHECK_GT(a, b) TS_CHECK_OP(a, b, >)
+#define TS_CHECK_GE(a, b) TS_CHECK_OP(a, b, >=)
+
+/// Aborts if `expr` yields a non-OK Status.
+#define TS_CHECK_OK(expr)                               \
+  do {                                                  \
+    ::trendspeed::Status _st = (expr);                  \
+    TS_CHECK(_st.ok()) << _st.ToString();               \
+  } while (false)
+
+#endif  // TRENDSPEED_UTIL_LOGGING_H_

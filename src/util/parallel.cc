@@ -1,0 +1,38 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace trendspeed {
+
+size_t EffectiveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ParallelFor(size_t n,
+                 const std::function<void(size_t, size_t)>& fn,
+                 size_t num_threads) {
+  if (n == 0) return;
+  size_t workers = std::min(EffectiveThreads(num_threads), n);
+  // Small jobs or single-threaded: run inline (no spawn overhead, easier
+  // debugging).
+  if (workers <= 1 || n < 16) {
+    fn(0, n);
+    return;
+  }
+  size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    size_t begin = w * chunk;
+    if (begin >= n) break;
+    size_t end = std::min(n, begin + chunk);
+    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,28 @@
+// Deterministic data-parallel helpers for the offline (training) phase.
+//
+// ParallelFor splits [0, n) into contiguous chunks across worker threads.
+// Work items must be independent; given per-index determinism, results are
+// identical for any thread count — training stays reproducible.
+
+#ifndef TRENDSPEED_UTIL_PARALLEL_H_
+#define TRENDSPEED_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace trendspeed {
+
+/// Number of workers used when `requested` is 0 (hardware concurrency,
+/// at least 1).
+size_t EffectiveThreads(size_t requested);
+
+/// Runs fn(begin, end) over disjoint chunks covering [0, n), on
+/// EffectiveThreads(num_threads) threads (inline when 1 or n is small).
+/// Blocks until all chunks complete. Exceptions escaping `fn` terminate.
+void ParallelFor(size_t n,
+                 const std::function<void(size_t begin, size_t end)>& fn,
+                 size_t num_threads = 0);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_UTIL_PARALLEL_H_

@@ -1,0 +1,130 @@
+// Deterministic pseudo-random number generation (PCG32).
+//
+// Every stochastic component in the library takes an explicit Rng (or seed) so
+// datasets, simulations, and experiments are bit-for-bit reproducible.
+
+#ifndef TRENDSPEED_UTIL_RANDOM_H_
+#define TRENDSPEED_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+/// PCG32 (Melissa O'Neill's pcg32_random_r), a small fast statistically solid
+/// generator. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+  /// Uniform in [0, bound). Precondition: bound > 0. Uses rejection sampling
+  /// to avoid modulo bias.
+  uint32_t NextBounded(uint32_t bound) {
+    TS_CHECK_GT(bound, 0u);
+    uint32_t threshold = -bound % bound;
+    for (;;) {
+      uint32_t r = NextU32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform index in [0, n).
+  size_t NextIndex(size_t n) { return NextBounded(static_cast<uint32_t>(n)); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return NextU32() * (1.0 / 4294967296.0); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Standard normal via Box-Muller (no cached spare; simple and stateless).
+  double NextGaussian() {
+    double u1;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-12);
+    double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Bernoulli(p).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Exponential with the given rate (lambda).
+  double NextExponential(double rate) {
+    double u;
+    do {
+      u = NextDouble();
+    } while (u <= 1e-12);
+    return -std::log(u) / rate;
+  }
+
+  /// Poisson(lambda) via Knuth's method (fine for lambda up to a few hundred).
+  int NextPoisson(double lambda) {
+    double l = std::exp(-lambda);
+    int k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+
+  /// Fisher-Yates in-place shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[NextIndex(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in arbitrary order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k) {
+    TS_CHECK_LE(k, n);
+    // Floyd's algorithm: O(k) expected memory & time.
+    std::vector<size_t> out;
+    out.reserve(k);
+    std::vector<bool> taken(n, false);
+    for (size_t j = n - k; j < n; ++j) {
+      size_t t = NextIndex(j + 1);
+      if (taken[t]) t = j;
+      taken[t] = true;
+      out.push_back(t);
+    }
+    return out;
+  }
+
+  /// Forks an independent child generator (distinct stream).
+  Rng Fork() { return Rng(NextU32() | (uint64_t{NextU32()} << 32), NextU32()); }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_UTIL_RANDOM_H_

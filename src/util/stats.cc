@@ -1,0 +1,132 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double OnlineStats::sample_variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double n1 = static_cast<double>(count_);
+  double n2 = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  TS_CHECK_EQ(a.size(), b.size());
+  size_t n = a.size();
+  if (n < 2) return 0.0;
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double da = a[i] - ma;
+    double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double Quantile(std::vector<double> v, double q) {
+  TS_CHECK(!v.empty());
+  TS_CHECK_GE(q, 0.0);
+  TS_CHECK_LE(q, 1.0);
+  std::sort(v.begin(), v.end());
+  double pos = q * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+std::string SpeedMetrics::ToString() const {
+  std::ostringstream os;
+  os << "MAE=" << mae << " RMSE=" << rmse << " MAPE=" << mape * 100.0
+     << "% ER=" << error_rate * 100.0 << "% n=" << count;
+  return os.str();
+}
+
+SpeedMetrics ComputeSpeedMetrics(const std::vector<double>& predicted,
+                                 const std::vector<double>& truth,
+                                 double error_rate_tau) {
+  TS_CHECK_EQ(predicted.size(), truth.size());
+  SpeedMetrics m;
+  double se = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] <= 0.0) continue;
+    double err = predicted[i] - truth[i];
+    double abs_err = std::fabs(err);
+    double rel = abs_err / truth[i];
+    m.mae += abs_err;
+    se += err * err;
+    m.mape += rel;
+    if (rel > error_rate_tau) m.error_rate += 1.0;
+    ++m.count;
+  }
+  if (m.count > 0) {
+    double n = static_cast<double>(m.count);
+    m.mae /= n;
+    m.rmse = std::sqrt(se / n);
+    m.mape /= n;
+    m.error_rate /= n;
+  }
+  return m;
+}
+
+double TrendAccuracy(const std::vector<int>& predicted,
+                     const std::vector<int>& truth) {
+  TS_CHECK_EQ(predicted.size(), truth.size());
+  if (truth.empty()) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] == truth[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(truth.size());
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,72 @@
+// Streaming statistics and the evaluation metrics used across the paper's
+// experiments (MAE, RMSE, MAPE, error rate, trend accuracy).
+
+#ifndef TRENDSPEED_UTIL_STATS_H_
+#define TRENDSPEED_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace trendspeed {
+
+/// Welford single-pass accumulator for mean/variance/min/max.
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const;
+  /// Sample variance (divides by n-1); 0 when count < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const OnlineStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation of two equal-length series; 0 when degenerate.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Quantile of a copy of `v` (linear interpolation), q in [0,1].
+double Quantile(std::vector<double> v, double q);
+
+/// Error metrics between predicted and true speeds.
+struct SpeedMetrics {
+  double mae = 0.0;    ///< mean absolute error (speed units)
+  double rmse = 0.0;   ///< root mean squared error
+  double mape = 0.0;   ///< mean absolute percentage error, in [0, ...)
+  /// Fraction of predictions whose relative error exceeds `error_rate_tau`
+  /// (paper-style "error rate"; tau defaults to 0.2).
+  double error_rate = 0.0;
+  size_t count = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes SpeedMetrics over aligned vectors. Entries with non-positive truth
+/// are skipped (no meaningful relative error).
+SpeedMetrics ComputeSpeedMetrics(const std::vector<double>& predicted,
+                                 const std::vector<double>& truth,
+                                 double error_rate_tau = 0.2);
+
+/// Fraction of positions where the two sign sequences agree (+1/-1).
+double TrendAccuracy(const std::vector<int>& predicted,
+                     const std::vector<int>& truth);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_UTIL_STATS_H_

@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace trendspeed {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kOutOfRange:
+      return "out-of-range";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kIoError:
+      return "io-error";
+    case StatusCode::kNotImplemented:
+      return "not-implemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace trendspeed

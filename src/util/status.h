@@ -1,0 +1,148 @@
+// Status / Result error-handling primitives in the Arrow/RocksDB idiom.
+//
+// Library code never throws for expected failures; fallible functions return
+// Status (no payload) or Result<T> (payload or error). Programming errors are
+// caught by TS_CHECK-style assertions in logging.h.
+
+#ifndef TRENDSPEED_UTIL_STATUS_H_
+#define TRENDSPEED_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace trendspeed {
+
+/// Machine-readable error category carried by Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns the canonical lower-case name of a status code ("invalid-argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: an OK singleton or a code + message.
+///
+/// Cheap to copy in the OK case (no allocation); error construction allocates
+/// the message. Follows the RocksDB convention that a Status must be checked
+/// by the caller (enforced socially, not at runtime).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never holds an OK status
+/// without a value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (the common success path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (the common error-forwarding path).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    // An OK status without a value is a programming error; normalize it to an
+    // Internal error rather than invent a default value.
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// OK() when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace trendspeed
+
+/// Propagates a non-OK Status to the caller.
+#define TS_RETURN_NOT_OK(expr)                \
+  do {                                        \
+    ::trendspeed::Status _st = (expr);        \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// binds the value to `lhs`. `lhs` may include a declaration.
+#define TS_ASSIGN_OR_RETURN(lhs, rexpr)           \
+  TS_ASSIGN_OR_RETURN_IMPL(                       \
+      TS_STATUS_MACROS_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define TS_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                             \
+  if (!result_name.ok()) return result_name.status();     \
+  lhs = std::move(result_name).value()
+
+#define TS_STATUS_MACROS_CONCAT(x, y) TS_STATUS_MACROS_CONCAT_IMPL(x, y)
+#define TS_STATUS_MACROS_CONCAT_IMPL(x, y) x##y
+
+#endif  // TRENDSPEED_UTIL_STATUS_H_

@@ -1,0 +1,122 @@
+// Tests for the global least-squares baseline (CG and direct modes).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/global_lsq.h"
+#include "roadnet/shortest_path.h"
+#include "test_util.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::AlternatingHistory;
+using testing_util::SmallGrid;
+
+class GlobalLsqTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = SmallGrid();
+    db_ = AlternatingHistory(net_, 1008, 144, 0.25);
+  }
+
+  RoadNetwork net_;
+  HistoricalDb db_;
+};
+
+TEST_F(GlobalLsqTest, NoSeedsReturnsHistoricalMeans) {
+  GlobalLsqEstimator est(&net_, &db_);
+  auto out = est.Estimate(4, {});
+  ASSERT_TRUE(out.ok());
+  for (RoadId r = 0; r < net_.num_roads(); ++r) {
+    double hist = db_.HistoricalMeanOr(r, 4, net_.road(r).free_flow_kmh);
+    EXPECT_NEAR((*out)[r], hist, 1e-6);
+  }
+}
+
+TEST_F(GlobalLsqTest, SeedsEchoAndDiffuse) {
+  GlobalLsqEstimator est(&net_, &db_);
+  double hist = db_.HistoricalMeanOr(0, 4, net_.road(0).free_flow_kmh);
+  auto out = est.Estimate(4, {{0, hist * 0.6}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0], hist * 0.6);
+  // Most connected roads pulled below their norms (harmonic interpolation).
+  size_t below = 0;
+  for (RoadId r = 1; r < net_.num_roads(); ++r) {
+    double h = db_.HistoricalMeanOr(r, 4, net_.road(r).free_flow_kmh);
+    if ((*out)[r] < h - 1e-9) ++below;
+  }
+  EXPECT_GT(below, net_.num_roads() / 2);
+  EXPECT_GT(est.last_iterations(), 3u);
+}
+
+TEST_F(GlobalLsqTest, DirectAndCgAgree) {
+  GlobalLsqOptions cg_opts;
+  GlobalLsqOptions direct_opts;
+  direct_opts.use_direct_solver = true;
+  GlobalLsqEstimator cg(&net_, &db_, cg_opts);
+  GlobalLsqEstimator direct(&net_, &db_, direct_opts);
+  double h0 = db_.HistoricalMeanOr(0, 4, net_.road(0).free_flow_kmh);
+  double h9 = db_.HistoricalMeanOr(9, 4, net_.road(9).free_flow_kmh);
+  std::vector<SeedSpeed> seeds = {{0, h0 * 0.7}, {9, h9 * 1.1}};
+  auto a = cg.Estimate(4, seeds);
+  auto b = direct.Estimate(4, seeds);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (RoadId r = 0; r < net_.num_roads(); ++r) {
+    EXPECT_NEAR((*a)[r], (*b)[r], 1e-3) << "road " << r;
+  }
+}
+
+TEST_F(GlobalLsqTest, SolutionSatisfiesStationarity) {
+  // At the optimum, each free variable equals the weighted mean of its
+  // neighbours (shrunk by mu): check the KKT residual directly.
+  GlobalLsqOptions opts;
+  opts.mu = 0.01;
+  GlobalLsqEstimator est(&net_, &db_, opts);
+  uint64_t slot = 4;
+  double h0 = db_.HistoricalMeanOr(0, slot, net_.road(0).free_flow_kmh);
+  std::vector<SeedSpeed> seeds = {{0, h0 * 0.7}};
+  auto out = est.Estimate(slot, seeds);
+  ASSERT_TRUE(out.ok());
+  // Recover deviations.
+  std::vector<double> d(net_.num_roads());
+  for (RoadId r = 0; r < net_.num_roads(); ++r) {
+    double h = db_.HistoricalMeanOr(r, slot, net_.road(r).free_flow_kmh);
+    d[r] = (*out)[r] / h - 1.0;
+  }
+  for (RoadId v = 1; v < net_.num_roads(); ++v) {
+    double acc = 0.0;
+    size_t deg = 0;
+    for (RoadId u : net_.RoadSuccessors(v)) {
+      acc += d[u];
+      ++deg;
+    }
+    for (RoadId u : net_.RoadPredecessors(v)) {
+      acc += d[u];
+      ++deg;
+    }
+    if (deg == 0) continue;
+    double residual = (static_cast<double>(deg) + opts.mu) * d[v] - acc;
+    EXPECT_NEAR(residual, 0.0, 1e-4) << "road " << v;
+  }
+}
+
+TEST_F(GlobalLsqTest, RejectsBadSeeds) {
+  GlobalLsqEstimator est(&net_, &db_);
+  EXPECT_FALSE(est.Estimate(4, {{99999, 10.0}}).ok());
+}
+
+TEST_F(GlobalLsqTest, SpeedsStayPhysical) {
+  GlobalLsqEstimator est(&net_, &db_);
+  auto out = est.Estimate(4, {{0, 200.0}});
+  ASSERT_TRUE(out.ok());
+  for (RoadId r = 1; r < net_.num_roads(); ++r) {
+    EXPECT_GE((*out)[r], 2.0);
+    EXPECT_LE((*out)[r], net_.road(r).free_flow_kmh * 1.3 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace trendspeed

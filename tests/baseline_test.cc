@@ -1,0 +1,158 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/historical_mean.h"
+#include "baseline/knn.h"
+#include "baseline/label_propagation.h"
+#include "baseline/matrix_completion.h"
+#include "roadnet/shortest_path.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::AlternatingHistory;
+using testing_util::SmallGrid;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = SmallGrid();
+    db_ = AlternatingHistory(net_, 1008, 144, 0.25);
+  }
+
+  RoadNetwork net_;
+  HistoricalDb db_;
+};
+
+TEST_F(BaselineTest, HistoricalMeanReturnsBucketMeans) {
+  HistoricalMeanEstimator est(&net_, &db_);
+  auto out = est.Estimate(/*slot=*/4, {});
+  ASSERT_TRUE(out.ok());
+  for (RoadId r = 0; r < net_.num_roads(); ++r) {
+    EXPECT_NEAR((*out)[r], db_.HistoricalMeanOr(r, 4, 0.0), 1e-9);
+  }
+}
+
+TEST_F(BaselineTest, HistoricalMeanReportsSeedsVerbatim) {
+  HistoricalMeanEstimator est(&net_, &db_);
+  auto out = est.Estimate(4, {{3, 77.0}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[3], 77.0);
+  EXPECT_FALSE(est.Estimate(4, {{9999, 10.0}}).ok());
+}
+
+TEST_F(BaselineTest, KnnInterpolatesSeedDeviation) {
+  KnnEstimator est(&net_, &db_);
+  // One seed at 30% below its historical mean: nearby roads should come out
+  // below their own means too.
+  double hist0 = db_.HistoricalMeanOr(0, 4, net_.road(0).free_flow_kmh);
+  auto out = est.Estimate(4, {{0, hist0 * 0.7}});
+  ASSERT_TRUE(out.ok());
+  auto dist = RoadHopDistances(net_, 0, 3);
+  size_t checked = 0;
+  for (RoadId r = 1; r < net_.num_roads(); ++r) {
+    if (dist[r] == kUnreachable || dist[r] > 2) continue;
+    double hist = db_.HistoricalMeanOr(r, 4, net_.road(r).free_flow_kmh);
+    EXPECT_LT((*out)[r], hist) << "road " << r;
+    ++checked;
+  }
+  EXPECT_GT(checked, 3u);
+}
+
+TEST_F(BaselineTest, KnnFallsBackToHistBeyondHorizon) {
+  KnnOptions opts;
+  opts.max_hops = 1;
+  KnnEstimator est(&net_, &db_, opts);
+  auto out = est.Estimate(4, {{0, 10.0}});
+  ASSERT_TRUE(out.ok());
+  auto dist = RoadHopDistances(net_, 0, 1000);
+  for (RoadId r = 0; r < net_.num_roads(); ++r) {
+    if (dist[r] > 1) {
+      double hist = db_.HistoricalMeanOr(r, 4, net_.road(r).free_flow_kmh);
+      EXPECT_NEAR((*out)[r], hist, 1e-9);
+    }
+  }
+}
+
+TEST_F(BaselineTest, LabelPropagationSpreadsDeviationEverywhere) {
+  LabelPropagationEstimator est(&net_, &db_);
+  double hist0 = db_.HistoricalMeanOr(0, 4, net_.road(0).free_flow_kmh);
+  auto out = est.Estimate(4, {{0, hist0 * 0.6}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(est.last_iterations(), 5u);
+  // Every connected road should be pulled below its historical mean.
+  size_t below = 0;
+  for (RoadId r = 1; r < net_.num_roads(); ++r) {
+    double hist = db_.HistoricalMeanOr(r, 4, net_.road(r).free_flow_kmh);
+    if ((*out)[r] < hist - 1e-9) ++below;
+  }
+  EXPECT_GT(below, net_.num_roads() / 2);
+}
+
+TEST_F(BaselineTest, LabelPropagationNoSeedsIsHistoricalMean) {
+  LabelPropagationEstimator est(&net_, &db_);
+  auto out = est.Estimate(4, {});
+  ASSERT_TRUE(out.ok());
+  for (RoadId r = 0; r < net_.num_roads(); ++r) {
+    double hist = db_.HistoricalMeanOr(r, 4, net_.road(r).free_flow_kmh);
+    EXPECT_NEAR((*out)[r], hist, 1e-6);
+  }
+}
+
+TEST_F(BaselineTest, MatrixCompletionFitsAlternatingPattern) {
+  auto est = MatrixCompletionEstimator::Train(&net_, &db_, {});
+  ASSERT_TRUE(est.ok());
+  // The alternating deviation matrix is rank-1; ALS must fit it nearly
+  // exactly.
+  EXPECT_LT(est->train_rmse(), 0.05);
+  // With seeds indicating "down", all roads should be estimated down.
+  uint64_t slot = 5;  // odd slot: truth is down
+  std::vector<SeedSpeed> seeds;
+  for (RoadId r : {0u, 5u, 9u}) {
+    double hist = db_.HistoricalMeanOr(r, slot, net_.road(r).free_flow_kmh);
+    seeds.push_back({r, hist * 0.8});
+  }
+  auto out = est->Estimate(slot, seeds);
+  ASSERT_TRUE(out.ok());
+  size_t below = 0;
+  for (RoadId r = 0; r < net_.num_roads(); ++r) {
+    double hist = db_.HistoricalMeanOr(r, slot, net_.road(r).free_flow_kmh);
+    if ((*out)[r] < hist) ++below;
+  }
+  EXPECT_GT(below, net_.num_roads() * 3 / 4);
+}
+
+TEST_F(BaselineTest, MatrixCompletionRejectsBadConfig) {
+  MatrixCompletionOptions opts;
+  opts.rank = 0;
+  EXPECT_FALSE(MatrixCompletionEstimator::Train(&net_, &db_, opts).ok());
+  EXPECT_FALSE(MatrixCompletionEstimator::Train(nullptr, &db_, {}).ok());
+}
+
+TEST_F(BaselineTest, AllBaselinesProducePhysicalSpeeds) {
+  auto mc = MatrixCompletionEstimator::Train(&net_, &db_, {});
+  ASSERT_TRUE(mc.ok());
+  KnnEstimator knn(&net_, &db_);
+  LabelPropagationEstimator lp(&net_, &db_);
+  HistoricalMeanEstimator hist(&net_, &db_);
+  std::vector<SeedSpeed> seeds = {{0, 25.0}, {7, 50.0}};
+  auto check = [&](Result<std::vector<double>> out) {
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    for (double v : *out) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LT(v, 150.0);
+    }
+  };
+  for (uint64_t slot : {0u, 17u, 500u}) {
+    check(hist.Estimate(slot, seeds));
+    check(knn.Estimate(slot, seeds));
+    check(lp.Estimate(slot, seeds));
+    check(mc->Estimate(slot, seeds));
+  }
+}
+
+}  // namespace
+}  // namespace trendspeed

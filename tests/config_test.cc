@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace trendspeed {
+namespace {
+
+TEST(ConfigTest, DefaultsValidate) {
+  PipelineConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadCorrThreshold) {
+  PipelineConfig config;
+  config.corr.min_same_prob = 0.4;
+  EXPECT_FALSE(config.Validate().ok());
+  config.corr.min_same_prob = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsZeroHops) {
+  PipelineConfig config;
+  config.corr.max_hops = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = PipelineConfig{};
+  config.influence.max_hops = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadInfluenceThreshold) {
+  PipelineConfig config;
+  config.influence.min_influence = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.influence.min_influence = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadPropagation) {
+  PipelineConfig config;
+  config.propagation.max_layers = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsNegativeRidge) {
+  PipelineConfig config;
+  config.speed.ridge_lambda = -0.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadDamping) {
+  PipelineConfig config;
+  config.trend.bp.damping = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.trend.bp.damping = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace trendspeed

@@ -1,0 +1,199 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "corr/correlation_graph.h"
+#include "corr/cotrend.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::AlternatingHistory;
+using testing_util::PathNetwork;
+using testing_util::SmallGrid;
+
+TEST(TrendIndexTest, RoundTrip) {
+  EXPECT_EQ(TrendIndex(+1), 1);
+  EXPECT_EQ(TrendIndex(-1), 0);
+  EXPECT_EQ(TrendFromIndex(1), +1);
+  EXPECT_EQ(TrendFromIndex(0), -1);
+}
+
+TEST(CoTrendTest, PerfectlyCorrelatedRoads) {
+  RoadNetwork net = PathNetwork();
+  HistoricalDb db = AlternatingHistory(net, 500);
+  CoTrendStats stats = ComputeCoTrend(db, 0, 2, 60.0, 60.0);
+  EXPECT_EQ(stats.co_observed, 500u);
+  // Both roads are up on even slots and down on odd slots.
+  EXPECT_GT(stats.SameProbability(), 0.95);
+  EXPECT_GT(stats.pearson, 0.95);
+  // Off-diagonal counts empty.
+  EXPECT_EQ(stats.counts[0][1], 0u);
+  EXPECT_EQ(stats.counts[1][0], 0u);
+}
+
+TEST(CoTrendTest, AntiCorrelatedRoads) {
+  RoadNetwork net = PathNetwork();
+  // Road 0 and road 2 follow exactly opposite up/down patterns.
+  HistoricalDb::Builder builder(net.num_roads(), 500, 144);
+  for (uint64_t s = 0; s < 500; ++s) {
+    bool up = testing_util::AlternatingUp(s);
+    builder.Add(0, s, 48.0 * (up ? 1.2 : 0.8));
+    builder.Add(2, s, 48.0 * (up ? 0.8 : 1.2));
+  }
+  HistoricalDb db = builder.Finish();
+  CoTrendStats stats = ComputeCoTrend(db, 0, 2, 60.0, 60.0);
+  EXPECT_LT(stats.SameProbability(), 0.05);
+  EXPECT_LT(stats.pearson, -0.9);
+}
+
+TEST(CoTrendTest, NoCoObservationsIsNeutral) {
+  RoadNetwork net = PathNetwork();
+  HistoricalDb::Builder builder(net.num_roads(), 100, 144);
+  for (uint64_t s = 0; s < 100; s += 2) builder.Add(0, s, 50.0);
+  for (uint64_t s = 1; s < 100; s += 2) builder.Add(2, s, 50.0);
+  HistoricalDb db = builder.Finish();
+  CoTrendStats stats = ComputeCoTrend(db, 0, 2, 60.0, 60.0);
+  EXPECT_EQ(stats.co_observed, 0u);
+  EXPECT_DOUBLE_EQ(stats.SameProbability(), 0.5);  // Laplace prior
+  EXPECT_DOUBLE_EQ(stats.pearson, 0.0);
+}
+
+TEST(CoTrendTest, CompatibilityIsOneUnderIndependence) {
+  CoTrendStats stats;
+  stats.co_observed = 400;
+  stats.counts[0][0] = stats.counts[0][1] = stats.counts[1][0] =
+      stats.counts[1][1] = 100;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      EXPECT_NEAR(stats.Compatibility(a, b), 1.0, 0.02);
+    }
+  }
+}
+
+TEST(CoTrendTest, CompatibilityFavorsAgreementWhenCorrelated) {
+  CoTrendStats stats;
+  stats.co_observed = 400;
+  stats.counts[0][0] = stats.counts[1][1] = 180;
+  stats.counts[0][1] = stats.counts[1][0] = 20;
+  EXPECT_GT(stats.Compatibility(0, 0), 1.2);
+  EXPECT_LT(stats.Compatibility(0, 1), 0.8);
+  // Clipping bounds.
+  CoTrendStats extreme;
+  extreme.co_observed = 10000;
+  extreme.counts[0][0] = extreme.counts[1][1] = 5000;
+  EXPECT_LE(extreme.Compatibility(0, 0), 8.0 + 1e-12);
+  EXPECT_GE(extreme.Compatibility(0, 1), 1.0 / 8.0 - 1e-12);
+}
+
+TEST(CorrelationGraphTest, BuildsSymmetricGraphOnCorrelatedHistory) {
+  RoadNetwork net = SmallGrid();
+  HistoricalDb db = AlternatingHistory(net);
+  CorrelationGraphOptions opts;
+  opts.min_co_observed = 10;
+  auto graph = CorrelationGraph::Build(net, db, opts);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_roads(), net.num_roads());
+  EXPECT_GT(graph->num_edges(), 0u);
+  // Symmetry: j in N(i) <=> i in N(j), with matching same_prob.
+  for (RoadId i = 0; i < graph->num_roads(); ++i) {
+    for (const CorrEdge& e : graph->Neighbors(i)) {
+      bool found = false;
+      for (const CorrEdge& back : graph->Neighbors(e.neighbor)) {
+        if (back.neighbor == i) {
+          found = true;
+          EXPECT_FLOAT_EQ(back.same_prob, e.same_prob);
+          // Transposed compatibility tables.
+          for (int a = 0; a < 2; ++a)
+            for (int b = 0; b < 2; ++b)
+              EXPECT_FLOAT_EQ(back.compat[a][b], e.compat[b][a]);
+        }
+      }
+      EXPECT_TRUE(found) << "edge " << i << "-" << e.neighbor
+                         << " not symmetric";
+    }
+  }
+}
+
+TEST(CorrelationGraphTest, RespectsDegreeCapLoosely) {
+  RoadNetwork net = SmallGrid();
+  HistoricalDb db = AlternatingHistory(net);
+  CorrelationGraphOptions opts;
+  opts.min_co_observed = 10;
+  opts.max_hops = 3;
+  opts.max_degree = 4;
+  auto graph = CorrelationGraph::Build(net, db, opts);
+  ASSERT_TRUE(graph.ok());
+  // Union-capping allows exceeding the per-vertex cap, but not wildly.
+  for (RoadId i = 0; i < graph->num_roads(); ++i) {
+    EXPECT_LE(graph->Degree(i), 10 * opts.max_degree);
+  }
+  EXPECT_LT(graph->average_degree(), 2.0 * opts.max_degree);
+  CorrelationGraphOptions loose = opts;
+  loose.max_degree = 100;
+  auto big = CorrelationGraph::Build(net, db, loose);
+  ASSERT_TRUE(big.ok());
+  EXPECT_GE(big->num_edges(), graph->num_edges());
+}
+
+TEST(CorrelationGraphTest, ThresholdFiltersWeakPairs) {
+  RoadNetwork net = SmallGrid();
+  // Independent random speeds: no road pair should pass a 0.65 threshold
+  // with enough co-observations.
+  Rng rng(55);
+  HistoricalDb::Builder builder(net.num_roads(), 1000, 144);
+  for (uint64_t s = 0; s < 1000; ++s) {
+    for (RoadId r = 0; r < net.num_roads(); ++r) {
+      builder.Add(r, s, 40.0 + rng.Gaussian(0.0, 8.0) + (s % 7));
+    }
+  }
+  HistoricalDb db = builder.Finish();
+  CorrelationGraphOptions opts;
+  opts.min_same_prob = 0.65;
+  opts.min_co_observed = 200;
+  auto graph = CorrelationGraph::Build(net, db, opts);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_LT(graph->average_degree(), 0.5);
+}
+
+TEST(CorrelationGraphTest, MinCoObservedFilters) {
+  RoadNetwork net = SmallGrid();
+  HistoricalDb db = AlternatingHistory(net, /*num_slots=*/8);
+  CorrelationGraphOptions opts;
+  opts.min_co_observed = 100;  // more than available
+  auto graph = CorrelationGraph::Build(net, db, opts);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 0u);
+  EXPECT_EQ(graph->CountIsolated(), net.num_roads());
+}
+
+TEST(CorrelationGraphTest, RejectsBadOptions) {
+  RoadNetwork net = SmallGrid();
+  HistoricalDb db = AlternatingHistory(net, 16);
+  CorrelationGraphOptions opts;
+  opts.min_same_prob = 0.3;
+  EXPECT_FALSE(CorrelationGraph::Build(net, db, opts).ok());
+  opts.min_same_prob = 0.65;
+  opts.max_hops = 0;
+  EXPECT_FALSE(CorrelationGraph::Build(net, db, opts).ok());
+}
+
+TEST(CorrelationGraphTest, HopsLimitCandidateRange) {
+  RoadNetwork net = SmallGrid();
+  HistoricalDb db = AlternatingHistory(net);
+  CorrelationGraphOptions opts;
+  opts.min_co_observed = 10;
+  opts.max_degree = 1000;
+  opts.max_hops = 1;
+  auto near = CorrelationGraph::Build(net, db, opts);
+  opts.max_hops = 3;
+  auto far = CorrelationGraph::Build(net, db, opts);
+  ASSERT_TRUE(near.ok());
+  ASSERT_TRUE(far.ok());
+  EXPECT_LT(near->num_edges(), far->num_edges());
+}
+
+}  // namespace
+}  // namespace trendspeed

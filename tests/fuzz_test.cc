@@ -1,0 +1,118 @@
+// Robustness "fuzz-lite" suites: hostile inputs must produce clean Status
+// errors (or correct parses), never crashes or silent corruption.
+
+#include <gtest/gtest.h>
+
+#include "core/model_io.h"
+#include "io/serialize.h"
+#include "test_util.h"
+#include "util/binary_io.h"
+#include "util/csv.h"
+#include "util/random.h"
+
+namespace trendspeed {
+namespace {
+
+TEST(CsvFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(42);
+  const char alphabet[] = "abc,\"\n\r\\0123 \t;";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input;
+    size_t len = rng.NextIndex(200);
+    for (size_t i = 0; i < len; ++i) {
+      input += alphabet[rng.NextIndex(sizeof(alphabet) - 1)];
+    }
+    auto result = ParseCsv(input);  // must not crash; ok or error both fine
+    if (result.ok()) {
+      // Parsed tables must be rectangular.
+      for (const auto& row : result->rows) {
+        EXPECT_EQ(row.size(), result->header.size());
+      }
+    }
+  }
+}
+
+TEST(CsvFuzzTest, RoundTripRandomTables) {
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    CsvTable t;
+    size_t cols = 1 + rng.NextIndex(5);
+    for (size_t c = 0; c < cols; ++c) {
+      t.header.push_back("col" + std::to_string(c));
+    }
+    size_t rows = rng.NextIndex(10);
+    const char alphabet[] = "ab,\"\nx 1.5-";
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < cols; ++c) {
+        std::string field;
+        size_t len = rng.NextIndex(12);
+        for (size_t i = 0; i < len; ++i) {
+          field += alphabet[rng.NextIndex(sizeof(alphabet) - 1)];
+        }
+        row.push_back(field);
+      }
+      t.rows.push_back(row);
+    }
+    auto parsed = ParseCsv(WriteCsv(t));
+    ASSERT_TRUE(parsed.ok()) << "trial " << trial;
+    EXPECT_EQ(parsed->header, t.header);
+    EXPECT_EQ(parsed->rows, t.rows);
+  }
+}
+
+TEST(BinaryFuzzTest, TruncatedModelsFailCleanly) {
+  const Dataset& ds = testing_util::SharedTinyDataset();
+  PipelineConfig config;
+  config.corr.min_co_observed = 8;
+  auto est = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+  ASSERT_TRUE(est.ok());
+  std::string bytes = SerializeTrainedModel(*est);
+  Rng rng(44);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t cut = rng.NextIndex(bytes.size());
+    auto loaded =
+        DeserializeTrainedModel(&ds.net, &ds.history, bytes.substr(0, cut));
+    EXPECT_FALSE(loaded.ok()) << "truncation at " << cut << " was accepted";
+  }
+}
+
+TEST(BinaryFuzzTest, BitFlippedModelsNeverCrash) {
+  const Dataset& ds = testing_util::SharedTinyDataset();
+  PipelineConfig config;
+  config.corr.min_co_observed = 8;
+  auto est = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+  ASSERT_TRUE(est.ok());
+  std::string bytes = SerializeTrainedModel(*est);
+  Rng rng(45);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string mutated = bytes;
+    // Flip a few random bits in the header/metadata region, where structure
+    // lives (payload flips mostly just change float values).
+    for (int f = 0; f < 4; ++f) {
+      size_t pos = rng.NextIndex(std::min<size_t>(mutated.size(), 256));
+      mutated[pos] = static_cast<char>(mutated[pos] ^
+                                       (1 << rng.NextIndex(8)));
+    }
+    // Must not crash. Either a clean error or, if the flip was benign, a
+    // loadable model.
+    auto loaded = DeserializeTrainedModel(&ds.net, &ds.history, mutated);
+    (void)loaded;
+  }
+}
+
+TEST(RecordsFuzzTest, GarbageCsvRecordsRejected) {
+  CsvTable t;
+  t.header = {"road", "slot", "speed_kmh"};
+  t.rows = {{"abc", "1", "40"}};
+  EXPECT_FALSE(RecordsFromCsv(t).ok());
+  t.rows = {{"1", "-2", "40"}};
+  EXPECT_FALSE(RecordsFromCsv(t).ok());
+  t.rows = {{"1", "2", "fast"}};
+  EXPECT_FALSE(RecordsFromCsv(t).ok());
+  t.rows = {{"1", "2", "40"}, {"1", "2", ""}};
+  EXPECT_FALSE(RecordsFromCsv(t).ok());
+}
+
+}  // namespace
+}  // namespace trendspeed

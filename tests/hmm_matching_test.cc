@@ -1,0 +1,130 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "probe/gps.h"
+#include "probe/hmm_matching.h"
+#include "probe/map_matching.h"
+#include "probe/trips.h"
+#include "test_util.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::PathNetwork;
+using testing_util::SmallGrid;
+
+TEST(HmmMatchingTest, NoiselessTraceMatchesExactly) {
+  RoadNetwork net = PathNetwork();
+  TripPlan trip;
+  trip.roads = {0, 2};  // A->B, B->C
+  std::vector<double> speeds(net.num_roads(), 36.0);
+  GpsOptions gopts;
+  gopts.sample_interval_s = 10.0;
+  gopts.position_noise_m = 0.0;
+  Rng rng(1);
+  GpsTrace trace = DriveTrip(net, trip, speeds, gopts, 600.0, 0, &rng);
+  SegmentIndex index(&net);
+  std::vector<RoadId> matched = MatchTraceHmm(index, trace.points);
+  ASSERT_EQ(matched.size(), trace.points.size());
+  size_t correct = 0;
+  for (size_t i = 0; i < matched.size(); ++i) {
+    // Noiseless fixes lie exactly on the overlapping two-way street; either
+    // direction is geometrically valid, so accept the twin as well.
+    if (matched[i] == trace.true_roads[i] ||
+        matched[i] == net.ReverseTwin(trace.true_roads[i])) {
+      ++correct;
+    }
+  }
+  // A fix landing exactly on the shared intersection is equidistant to all
+  // four incident segments — allow one genuinely ambiguous point.
+  EXPECT_GE(correct + 1, matched.size());
+}
+
+TEST(HmmMatchingTest, EmptyTrace) {
+  RoadNetwork net = PathNetwork();
+  SegmentIndex index(&net);
+  EXPECT_TRUE(MatchTraceHmm(index, {}).empty());
+}
+
+TEST(HmmMatchingTest, OffNetworkFixesAreUnmatched) {
+  RoadNetwork net = PathNetwork();
+  SegmentIndex index(&net, 250.0, 40.0);
+  std::vector<GpsPoint> pts(3);
+  pts[0].x = 100;
+  pts[0].y = 0;   // on road 0
+  pts[1].x = 5000;
+  pts[1].y = 5000;  // nowhere
+  pts[2].x = 300;
+  pts[2].y = 0;   // on road 0
+  pts[1].t_seconds = 10;
+  pts[2].t_seconds = 20;
+  auto matched = MatchTraceHmm(index, pts);
+  EXPECT_NE(matched[0], kInvalidRoad);
+  EXPECT_EQ(matched[1], kInvalidRoad);
+  EXPECT_NE(matched[2], kInvalidRoad);
+}
+
+double MatchAccuracy(const RoadNetwork& net, double noise_m, bool hmm,
+                     uint64_t seed) {
+  TripGenerator gen(&net, {});
+  SegmentIndex index(&net);
+  std::vector<double> speeds(net.num_roads(), 40.0);
+  GpsOptions gopts;
+  gopts.sample_interval_s = 15.0;
+  gopts.position_noise_m = noise_m;
+  Rng rng(seed);
+  size_t total = 0, correct = 0;
+  for (int t = 0; t < 25; ++t) {
+    auto trip = gen.Next();
+    TS_CHECK(trip.ok());
+    GpsTrace trace = DriveTrip(net, *trip, speeds, gopts, 600.0,
+                               static_cast<uint32_t>(t), &rng);
+    std::vector<RoadId> matched = hmm ? MatchTraceHmm(index, trace.points)
+                                      : MatchTrace(index, trace.points);
+    for (size_t i = 0; i < matched.size(); ++i) {
+      ++total;
+      if (matched[i] == trace.true_roads[i] ||
+          matched[i] == net.ReverseTwin(trace.true_roads[i])) {
+        ++correct;
+      }
+    }
+  }
+  TS_CHECK_GT(total, 100u);
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+TEST(HmmMatchingTest, RobustUnderHeavyNoise) {
+  RoadNetwork net = SmallGrid();
+  // Under heavy noise the Viterbi decoder must stay usable; segment-level
+  // accuracy (either direction of the street) stays high.
+  double hmm = MatchAccuracy(net, 25.0, /*hmm=*/true, 5);
+  EXPECT_GT(hmm, 0.75);
+}
+
+TEST(HmmMatchingTest, ComparableToGreedyOnModerateNoise) {
+  RoadNetwork net = SmallGrid();
+  double hmm = MatchAccuracy(net, 10.0, true, 7);
+  double greedy = MatchAccuracy(net, 10.0, false, 7);
+  EXPECT_GT(hmm, 0.8);
+  // Same ballpark as the heading-aware greedy matcher (the greedy matcher
+  // uses heading, which disambiguates direction; HMM trades that for joint
+  // spatial consistency).
+  EXPECT_GT(hmm, greedy - 0.15);
+}
+
+TEST(HmmMatchingTest, FleetPipelineWorksWithHmm) {
+  RoadNetwork net = SmallGrid();
+  TrafficOptions topts;
+  auto field = GenerateSpeedField(net, topts, 1);
+  ASSERT_TRUE(field.ok());
+  ProbeFleetOptions fleet;
+  fleet.trips_per_slot = 3;
+  fleet.use_hmm_matching = true;
+  auto db = CollectProbeHistory(net, *field, fleet);
+  ASSERT_TRUE(db.ok());
+  EXPECT_GT(db->TotalObservations(), 20u);
+}
+
+}  // namespace
+}  // namespace trendspeed

@@ -1,0 +1,221 @@
+// End-to-end integration tests exercising the full stack the way the paper's
+// evaluation does: simulate a city, wrangle probe data, train, select seeds,
+// estimate, and compare methods.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "core/evaluator.h"
+#include "io/dataset.h"
+#include "io/serialize.h"
+#include "roadnet/generators.h"
+#include "test_util.h"
+
+namespace trendspeed {
+namespace {
+
+// One moderately sized dataset built through the *full* probe pipeline
+// (GPS + map matching), shared across this binary.
+const Dataset& FullPipelineDataset() {
+  static const Dataset* ds = [] {
+    DatasetOptions opts;
+    opts.history_days = 8;
+    opts.test_days = 1;
+    opts.use_probe_fleet = true;
+    opts.fleet.trips_per_slot = 12;
+    GridNetworkOptions grid;
+    grid.rows = 6;
+    grid.cols = 6;
+    grid.arterial_every = 3;
+    auto net = MakeGridNetwork(grid);
+    TS_CHECK(net.ok());
+    auto built = BuildDataset("FullPipe", std::move(net).value(), opts);
+    TS_CHECK(built.ok()) << built.status().ToString();
+    return new Dataset(std::move(built).value());
+  }();
+  return *ds;
+}
+
+TEST(IntegrationTest, FullProbePipelineTrainsAndEstimates) {
+  const Dataset& ds = FullPipelineDataset();
+  EXPECT_GT(ds.history.CoverageFraction(), 0.02);
+  PipelineConfig config;
+  config.corr.min_co_observed = 8;
+  auto est = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_GT(est->correlation_graph().num_edges(), 5u);
+
+  auto seeds = est->SelectSeeds(8, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+  Evaluator eval(&ds);
+  EvalOptions opts;
+  opts.slot_stride = 8;
+  auto suite = BuildMethodSuite(ds, *est, /*include_matrix_completion=*/true);
+  ASSERT_TRUE(suite.ok());
+  double ours = 0.0, hist = 0.0;
+  for (const MethodAdapter& m : suite->methods) {
+    auto r = eval.Run(m, seeds->seeds, opts);
+    ASSERT_TRUE(r.ok()) << m.name;
+    if (m.name == "TrendSpeed") ours = r->metrics.mape;
+    if (m.name == "HistoricalMean") hist = r->metrics.mape;
+  }
+  EXPECT_LT(ours, hist);
+}
+
+TEST(IntegrationTest, GreedySeedsBeatRandomSeedsOnAccuracy) {
+  const Dataset& ds = FullPipelineDataset();
+  PipelineConfig config;
+  config.corr.min_co_observed = 8;
+  auto est = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+  ASSERT_TRUE(est.ok());
+  Evaluator eval(&ds);
+  EvalOptions opts;
+  opts.slot_stride = 8;
+  auto suite = BuildMethodSuite(ds, *est, false);
+  ASSERT_TRUE(suite.ok());
+  const MethodAdapter& ours = suite->methods[0];
+
+  auto greedy = est->SelectSeeds(8, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(greedy.ok());
+  auto g = eval.Run(ours, greedy->seeds, opts);
+  ASSERT_TRUE(g.ok());
+
+  // Average several random seed sets to reduce luck.
+  double random_mae = 0.0;
+  const int kTrials = 3;
+  for (int t = 0; t < kTrials; ++t) {
+    auto random = est->SelectSeeds(8, SeedStrategy::kRandom, 100 + t);
+    ASSERT_TRUE(random.ok());
+    auto r = eval.Run(ours, random->seeds, opts);
+    ASSERT_TRUE(r.ok());
+    random_mae += r->metrics.mae;
+  }
+  random_mae /= kTrials;
+  EXPECT_LT(g->metrics.mae, random_mae * 1.05);
+}
+
+TEST(IntegrationTest, TrendStepImprovesOverPriorOnly) {
+  const Dataset& ds = FullPipelineDataset();
+  PipelineConfig with_bp;
+  with_bp.corr.min_co_observed = 8;
+  PipelineConfig prior_only = with_bp;
+  prior_only.trend.engine = TrendEngine::kPriorOnly;
+
+  auto est_bp = TrafficSpeedEstimator::Train(&ds.net, &ds.history, with_bp);
+  auto est_prior =
+      TrafficSpeedEstimator::Train(&ds.net, &ds.history, prior_only);
+  ASSERT_TRUE(est_bp.ok());
+  ASSERT_TRUE(est_prior.ok());
+  auto seeds = est_bp->SelectSeeds(10, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+  Evaluator eval(&ds);
+  EvalOptions opts;
+  opts.slot_stride = 6;
+  auto acc_bp = eval.RunTrendAccuracy(*est_bp, seeds->seeds, opts);
+  auto acc_prior = eval.RunTrendAccuracy(*est_prior, seeds->seeds, opts);
+  ASSERT_TRUE(acc_bp.ok());
+  ASSERT_TRUE(acc_prior.ok());
+  EXPECT_GE(*acc_bp, *acc_prior - 0.02);
+}
+
+TEST(IntegrationTest, EstimatorIsDeterministic) {
+  const Dataset& ds = testing_util::SharedTinyDataset();
+  PipelineConfig config;
+  config.corr.min_co_observed = 8;
+  auto est1 = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+  auto est2 = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+  ASSERT_TRUE(est1.ok());
+  ASSERT_TRUE(est2.ok());
+  auto s1 = est1->SelectSeeds(5, SeedStrategy::kGreedy);
+  auto s2 = est2->SelectSeeds(5, SeedStrategy::kGreedy);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->seeds, s2->seeds);
+  uint64_t slot = ds.first_test_slot() + 3;
+  std::vector<SeedSpeed> obs;
+  for (RoadId r : s1->seeds) obs.push_back({r, ds.truth.at(slot, r)});
+  auto o1 = est1->Estimate(slot, obs);
+  auto o2 = est2->Estimate(slot, obs);
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(o1->speeds.speed_kmh, o2->speeds.speed_kmh);
+}
+
+TEST(IntegrationTest, SerializationRoundTripPreservesEstimates) {
+  // Export the tiny dataset's network + history records, re-import, retrain,
+  // and verify identical behaviour — the offline/online split a production
+  // deployment would use.
+  const Dataset& ds = testing_util::SharedTinyDataset();
+  CsvTable nodes = NetworkNodesToCsv(ds.net);
+  CsvTable roads = NetworkRoadsToCsv(ds.net);
+  auto net2 = NetworkFromCsv(nodes, roads);
+  ASSERT_TRUE(net2.ok());
+
+  std::vector<RawRecord> records;
+  for (RoadId r = 0; r < ds.net.num_roads(); ++r) {
+    for (uint64_t s = 0; s < ds.history.num_slots(); ++s) {
+      if (ds.history.HasObservation(r, s)) {
+        records.push_back({r, s, ds.history.Observation(r, s)});
+      }
+    }
+  }
+  auto db2 = HistoryFromRecords(records, ds.net.num_roads(),
+                                ds.history.num_slots(), 144);
+  ASSERT_TRUE(db2.ok());
+
+  PipelineConfig config;
+  config.corr.min_co_observed = 8;
+  auto est1 = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+  auto est2 = TrafficSpeedEstimator::Train(&*net2, &*db2, config);
+  ASSERT_TRUE(est1.ok());
+  ASSERT_TRUE(est2.ok());
+  auto s1 = est1->SelectSeeds(5, SeedStrategy::kGreedy);
+  auto s2 = est2->SelectSeeds(5, SeedStrategy::kGreedy);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->seeds, s2->seeds);
+}
+
+TEST(IntegrationTest, CompositeCityEndToEnd) {
+  // A heterogeneous city (ring-radial core + grid suburb joined by highway
+  // links) through the whole stack: simulate, collect probes, train,
+  // select seeds, estimate.
+  CompositeCityOptions copts;
+  copts.core.num_rings = 3;
+  copts.core.num_spokes = 10;
+  copts.suburb.rows = 6;
+  copts.suburb.cols = 6;
+  copts.num_links = 2;
+  auto net = MakeCompositeCity(copts);
+  ASSERT_TRUE(net.ok());
+  DatasetOptions dopts;
+  dopts.history_days = 8;
+  dopts.test_days = 1;
+  dopts.use_probe_fleet = false;
+  auto ds = BuildDataset("Composite", std::move(net).value(), dopts);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  PipelineConfig config;
+  config.corr.min_co_observed = 8;
+  auto est = TrafficSpeedEstimator::Train(&ds->net, &ds->history, config);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  auto seeds = est->SelectSeeds(12, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+  Evaluator eval(&*ds);
+  EvalOptions opts;
+  opts.slot_stride = 12;
+  auto suite = BuildMethodSuite(*ds, *est, false);
+  ASSERT_TRUE(suite.ok());
+  double ours = 0.0, hist = 0.0;
+  for (const MethodAdapter& m : suite->methods) {
+    auto r = eval.Run(m, seeds->seeds, opts);
+    ASSERT_TRUE(r.ok()) << m.name;
+    if (m.name == "TrendSpeed") ours = r->metrics.mape;
+    if (m.name == "HistoricalMean") hist = r->metrics.mape;
+  }
+  EXPECT_LT(ours, hist);
+}
+
+}  // namespace
+}  // namespace trendspeed

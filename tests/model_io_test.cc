@@ -1,0 +1,149 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/model_io.h"
+#include "test_util.h"
+#include "util/binary_io.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::SharedTinyDataset;
+
+TEST(BinaryIoTest, PrimitivesRoundTrip) {
+  BinaryWriter w;
+  w.PutTag("TEST", 3);
+  w.PutU8(7);
+  w.PutU32(123456);
+  w.PutU64(uint64_t{1} << 40);
+  w.PutF64(-2.5);
+  w.PutF32(1.25f);
+  w.PutString("hello");
+  w.PutVec(std::vector<double>{1.0, 2.0, 3.0});
+  BinaryReader r(w.buffer());
+  auto version = r.ExpectTag("TEST");
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 3u);
+  EXPECT_EQ(*r.GetU8(), 7);
+  EXPECT_EQ(*r.GetU32(), 123456u);
+  EXPECT_EQ(*r.GetU64(), uint64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(*r.GetF64(), -2.5);
+  EXPECT_FLOAT_EQ(*r.GetF32(), 1.25f);
+  EXPECT_EQ(*r.GetString(), "hello");
+  auto vec = r.GetVec<double>();
+  ASSERT_TRUE(vec.ok());
+  EXPECT_EQ(vec->size(), 3u);
+  EXPECT_DOUBLE_EQ((*vec)[2], 3.0);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, TruncationAndBadTagFail) {
+  BinaryWriter w;
+  w.PutU64(1000);  // claims 1000 elements, provides none
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(r.GetVec<double>().ok());
+
+  BinaryWriter w2;
+  w2.PutTag("AAAA", 1);
+  BinaryReader r2(w2.buffer());
+  EXPECT_FALSE(r2.ExpectTag("BBBB").ok());
+
+  BinaryReader r3("");
+  EXPECT_FALSE(r3.GetU32().ok());
+}
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Dataset& ds = SharedTinyDataset();
+    PipelineConfig config;
+    config.corr.min_co_observed = 8;
+    auto est = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+    TS_CHECK(est.ok());
+    estimator_ = new TrafficSpeedEstimator(std::move(est).value());
+  }
+  const Dataset& ds() { return SharedTinyDataset(); }
+  static TrafficSpeedEstimator* estimator_;
+};
+
+TrafficSpeedEstimator* ModelIoTest::estimator_ = nullptr;
+
+TEST_F(ModelIoTest, SerializedModelEstimatesIdentically) {
+  std::string bytes = SerializeTrainedModel(*estimator_);
+  EXPECT_GT(bytes.size(), 1000u);
+  auto loaded = DeserializeTrainedModel(&ds().net, &ds().history, bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Seed selection and a full estimate must match bit-for-bit.
+  auto s1 = estimator_->SelectSeeds(6, SeedStrategy::kGreedy);
+  auto s2 = loaded->SelectSeeds(6, SeedStrategy::kGreedy);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->seeds, s2->seeds);
+  EXPECT_DOUBLE_EQ(s1->objective, s2->objective);
+
+  uint64_t slot = ds().first_test_slot() + 5;
+  std::vector<SeedSpeed> obs;
+  for (RoadId r : s1->seeds) obs.push_back({r, ds().truth.at(slot, r)});
+  auto o1 = estimator_->Estimate(slot, obs);
+  auto o2 = loaded->Estimate(slot, obs);
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(o1->speeds.speed_kmh, o2->speeds.speed_kmh);
+  EXPECT_EQ(o1->trends.p_up, o2->trends.p_up);
+}
+
+TEST_F(ModelIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/trendspeed_model.bin";
+  ASSERT_TRUE(SaveTrainedModel(*estimator_, path).ok());
+  auto loaded = LoadTrainedModel(&ds().net, &ds().history, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->correlation_graph().num_edges(),
+            estimator_->correlation_graph().num_edges());
+  EXPECT_EQ(loaded->speed_model().num_road_models(),
+            estimator_->speed_model().num_road_models());
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelIoTest, RejectsWrongNetwork) {
+  std::string bytes = SerializeTrainedModel(*estimator_);
+  RoadNetwork other = testing_util::PathNetwork();
+  HistoricalDb other_db = testing_util::AlternatingHistory(other, 16);
+  EXPECT_FALSE(DeserializeTrainedModel(&other, &other_db, bytes).ok());
+}
+
+TEST_F(ModelIoTest, RejectsCorruptBytes) {
+  std::string bytes = SerializeTrainedModel(*estimator_);
+  // Truncated.
+  EXPECT_FALSE(DeserializeTrainedModel(&ds().net, &ds().history,
+                                       bytes.substr(0, bytes.size() / 2))
+                   .ok());
+  // Wrong magic.
+  std::string garbled = bytes;
+  garbled[0] = 'X';
+  EXPECT_FALSE(
+      DeserializeTrainedModel(&ds().net, &ds().history, garbled).ok());
+  // Empty.
+  EXPECT_FALSE(DeserializeTrainedModel(&ds().net, &ds().history, "").ok());
+}
+
+TEST_F(ModelIoTest, ConfigSurvivesRoundTrip) {
+  const Dataset& d = ds();
+  PipelineConfig config;
+  config.corr.min_co_observed = 8;
+  config.trend.engine = TrendEngine::kIcm;
+  config.propagation.mode = AggregationMode::kLayered;
+  config.use_trend_evidence = false;
+  auto est = TrafficSpeedEstimator::Train(&d.net, &d.history, config);
+  ASSERT_TRUE(est.ok());
+  auto loaded = DeserializeTrainedModel(&d.net, &d.history,
+                                        SerializeTrainedModel(*est));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->config().trend.engine, TrendEngine::kIcm);
+  EXPECT_EQ(loaded->config().propagation.mode, AggregationMode::kLayered);
+  EXPECT_FALSE(loaded->config().use_trend_evidence);
+}
+
+}  // namespace
+}  // namespace trendspeed

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "test_util.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::SharedTinyDataset;
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Dataset& ds = SharedTinyDataset();
+    PipelineConfig config;
+    config.corr.min_co_observed = 8;
+    auto est = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+    TS_CHECK(est.ok());
+    estimator_ = new TrafficSpeedEstimator(std::move(est).value());
+  }
+
+  const Dataset& ds() { return SharedTinyDataset(); }
+  static TrafficSpeedEstimator* estimator_;
+};
+
+TrafficSpeedEstimator* MonitorTest::estimator_ = nullptr;
+
+std::vector<SeedSpeed> TrueSeeds(const Dataset& ds,
+                                 const std::vector<RoadId>& roads,
+                                 uint64_t slot, double factor = 1.0) {
+  std::vector<SeedSpeed> out;
+  for (RoadId r : roads) {
+    out.push_back({r, std::max(1.0, ds.truth.at(slot, r) * factor)});
+  }
+  return out;
+}
+
+TEST_F(MonitorTest, ProcessesSlotsAndReports) {
+  OnlineTrafficMonitor monitor(estimator_);
+  auto seeds = estimator_->SelectSeeds(6, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+  uint64_t start = ds().first_test_slot();
+  for (uint64_t slot = start; slot < start + 5; ++slot) {
+    auto report = monitor.Process(slot, TrueSeeds(ds(), seeds->seeds, slot));
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report->mean_speed_kmh, 0.0);
+    EXPECT_EQ(report->estimate.speeds.speed_kmh.size(), ds().net.num_roads());
+  }
+  EXPECT_EQ(monitor.slots_processed(), 5u);
+}
+
+TEST_F(MonitorTest, RejectsOutOfOrderSlots) {
+  OnlineTrafficMonitor monitor(estimator_);
+  auto seeds = estimator_->SelectSeeds(4, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+  uint64_t start = ds().first_test_slot();
+  ASSERT_TRUE(monitor.Process(start + 3, TrueSeeds(ds(), seeds->seeds,
+                                                   start + 3))
+                  .ok());
+  EXPECT_FALSE(
+      monitor.Process(start + 1, TrueSeeds(ds(), seeds->seeds, start + 1))
+          .ok());
+}
+
+TEST_F(MonitorTest, SustainedSlowdownRaisesAlertThenClears) {
+  MonitorOptions mopts;
+  mopts.alert_deviation = -0.25;
+  mopts.alert_after_slots = 2;
+  mopts.clear_deviation = -0.1;
+  mopts.ewma_alpha = 1.0;  // no smoothing: deterministic thresholds
+  OnlineTrafficMonitor monitor(estimator_, mopts);
+  auto seeds = estimator_->SelectSeeds(8, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+  uint64_t start = ds().first_test_slot();
+
+  // Feed seeds reporting HALF their true speeds: network-wide slowdown.
+  size_t raised = 0;
+  for (uint64_t slot = start; slot < start + 4; ++slot) {
+    auto report =
+        monitor.Process(slot, TrueSeeds(ds(), seeds->seeds, slot, 0.45));
+    ASSERT_TRUE(report.ok());
+    for (const TrafficAlert& a : report->new_alerts) {
+      if (a.raised) ++raised;
+    }
+  }
+  EXPECT_GT(raised, 0u);
+  EXPECT_FALSE(monitor.ActiveAlerts().empty());
+
+  // Recovery: seeds report ABOVE their historical norms; alerts clear.
+  size_t cleared = 0;
+  for (uint64_t slot = start + 4; slot < start + 10; ++slot) {
+    auto report =
+        monitor.Process(slot, TrueSeeds(ds(), seeds->seeds, slot, 1.4));
+    ASSERT_TRUE(report.ok());
+    for (const TrafficAlert& a : report->new_alerts) {
+      if (!a.raised) ++cleared;
+    }
+  }
+  EXPECT_GT(cleared, 0u);
+  EXPECT_TRUE(monitor.ActiveAlerts().empty());
+}
+
+TEST_F(MonitorTest, DebounceSuppressesOneSlotBlips) {
+  MonitorOptions mopts;
+  mopts.alert_deviation = -0.25;
+  mopts.alert_after_slots = 3;  // needs 3 consecutive bad slots
+  mopts.ewma_alpha = 1.0;
+  OnlineTrafficMonitor monitor(estimator_, mopts);
+  auto seeds = estimator_->SelectSeeds(8, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+  uint64_t start = ds().first_test_slot();
+  // One bad slot surrounded by normal slots: no alert may fire.
+  auto r1 = monitor.Process(start, TrueSeeds(ds(), seeds->seeds, start));
+  auto r2 =
+      monitor.Process(start + 1, TrueSeeds(ds(), seeds->seeds, start + 1, 0.4));
+  auto r3 = monitor.Process(start + 2, TrueSeeds(ds(), seeds->seeds, start + 2,
+                                                 1.2));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r1->new_alerts.empty());
+  EXPECT_TRUE(r2->new_alerts.empty());
+  EXPECT_TRUE(monitor.ActiveAlerts().empty());
+}
+
+TEST_F(MonitorTest, SmoothedDeviationTracksEwma) {
+  MonitorOptions mopts;
+  mopts.ewma_alpha = 0.5;
+  OnlineTrafficMonitor monitor(estimator_, mopts);
+  auto seeds = estimator_->SelectSeeds(4, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+  uint64_t start = ds().first_test_slot();
+  auto r1 = monitor.Process(start, TrueSeeds(ds(), seeds->seeds, start));
+  ASSERT_TRUE(r1.ok());
+  // After the first slot, smoothed == raw deviation.
+  RoadId probe = seeds->seeds[0];
+  EXPECT_NEAR(monitor.SmoothedDeviation(probe),
+              r1->estimate.speeds.deviation[probe], 1e-12);
+}
+
+}  // namespace
+}  // namespace trendspeed

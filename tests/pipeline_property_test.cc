@@ -1,0 +1,158 @@
+// Cross-cutting pipeline properties: structural symmetries, graceful
+// degradation, and invariance to parallelism.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "core/evaluator.h"
+#include "crowd/campaign.h"
+#include "test_util.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::SharedTinyDataset;
+
+class PipelinePropertyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Dataset& ds = SharedTinyDataset();
+    PipelineConfig config;
+    config.corr.min_co_observed = 8;
+    auto est = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+    TS_CHECK(est.ok());
+    estimator_ = new TrafficSpeedEstimator(std::move(est).value());
+  }
+  const Dataset& ds() { return SharedTinyDataset(); }
+  static TrafficSpeedEstimator* estimator_;
+};
+
+TrafficSpeedEstimator* PipelinePropertyTest::estimator_ = nullptr;
+
+TEST_F(PipelinePropertyTest, InfluenceIsSymmetric) {
+  // Best-path products over an undirected graph are symmetric in magnitude
+  // and sign: w_ij == w_ji.
+  const InfluenceModel& infl = estimator_->influence();
+  for (RoadId i = 0; i < infl.num_roads(); ++i) {
+    for (const CoverEntry& c : infl.CoverList(i)) {
+      bool found = false;
+      for (const CoverEntry& back : infl.CoverList(c.road)) {
+        if (back.road == i) {
+          found = true;
+          EXPECT_NEAR(back.influence, c.influence, 1e-6)
+              << "asymmetric influence " << i << " <-> " << c.road;
+        }
+      }
+      EXPECT_TRUE(found) << "one-sided influence " << i << " -> " << c.road;
+    }
+  }
+}
+
+TEST_F(PipelinePropertyTest, EmptySeedSetDegradesToPrior) {
+  uint64_t slot = ds().first_test_slot() + 7;
+  auto out = estimator_->Estimate(slot, {});
+  ASSERT_TRUE(out.ok());
+  // With no observations, speeds should stay near the historical norm.
+  for (RoadId r = 0; r < ds().net.num_roads(); ++r) {
+    double hist = ds().history.HistoricalMeanOr(
+        r, slot, ds().net.road(r).free_flow_kmh);
+    EXPECT_GT(out->speeds.speed_kmh[r], 0.0);
+    EXPECT_NEAR(out->speeds.speed_kmh[r], hist, 0.35 * hist) << "road " << r;
+  }
+}
+
+TEST_F(PipelinePropertyTest, DuplicateSeedsAreHarmless) {
+  uint64_t slot = ds().first_test_slot() + 3;
+  std::vector<SeedSpeed> once = {{0, 30.0}, {5, 40.0}};
+  std::vector<SeedSpeed> twice = {{0, 30.0}, {5, 40.0}, {0, 30.0}};
+  auto a = estimator_->Estimate(slot, once);
+  auto b = estimator_->Estimate(slot, twice);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (RoadId r = 0; r < ds().net.num_roads(); ++r) {
+    // Duplicates double the aggregation weight of seed 0 but carry the same
+    // deviation, so results stay close (and seeds identical).
+    EXPECT_NEAR(a->speeds.speed_kmh[r], b->speeds.speed_kmh[r], 3.0);
+  }
+  EXPECT_DOUBLE_EQ(b->speeds.speed_kmh[0], 30.0);
+}
+
+TEST_F(PipelinePropertyTest, TrainingInvariantToThreadCount) {
+  const Dataset& d = ds();
+  PipelineConfig one;
+  one.corr.min_co_observed = 8;
+  one.corr.num_threads = 1;
+  one.speed.num_threads = 1;
+  one.influence.num_threads = 1;
+  PipelineConfig four = one;
+  four.corr.num_threads = 4;
+  four.speed.num_threads = 4;
+  four.influence.num_threads = 4;
+  auto est1 = TrafficSpeedEstimator::Train(&d.net, &d.history, one);
+  auto est4 = TrafficSpeedEstimator::Train(&d.net, &d.history, four);
+  ASSERT_TRUE(est1.ok());
+  ASSERT_TRUE(est4.ok());
+  EXPECT_EQ(est1->correlation_graph().num_edges(),
+            est4->correlation_graph().num_edges());
+  auto s1 = est1->SelectSeeds(6, SeedStrategy::kGreedy);
+  auto s4 = est4->SelectSeeds(6, SeedStrategy::kGreedy);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s4.ok());
+  EXPECT_EQ(s1->seeds, s4->seeds);
+  uint64_t slot = d.first_test_slot();
+  std::vector<SeedSpeed> obs;
+  for (RoadId r : s1->seeds) obs.push_back({r, d.truth.at(slot, r)});
+  auto o1 = est1->Estimate(slot, obs);
+  auto o4 = est4->Estimate(slot, obs);
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o4.ok());
+  EXPECT_EQ(o1->speeds.speed_kmh, o4->speeds.speed_kmh);
+}
+
+TEST_F(PipelinePropertyTest, CrowdObservationsFlowThroughPipeline) {
+  // End-to-end: crowd campaign -> estimator, vs perfect observations.
+  auto seeds = estimator_->SelectSeeds(8, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+  WorkerPool::Options popts;
+  popts.num_workers = 100;
+  popts.noise_min_kmh = 1.0;
+  popts.noise_max_kmh = 3.0;
+  popts.max_outlier_prob = 0.02;
+  WorkerPool pool(popts);
+  CampaignOptions copts;
+  copts.workers_per_seed = 3;
+  CrowdCampaign campaign(&pool, copts);
+  uint64_t slot = ds().first_test_slot() + 11;
+  auto obs = campaign.Collect(seeds->seeds, ds().truth.speeds[slot]);
+  ASSERT_TRUE(obs.ok());
+  auto out = estimator_->Estimate(slot, *obs);
+  ASSERT_TRUE(out.ok());
+  std::vector<SeedSpeed> perfect;
+  for (RoadId r : seeds->seeds) perfect.push_back({r, ds().truth.at(slot, r)});
+  auto out_perfect = estimator_->Estimate(slot, perfect);
+  ASSERT_TRUE(out_perfect.ok());
+  // Crowd-noised results stay close to the perfect-observation results.
+  for (RoadId r = 0; r < ds().net.num_roads(); ++r) {
+    EXPECT_NEAR(out->speeds.speed_kmh[r], out_perfect->speeds.speed_kmh[r],
+                8.0)
+        << "road " << r;
+  }
+}
+
+TEST_F(PipelinePropertyTest, PUpAndTrendAreConsistent) {
+  auto seeds = estimator_->SelectSeeds(6, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+  uint64_t slot = ds().first_test_slot() + 2;
+  std::vector<SeedSpeed> obs;
+  for (RoadId r : seeds->seeds) obs.push_back({r, ds().truth.at(slot, r)});
+  auto out = estimator_->Estimate(slot, obs);
+  ASSERT_TRUE(out.ok());
+  for (RoadId r = 0; r < ds().net.num_roads(); ++r) {
+    EXPECT_EQ(out->trends.trend[r], out->trends.p_up[r] >= 0.5 ? 1 : -1);
+  }
+}
+
+}  // namespace
+}  // namespace trendspeed

@@ -1,0 +1,106 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/routing.h"
+#include "test_util.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::PathNetwork;
+using testing_util::SmallGrid;
+
+std::vector<double> FreeFlow(const RoadNetwork& net) {
+  std::vector<double> speeds(net.num_roads());
+  for (RoadId r = 0; r < net.num_roads(); ++r) {
+    speeds[r] = net.road(r).free_flow_kmh;
+  }
+  return speeds;
+}
+
+TEST(PathTravelTimeTest, SumsSegmentTimes) {
+  RoadNetwork net = PathNetwork();
+  std::vector<double> speeds(net.num_roads(), 36.0);  // 10 m/s
+  auto t = PathTravelTime(net, speeds, {0, 2});  // 1000 m total
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(*t, 100.0, 1e-9);
+}
+
+TEST(PathTravelTimeTest, ValidatesPath) {
+  RoadNetwork net = PathNetwork();
+  std::vector<double> speeds(net.num_roads(), 36.0);
+  EXPECT_FALSE(PathTravelTime(net, speeds, {}).ok());
+  EXPECT_FALSE(PathTravelTime(net, speeds, {0, 3}).ok());  // not contiguous
+  EXPECT_FALSE(PathTravelTime(net, speeds, {99}).ok());
+  speeds[0] = 0.0;
+  EXPECT_FALSE(PathTravelTime(net, speeds, {0, 2}).ok());
+  EXPECT_FALSE(PathTravelTime(net, {1.0}, {0}).ok());  // size mismatch
+}
+
+TEST(FastestRouteTest, MatchesFreeFlowPathfinding) {
+  RoadNetwork net = SmallGrid();
+  auto route = FastestRoute(net, FreeFlow(net), 0, 15);
+  ASSERT_TRUE(route.ok());
+  EXPECT_FALSE(route->roads.empty());
+  EXPECT_GT(route->travel_seconds, 0.0);
+  EXPECT_GT(route->length_m, 0.0);
+  // Verify the reported time is consistent with PathTravelTime.
+  auto t = PathTravelTime(net, FreeFlow(net), route->roads);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(*t, route->travel_seconds, 1e-9);
+  // Endpoints connect.
+  EXPECT_EQ(net.road(route->roads.front()).from, 0u);
+  EXPECT_EQ(net.road(route->roads.back()).to, 15u);
+}
+
+TEST(FastestRouteTest, ReroutesAroundCongestion) {
+  // Two routes A->C: direct fast road vs detour. Congest the direct road
+  // and the router must switch.
+  RoadNetwork::Builder b;
+  NodeId a = b.AddNode(0, 0);
+  NodeId c = b.AddNode(1000, 0);
+  NodeId via = b.AddNode(500, 200);
+  RoadId direct = b.AddRoad(a, c, RoadClass::kArterial, 60.0);
+  RoadId leg1 = b.AddRoad(a, via, RoadClass::kLocal, 40.0);
+  RoadId leg2 = b.AddRoad(via, c, RoadClass::kLocal, 40.0);
+  auto net = b.Finish();
+  ASSERT_TRUE(net.ok());
+  std::vector<double> speeds = {60.0, 40.0, 40.0};
+  auto clear_route = FastestRoute(*net, speeds, a, c);
+  ASSERT_TRUE(clear_route.ok());
+  EXPECT_EQ(clear_route->roads, std::vector<RoadId>{direct});
+  speeds[direct] = 5.0;  // jammed
+  auto jam_route = FastestRoute(*net, speeds, a, c);
+  ASSERT_TRUE(jam_route.ok());
+  EXPECT_EQ(jam_route->roads, (std::vector<RoadId>{leg1, leg2}));
+}
+
+TEST(FastestRouteTest, ImpassableRoadsAreSkipped) {
+  RoadNetwork net = PathNetwork();
+  std::vector<double> speeds(net.num_roads(), 40.0);
+  speeds[0] = 0.0;  // A->B closed; no other way from node 0 to node 2
+  auto route = FastestRoute(net, speeds, 0, 2);
+  EXPECT_EQ(route.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FastestRouteTest, ValidatesInput) {
+  RoadNetwork net = PathNetwork();
+  EXPECT_FALSE(FastestRoute(net, {1.0}, 0, 2).ok());
+  EXPECT_FALSE(FastestRoute(net, FreeFlow(net), 0, 99).ok());
+}
+
+TEST(CongestionRatioTest, OneUnderFreeFlowAndAboveUnderJam) {
+  RoadNetwork net = SmallGrid();
+  auto clear = CongestionRatio(net, FreeFlow(net), 0, 15);
+  ASSERT_TRUE(clear.ok());
+  EXPECT_NEAR(*clear, 1.0, 1e-9);
+  std::vector<double> jammed = FreeFlow(net);
+  for (double& v : jammed) v *= 0.5;
+  auto jam = CongestionRatio(net, jammed, 0, 15);
+  ASSERT_TRUE(jam.ok());
+  EXPECT_NEAR(*jam, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace trendspeed

@@ -1,0 +1,248 @@
+// Tests for the weight-aware speed model, logistic evidence calibration,
+// influence aggregation, and influence-mode estimation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "corr/correlation_graph.h"
+#include "speed/hierarchical_model.h"
+#include "speed/linear_model.h"
+#include "speed/propagation.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::AlternatingHistory;
+using testing_util::SmallGrid;
+
+TEST(FitTrendAffineTest, RecoversSharedSlopeAndShift) {
+  // y = 0.1 + 0.8x + 0.15t.
+  Rng rng(3);
+  std::vector<RegressionSample> samples;
+  for (int i = 0; i < 400; ++i) {
+    RegressionSample s;
+    s.x = rng.Uniform(-0.5, 0.5);
+    s.t = rng.NextBool(0.5) ? 1 : 0;
+    s.y = 0.1 + 0.8 * s.x + 0.15 * (s.t == 1 ? 1.0 : -1.0) +
+          rng.Gaussian(0.0, 0.02);
+    samples.push_back(s);
+  }
+  TrendLine line = FitTrendAffine(samples, 1e-6, 50);
+  ASSERT_TRUE(line.trained[0]);
+  ASSERT_TRUE(line.trained[1]);
+  EXPECT_NEAR(line.b[0], 0.8, 0.03);
+  EXPECT_NEAR(line.b[1], 0.8, 0.03);  // shared slope
+  EXPECT_NEAR(line.a[1] - line.a[0], 0.3, 0.03);  // 2c
+  EXPECT_NEAR(line.a[1], 0.25, 0.03);
+}
+
+TEST(FitTrendAffineTest, SingleTrendFallsBackToPlainLine) {
+  Rng rng(5);
+  std::vector<RegressionSample> samples;
+  for (int i = 0; i < 100; ++i) {
+    RegressionSample s;
+    s.x = rng.Uniform(-0.5, 0.5);
+    s.t = 1;  // only "up" samples
+    s.y = 0.5 * s.x;
+    samples.push_back(s);
+  }
+  TrendLine line = FitTrendAffine(samples, 1e-6, 50);
+  ASSERT_TRUE(line.trained[0]);
+  EXPECT_NEAR(line.a[0], line.a[1], 1e-9);  // no trend shift learnable
+  EXPECT_NEAR(line.b[1], 0.5, 0.02);
+}
+
+TEST(FitTrendAffineTest, UntrainedBelowMinSamples) {
+  std::vector<RegressionSample> samples(5);
+  TrendLine line = FitTrendAffine(samples, 1.0, 50);
+  EXPECT_FALSE(line.any_trained());
+}
+
+TEST(FitLogisticTest, RecoversSigmoidParameters) {
+  Rng rng(7);
+  std::vector<RegressionSample> samples;
+  const double kBias = 0.3, kGamma = 4.0;
+  for (int i = 0; i < 5000; ++i) {
+    RegressionSample s;
+    s.x = rng.Uniform(-1.0, 1.0);
+    double p = 1.0 / (1.0 + std::exp(-(kBias + kGamma * s.x)));
+    s.t = rng.NextBool(p) ? 1 : 0;
+    samples.push_back(s);
+  }
+  LogisticCalibration cal = FitLogistic(samples);
+  ASSERT_TRUE(cal.trained);
+  EXPECT_NEAR(cal.bias, kBias, 0.15);
+  EXPECT_NEAR(cal.gamma, kGamma, 0.4);
+  EXPECT_GT(cal.LogOdds(1.0), cal.LogOdds(-1.0));
+}
+
+TEST(FitLogisticTest, UntrainedOnTinySamples) {
+  LogisticCalibration cal = FitLogistic({}, 50);
+  EXPECT_FALSE(cal.trained);
+  EXPECT_DOUBLE_EQ(cal.LogOdds(5.0), 0.0);
+}
+
+TEST(FitLogisticTest, SeparableDataStaysFinite) {
+  // Perfectly separable data would push gamma to infinity without the
+  // ridge; verify it stays finite and correctly oriented.
+  std::vector<RegressionSample> samples;
+  for (int i = 0; i < 200; ++i) {
+    RegressionSample s;
+    s.x = (i % 2 == 0) ? 0.5 : -0.5;
+    s.t = (i % 2 == 0) ? 1 : 0;
+    samples.push_back(s);
+  }
+  LogisticCalibration cal = FitLogistic(samples);
+  ASSERT_TRUE(cal.trained);
+  EXPECT_TRUE(std::isfinite(cal.gamma));
+  EXPECT_GT(cal.gamma, 0.0);
+}
+
+TEST(WeightedTrendModelTest, FitRecoversWeightInteraction) {
+  // y = (0.3 + 0.3*min(w,2)) * x + 0.1*t.
+  Rng rng(11);
+  std::vector<RegressionSample> samples;
+  for (int i = 0; i < 2000; ++i) {
+    RegressionSample s;
+    s.x = rng.Uniform(-0.5, 0.5);
+    s.w = rng.Uniform(0.0, 3.0);
+    s.t = rng.NextBool(0.5) ? 1 : 0;
+    double wc = std::min(s.w, 2.0);
+    s.y = (0.3 + 0.3 * wc) * s.x + 0.1 * (s.t == 1 ? 1 : -1) +
+          rng.Gaussian(0.0, 0.02);
+    samples.push_back(s);
+  }
+  WeightedTrendModel m = FitWeightedTrendModel(samples, 1e-6, 100);
+  ASSERT_TRUE(m.trained);
+  EXPECT_NEAR(m.b0, 0.3, 0.05);
+  EXPECT_NEAR(m.b1, 0.3, 0.05);
+  EXPECT_NEAR(m.c, 0.1, 0.02);
+  // Slope saturates at the cap.
+  EXPECT_NEAR(m.SlopeAt(2.0), m.SlopeAt(5.0), 1e-12);
+}
+
+TEST(WeightedTrendModelTest, UntrainedIsPassThrough) {
+  WeightedTrendModel m;
+  EXPECT_DOUBLE_EQ(m.Predict(0.4, 1.0, 0.5), 0.4);
+}
+
+TEST(WeightedTrendModelTest, BlendingMovesWithPosterior) {
+  WeightedTrendModel m;
+  m.trained = true;
+  m.a = 0.0;
+  m.c = 0.2;
+  m.b0 = 1.0;
+  m.b1 = 0.0;
+  EXPECT_NEAR(m.Predict(0.0, 1.0, 1.0), 0.2, 1e-12);
+  EXPECT_NEAR(m.Predict(0.0, 1.0, 0.0), -0.2, 1e-12);
+  EXPECT_NEAR(m.Predict(0.0, 1.0, 0.5), 0.0, 1e-12);
+}
+
+class InfluenceAggregationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = SmallGrid();
+    db_ = AlternatingHistory(net_, 1008, 144, 0.25);
+    CorrelationGraphOptions copts;
+    copts.min_co_observed = 10;
+    auto graph = CorrelationGraph::Build(net_, db_, copts);
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::make_unique<CorrelationGraph>(std::move(graph).value());
+    auto influence = InfluenceModel::Build(*graph_, db_, {});
+    ASSERT_TRUE(influence.ok());
+    influence_ =
+        std::make_unique<InfluenceModel>(std::move(influence).value());
+  }
+
+  RoadNetwork net_;
+  HistoricalDb db_;
+  std::unique_ptr<CorrelationGraph> graph_;
+  std::unique_ptr<InfluenceModel> influence_;
+};
+
+TEST_F(InfluenceAggregationTest, SeedDeviationReachesCoveredRoads) {
+  uint64_t slot = 4;
+  double hist = db_.HistoricalMeanOr(0, slot, net_.road(0).free_flow_kmh);
+  std::vector<SeedSpeed> seeds = {{0, hist * 0.8}};  // -20% deviation
+  InfluenceAggregate agg =
+      AggregateSeedDeviations(*influence_, net_, db_, seeds, slot);
+  // The seed covers itself with weight 1 and exact deviation.
+  EXPECT_NEAR(agg.weight[0], 1.0, 1e-6);
+  EXPECT_NEAR(agg.x[0], -0.2, 1e-6);
+  // Covered roads carry the (possibly attenuated) negative signal.
+  size_t covered = 0;
+  for (RoadId r = 1; r < net_.num_roads(); ++r) {
+    if (agg.weight[r] > 0.0) {
+      ++covered;
+      EXPECT_LT(agg.x[r], 0.0) << "road " << r;
+    }
+  }
+  EXPECT_GT(covered, 3u);
+}
+
+TEST_F(InfluenceAggregationTest, MultipleSeedsAverageByWeight) {
+  uint64_t slot = 4;
+  // Two seeds with opposite deviations: covered roads land in between.
+  double h0 = db_.HistoricalMeanOr(0, slot, net_.road(0).free_flow_kmh);
+  double h9 = db_.HistoricalMeanOr(9, slot, net_.road(9).free_flow_kmh);
+  std::vector<SeedSpeed> seeds = {{0, h0 * 0.8}, {9, h9 * 1.2}};
+  InfluenceAggregate agg =
+      AggregateSeedDeviations(*influence_, net_, db_, seeds, slot);
+  for (RoadId r = 0; r < net_.num_roads(); ++r) {
+    if (agg.weight[r] > 0.0) {
+      EXPECT_GE(agg.x[r], -0.2 - 1e-6);
+      EXPECT_LE(agg.x[r], 0.2 + 1e-6);
+    }
+  }
+}
+
+TEST_F(InfluenceAggregationTest, InfluenceEstimationCoversEveryRoad) {
+  auto model = HierarchicalSpeedModel::Train(net_, db_, *graph_, *influence_,
+                                             {});
+  ASSERT_TRUE(model.ok());
+  TrendEstimate trends;
+  trends.p_up.assign(net_.num_roads(), 0.5);
+  trends.trend.assign(net_.num_roads(), 1);
+  uint64_t slot = 4;
+  double hist = db_.HistoricalMeanOr(0, slot, net_.road(0).free_flow_kmh);
+  std::vector<SeedSpeed> seeds = {{0, hist * 0.8}};
+  InfluenceAggregate agg =
+      AggregateSeedDeviations(*influence_, net_, db_, seeds, slot);
+  auto est = EstimateSpeedsInfluence(net_, *influence_, db_, *model, trends,
+                                     seeds, agg, slot, {});
+  ASSERT_TRUE(est.ok());
+  for (RoadId r = 0; r < net_.num_roads(); ++r) {
+    EXPECT_GT(est->speed_kmh[r], 0.0);
+  }
+  EXPECT_DOUBLE_EQ(est->speed_kmh[0], hist * 0.8);
+  EXPECT_EQ(est->layer[0], 0u);
+  // Covered roads are layer 1.
+  for (RoadId r = 1; r < net_.num_roads(); ++r) {
+    if (agg.weight[r] > 0.0) EXPECT_EQ(est->layer[r], 1u);
+  }
+}
+
+TEST_F(InfluenceAggregationTest, EstimationValidatesInput) {
+  auto model = HierarchicalSpeedModel::Train(net_, db_, *graph_, *influence_,
+                                             {});
+  ASSERT_TRUE(model.ok());
+  TrendEstimate trends;
+  trends.p_up.assign(net_.num_roads(), 0.5);
+  trends.trend.assign(net_.num_roads(), 1);
+  InfluenceAggregate agg =
+      AggregateSeedDeviations(*influence_, net_, db_, {}, 0);
+  EXPECT_FALSE(EstimateSpeedsInfluence(net_, *influence_, db_, *model, trends,
+                                       {{99999, 10.0}}, agg, 0, {})
+                   .ok());
+  TrendEstimate bad;
+  bad.p_up.assign(3, 0.5);
+  EXPECT_FALSE(EstimateSpeedsInfluence(net_, *influence_, db_, *model, bad,
+                                       {}, agg, 0, {})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace trendspeed

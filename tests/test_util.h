@@ -1,0 +1,82 @@
+// Shared fixtures for the trendspeed test suites.
+
+#ifndef TRENDSPEED_TESTS_TEST_UTIL_H_
+#define TRENDSPEED_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "io/dataset.h"
+#include "probe/history.h"
+#include "roadnet/generators.h"
+#include "roadnet/road_network.h"
+#include "util/logging.h"
+
+namespace trendspeed {
+namespace testing_util {
+
+/// A 4x4 grid network (48 directed roads) for structural tests.
+inline RoadNetwork SmallGrid() {
+  GridNetworkOptions opts;
+  opts.rows = 4;
+  opts.cols = 4;
+  opts.arterial_every = 2;
+  auto net = MakeGridNetwork(opts);
+  TS_CHECK(net.ok()) << net.status().ToString();
+  return std::move(net).value();
+}
+
+/// A 3-node path network: A -> B -> C with two-way roads (4 segments).
+inline RoadNetwork PathNetwork() {
+  RoadNetwork::Builder b;
+  NodeId a = b.AddNode(0, 0);
+  NodeId m = b.AddNode(500, 0);
+  NodeId c = b.AddNode(1000, 0);
+  b.AddTwoWay(a, m, RoadClass::kArterial, 60.0);
+  b.AddTwoWay(m, c, RoadClass::kArterial, 60.0);
+  auto net = b.Finish();
+  TS_CHECK(net.ok()) << net.status().ToString();
+  return std::move(net).value();
+}
+
+/// Parity of the shared up/down pattern used by AlternatingHistory: depends
+/// on slot-of-day AND day so that a (slot-of-day, weekend) history bucket
+/// mixes up and down days — observations then genuinely deviate from their
+/// bucket mean.
+inline bool AlternatingUp(uint64_t slot, uint32_t slots_per_day = 144) {
+  return (slot % slots_per_day + slot / slots_per_day) % 2 == 0;
+}
+
+/// Dense synthetic history where all roads follow one shared deviation
+/// pattern: on "up" slots every road runs above its bucket norm, on "down"
+/// slots below. Perfect co-trends, useful for deterministic correlation and
+/// trend tests.
+inline HistoricalDb AlternatingHistory(const RoadNetwork& net,
+                                       uint64_t num_slots = 1008,
+                                       uint32_t slots_per_day = 144,
+                                       double swing = 0.2) {
+  HistoricalDb::Builder builder(net.num_roads(), num_slots, slots_per_day);
+  for (uint64_t slot = 0; slot < num_slots; ++slot) {
+    double factor =
+        AlternatingUp(slot, slots_per_day) ? 1.0 + swing : 1.0 - swing;
+    for (RoadId r = 0; r < net.num_roads(); ++r) {
+      builder.Add(r, slot, net.road(r).free_flow_kmh * 0.8 * factor);
+    }
+  }
+  return builder.Finish();
+}
+
+/// Cached tiny dataset shared by the heavier suites (built once per test
+/// binary; building one takes a couple hundred ms).
+inline const Dataset& SharedTinyDataset() {
+  static const Dataset* dataset = [] {
+    auto ds = BuildTinyCity();
+    TS_CHECK(ds.ok()) << ds.status().ToString();
+    return new Dataset(std::move(ds).value());
+  }();
+  return *dataset;
+}
+
+}  // namespace testing_util
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_TESTS_TEST_UTIL_H_

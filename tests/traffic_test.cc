@@ -1,0 +1,224 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "roadnet/shortest_path.h"
+#include "test_util.h"
+#include "traffic/disturbance.h"
+#include "traffic/incidents.h"
+#include "traffic/profiles.h"
+#include "traffic/simulator.h"
+#include "util/stats.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::SmallGrid;
+
+TEST(SlotClockTest, CalendarArithmetic) {
+  SlotClock clock{144};
+  EXPECT_EQ(clock.SlotOfDay(0), 0u);
+  EXPECT_EQ(clock.SlotOfDay(145), 1u);
+  EXPECT_EQ(clock.DayIndex(144 * 3 + 7), 3u);
+  EXPECT_EQ(clock.DayOfWeek(144 * 7), 0u);     // day 7 wraps to Monday
+  EXPECT_FALSE(clock.IsWeekend(0));            // Monday
+  EXPECT_TRUE(clock.IsWeekend(144 * 5));       // Saturday
+  EXPECT_TRUE(clock.IsWeekend(144 * 6));       // Sunday
+  EXPECT_EQ(clock.SlotOfWeek(144 * 8 + 5), 144u + 5u);
+  EXPECT_NEAR(clock.HourOfDay(72), 12.0, 1e-9);
+}
+
+TEST(ProfilesTest, RushHourSlowerThanNight) {
+  for (RoadClass rc :
+       {RoadClass::kHighway, RoadClass::kArterial, RoadClass::kLocal}) {
+    double rush = BaseCongestionFactor(rc, 8.0, /*weekend=*/false);
+    double night = BaseCongestionFactor(rc, 3.0, /*weekend=*/false);
+    EXPECT_LT(rush, night) << RoadClassName(rc);
+    EXPECT_GT(rush, 0.2);
+    EXPECT_LE(night, 1.0);
+  }
+}
+
+TEST(ProfilesTest, WeekendHasNoMorningRush) {
+  double weekday = BaseCongestionFactor(RoadClass::kArterial, 8.0, false);
+  double weekend = BaseCongestionFactor(RoadClass::kArterial, 8.0, true);
+  EXPECT_GT(weekend, weekday);
+}
+
+TEST(ProfilesTest, ArterialsCongestHardest) {
+  double art = BaseCongestionFactor(RoadClass::kArterial, 18.0, false);
+  double local = BaseCongestionFactor(RoadClass::kLocal, 18.0, false);
+  EXPECT_LT(art, local);
+}
+
+TEST(ProfilesTest, FactorAlwaysInPhysicalRange) {
+  for (double h = 0.0; h < 24.0; h += 0.25) {
+    for (bool weekend : {false, true}) {
+      for (RoadClass rc :
+           {RoadClass::kHighway, RoadClass::kArterial, RoadClass::kLocal}) {
+        double f = BaseCongestionFactor(rc, h, weekend);
+        EXPECT_GE(f, 0.25);
+        EXPECT_LE(f, 1.0);
+      }
+    }
+  }
+}
+
+TEST(DisturbanceTest, NeighboursCorrelateMoreThanDistantRoads) {
+  RoadNetwork net = SmallGrid();
+  DisturbanceOptions opts;
+  opts.diffusion_rounds = 3;
+  DisturbanceField field(&net, opts, Rng(5));
+  // Sample a long series and compare correlation of adjacent vs far roads.
+  // Pick a same-class adjacent road: corridor coupling is the strong one.
+  RoadId a = 0;
+  RoadId adj = kInvalidRoad;
+  for (RoadId s : net.RoadSuccessors(a)) {
+    if (net.road(s).road_class == net.road(a).road_class) {
+      adj = s;
+      break;
+    }
+  }
+  ASSERT_NE(adj, kInvalidRoad);
+  // Find a far road (max hops).
+  auto dist = RoadHopDistances(net, a, 1000);
+  RoadId far = a;
+  for (RoadId r = 0; r < net.num_roads(); ++r) {
+    if (dist[r] != kUnreachable && dist[r] > dist[far]) far = r;
+  }
+  std::vector<double> sa, sn, sf;
+  for (int t = 0; t < 2000; ++t) {
+    const auto& s = field.Step();
+    sa.push_back(s[a]);
+    sn.push_back(s[adj]);
+    sf.push_back(s[far]);
+  }
+  double near_corr = PearsonCorrelation(sa, sn);
+  double far_corr = PearsonCorrelation(sa, sf);
+  EXPECT_GT(near_corr, 0.4);
+  EXPECT_GT(near_corr, far_corr + 0.15);
+}
+
+TEST(DisturbanceTest, StationaryScale) {
+  RoadNetwork net = SmallGrid();
+  DisturbanceOptions opts;
+  DisturbanceField field(&net, opts, Rng(6));
+  OnlineStats stats;
+  for (int t = 0; t < 3000; ++t) {
+    for (double v : field.Step()) stats.Add(v);
+  }
+  // Zero-mean with bounded spread (AR(1) stationary sd is
+  // sigma/sqrt(1-rho^2) before diffusion shrinks it).
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_LT(stats.stddev(), 0.3);
+  EXPECT_GT(stats.stddev(), 0.02);
+}
+
+TEST(IncidentsTest, NoIncidentsAtZeroRate) {
+  RoadNetwork net = SmallGrid();
+  IncidentOptions opts;
+  opts.rate_per_slot = 0.0;
+  IncidentProcess proc(&net, opts, Rng(7));
+  for (uint64_t s = 0; s < 100; ++s) {
+    for (double f : proc.FactorsAt(s)) EXPECT_DOUBLE_EQ(f, 1.0);
+  }
+  EXPECT_TRUE(proc.history().empty());
+}
+
+TEST(IncidentsTest, IncidentSlowsRoadAndSpills) {
+  RoadNetwork net = SmallGrid();
+  IncidentOptions opts;
+  opts.rate_per_slot = 5.0;  // force arrivals immediately
+  opts.spill_hops = 2;
+  IncidentProcess proc(&net, opts, Rng(8));
+  const auto& factors = proc.FactorsAt(0);
+  ASSERT_FALSE(proc.active().empty());
+  const Incident& inc = proc.active()[0];
+  EXPECT_NEAR(factors[inc.road], inc.severity, 0.35);  // maybe overlapped
+  EXPECT_LT(factors[inc.road], 1.0);
+  // A direct neighbour is affected but less than the incident road.
+  auto succ = net.RoadSuccessors(inc.road);
+  if (!succ.empty()) {
+    EXPECT_LE(factors[inc.road], factors[succ[0]] + 1e-12);
+  }
+}
+
+TEST(IncidentsTest, IncidentsExpire) {
+  RoadNetwork net = SmallGrid();
+  IncidentOptions opts;
+  opts.rate_per_slot = 1.0;
+  opts.duration_min = 1;
+  opts.duration_max = 2;
+  IncidentProcess proc(&net, opts, Rng(9));
+  proc.FactorsAt(0);
+  size_t spawned = proc.history().size();
+  // Far in the future with rate forced to keep spawning; instead advance and
+  // verify every active incident's window covers the queried slot.
+  for (uint64_t s = 1; s < 50; ++s) {
+    proc.FactorsAt(s);
+    for (const Incident& inc : proc.active()) {
+      EXPECT_GT(inc.end_slot, s);
+    }
+  }
+  EXPECT_GE(proc.history().size(), spawned);
+}
+
+TEST(SimulatorTest, SpeedsWithinBounds) {
+  RoadNetwork net = SmallGrid();
+  TrafficOptions opts;
+  TrafficSimulator sim(&net, opts);
+  for (int t = 0; t < 500; ++t) {
+    const auto& speeds = sim.Step();
+    for (RoadId r = 0; r < net.num_roads(); ++r) {
+      EXPECT_GE(speeds[r], opts.min_speed_kmh);
+      EXPECT_LE(speeds[r],
+                net.road(r).free_flow_kmh * opts.max_over_free_flow + 1e-9);
+    }
+  }
+  EXPECT_EQ(sim.current_slot(), 499u);
+}
+
+TEST(SimulatorTest, DeterministicForSameSeed) {
+  RoadNetwork net = SmallGrid();
+  TrafficOptions opts;
+  opts.seed = 77;
+  TrafficSimulator a(&net, opts), b(&net, opts);
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_EQ(a.Step(), b.Step());
+  }
+}
+
+TEST(SimulatorTest, RushHourDipVisibleInDailyAverage) {
+  RoadNetwork net = SmallGrid();
+  TrafficOptions opts;
+  opts.incidents.rate_per_slot = 0.0;  // isolate the profile
+  auto field = GenerateSpeedField(net, opts, 7);
+  ASSERT_TRUE(field.ok());
+  SlotClock clock{opts.slots_per_day};
+  // Average weekday speed at 08:00 vs 03:00 across all roads and days.
+  OnlineStats rush, night;
+  for (uint64_t slot = 0; slot < field->num_slots(); ++slot) {
+    if (clock.IsWeekend(slot)) continue;
+    double hour = clock.HourOfDay(slot);
+    bool is_rush = std::fabs(hour - 8.0) < 0.5;
+    bool is_night = std::fabs(hour - 3.0) < 0.5;
+    if (!is_rush && !is_night) continue;
+    for (RoadId r = 0; r < net.num_roads(); ++r) {
+      (is_rush ? rush : night).Add(field->at(slot, r));
+    }
+  }
+  EXPECT_LT(rush.mean(), night.mean() * 0.85);
+}
+
+TEST(SimulatorTest, GenerateFieldShape) {
+  RoadNetwork net = SmallGrid();
+  TrafficOptions opts;
+  auto field = GenerateSpeedField(net, opts, 2);
+  ASSERT_TRUE(field.ok());
+  EXPECT_EQ(field->num_slots(), 2u * opts.slots_per_day);
+  EXPECT_EQ(field->num_roads(), net.num_roads());
+  EXPECT_FALSE(GenerateSpeedField(net, opts, 0).ok());
+}
+
+}  // namespace
+}  // namespace trendspeed

@@ -1,0 +1,103 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace trendspeed {
+namespace {
+
+TEST(CsvParseTest, SimpleTable) {
+  auto t = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(t->rows.size(), 2u);
+  EXPECT_EQ(t->rows[1][2], "6");
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  auto t = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->rows.size(), 1u);
+  EXPECT_EQ(t->rows[0][1], "2");
+}
+
+TEST(CsvParseTest, QuotedFields) {
+  auto t = ParseCsv("name,desc\nx,\"a, b\"\ny,\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows[0][1], "a, b");
+  EXPECT_EQ(t->rows[1][1], "say \"hi\"");
+}
+
+TEST(CsvParseTest, QuotedNewline) {
+  auto t = ParseCsv("a\n\"line1\nline2\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParseTest, CrLf) {
+  auto t = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows[0][0], "1");
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  auto t = ParseCsv("a,b,c\n,,\n");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->rows.size(), 1u);
+  EXPECT_EQ(t->rows[0][0], "");
+  EXPECT_EQ(t->rows[0][2], "");
+}
+
+TEST(CsvParseTest, RejectsRaggedRows) {
+  auto t = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvParseTest, RejectsUnterminatedQuote) {
+  auto t = ParseCsv("a\n\"oops\n");
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvParseTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvWriteTest, RoundTripWithQuoting) {
+  CsvTable t;
+  t.header = {"k", "v"};
+  t.rows = {{"plain", "with,comma"}, {"q\"uote", "multi\nline"}};
+  auto parsed = ParseCsv(WriteCsv(t));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, t.header);
+  EXPECT_EQ(parsed->rows, t.rows);
+}
+
+TEST(CsvTableTest, ColumnIndex) {
+  CsvTable t;
+  t.header = {"x", "y"};
+  auto idx = t.ColumnIndex("y");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_EQ(t.ColumnIndex("z").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  std::string path = ::testing::TempDir() + "/ts_csv_test.csv";
+  CsvTable t;
+  t.header = {"a"};
+  t.rows = {{"1"}, {"2"}};
+  ASSERT_TRUE(WriteCsvFile(path, t).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/dir/file.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace trendspeed

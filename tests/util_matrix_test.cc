@@ -1,0 +1,187 @@
+#include "util/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace trendspeed {
+namespace {
+
+TEST(MatrixTest, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, FromRowsAndIdentity) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 2), 0.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbsDiff(t.Transpose()), 0.0);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, GramMatchesExplicitProduct) {
+  Matrix x = Matrix::FromRows({{1, 2, 0}, {0, 1, 1}, {2, 0, 1}, {1, 1, 1}});
+  Matrix expected = x.Transpose().Multiply(x);
+  EXPECT_LT(x.Gram().MaxAbsDiff(expected), 1e-12);
+}
+
+TEST(MatrixTest, TimesAndTransposeTimes) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  std::vector<double> v = m.Times({1.0, -1.0});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], -1.0);
+  EXPECT_DOUBLE_EQ(v[2], -1.0);
+  std::vector<double> w = m.TransposeTimes({1.0, 0.0, 1.0});
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 6.0);
+  EXPECT_DOUBLE_EQ(w[1], 8.0);
+}
+
+TEST(CholeskySolveTest, SolvesSpdSystem) {
+  Matrix a = Matrix::FromRows({{4, 1}, {1, 3}});
+  auto x = CholeskySolve(a, {1.0, 2.0});
+  ASSERT_TRUE(x.ok());
+  // Verify A x = b.
+  EXPECT_NEAR(4 * (*x)[0] + (*x)[1], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[0] + 3 * (*x)[1], 2.0, 1e-12);
+}
+
+TEST(CholeskySolveTest, RejectsNonSpd) {
+  Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  auto x = CholeskySolve(a, {1.0, 1.0});
+  EXPECT_EQ(x.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskySolveTest, RejectsShapeMismatch) {
+  Matrix a = Matrix::FromRows({{1, 0}, {0, 1}});
+  EXPECT_EQ(CholeskySolve(a, {1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  Matrix rect(2, 3);
+  EXPECT_EQ(CholeskySolve(rect, {1.0, 1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GaussianSolveTest, SolvesGeneralSystem) {
+  Matrix a = Matrix::FromRows({{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}});
+  auto x = GaussianSolve(a, {-8.0, 0.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  std::vector<double> b = a.Times(*x);
+  EXPECT_NEAR(b[0], -8.0, 1e-10);
+  EXPECT_NEAR(b[1], 0.0, 1e-10);
+  EXPECT_NEAR(b[2], 3.0, 1e-10);
+}
+
+TEST(GaussianSolveTest, RejectsSingular) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  EXPECT_EQ(GaussianSolve(a, {1.0, 2.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RidgeRegressionTest, RecoversExactLine) {
+  // y = 3 + 2x, no noise, tiny lambda.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    double x = i * 0.5;
+    rows.push_back({1.0, x});
+    y.push_back(3.0 + 2.0 * x);
+  }
+  auto w = RidgeRegression(Matrix::FromRows(rows), y, 1e-9);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[0], 3.0, 1e-5);
+  EXPECT_NEAR((*w)[1], 2.0, 1e-5);
+}
+
+TEST(RidgeRegressionTest, NoisyRecoveryWithinTolerance) {
+  Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.Uniform(-2.0, 2.0);
+    rows.push_back({1.0, x});
+    y.push_back(1.0 - 0.7 * x + rng.Gaussian(0.0, 0.05));
+  }
+  auto w = RidgeRegression(Matrix::FromRows(rows), y, 0.1);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[0], 1.0, 0.05);
+  EXPECT_NEAR((*w)[1], -0.7, 0.05);
+}
+
+TEST(RidgeRegressionTest, ShrinksTowardZeroWithLargeLambda) {
+  std::vector<std::vector<double>> rows = {{1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}};
+  std::vector<double> y = {10.0, 20.0, 30.0};
+  auto small = RidgeRegression(Matrix::FromRows(rows), y, 1e-6);
+  auto large = RidgeRegression(Matrix::FromRows(rows), y, 1e6);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(std::fabs((*small)[1]), std::fabs((*large)[1]));
+  EXPECT_NEAR((*large)[1], 0.0, 1e-3);
+}
+
+TEST(RidgeRegressionTest, HandlesCollinearWithRegularization) {
+  // Second column duplicates the first: OLS is ill-posed, ridge is fine.
+  std::vector<std::vector<double>> rows = {{1, 1}, {2, 2}, {3, 3}};
+  std::vector<double> y = {2, 4, 6};
+  auto w = RidgeRegression(Matrix::FromRows(rows), y, 0.5);
+  ASSERT_TRUE(w.ok());
+  // Symmetric solution splits the weight.
+  EXPECT_NEAR((*w)[0], (*w)[1], 1e-9);
+}
+
+TEST(RidgeRegressionTest, RejectsBadInput) {
+  Matrix x = Matrix::FromRows({{1.0}});
+  EXPECT_EQ(RidgeRegression(x, {1.0, 2.0}, 0.1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RidgeRegression(x, {1.0}, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RidgeRegression(Matrix(), {}, 0.1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskySolveTest, RandomSpdSystemsSolve) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 2 + rng.NextIndex(6);
+    Matrix x(n + 3, n);
+    for (size_t i = 0; i < n + 3; ++i)
+      for (size_t j = 0; j < n; ++j) x(i, j) = rng.Gaussian(0.0, 1.0);
+    Matrix a = x.Gram();
+    for (size_t i = 0; i < n; ++i) a(i, i) += 0.5;  // ensure PD
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.Gaussian(0.0, 1.0);
+    auto sol = CholeskySolve(a, b);
+    ASSERT_TRUE(sol.ok());
+    std::vector<double> back = a.Times(*sol);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], b[i], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace trendspeed

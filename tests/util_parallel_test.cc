@@ -1,0 +1,74 @@
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.h"
+
+namespace trendspeed {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t n : {0u, 1u, 15u, 16u, 1000u}) {
+    for (size_t threads : {1u, 2u, 7u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h = 0;
+      ParallelFor(
+          n,
+          [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) ++hits[i];
+          },
+          threads);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " threads=" << threads
+                                     << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, ChunksAreDisjointAndOrderedWithinThread) {
+  const size_t n = 500;
+  std::vector<int> owner(n, -1);
+  std::mutex mu;
+  std::atomic<int> next_id{0};
+  ParallelFor(
+      n,
+      [&](size_t begin, size_t end) {
+        int id = next_id++;
+        std::lock_guard<std::mutex> lock(mu);
+        for (size_t i = begin; i < end; ++i) {
+          EXPECT_EQ(owner[i], -1) << "overlapping chunks at " << i;
+          owner[i] = id;
+        }
+      },
+      4);
+  for (size_t i = 0; i < n; ++i) EXPECT_NE(owner[i], -1);
+}
+
+TEST(ParallelForTest, ResultsMatchSerialComputation) {
+  const size_t n = 10000;
+  std::vector<double> parallel_out(n), serial_out(n);
+  auto work = [](size_t i) {
+    double x = static_cast<double>(i);
+    return x * x - 3.0 * x + 1.0;
+  };
+  for (size_t i = 0; i < n; ++i) serial_out[i] = work(i);
+  ParallelFor(
+      n,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) parallel_out[i] = work(i);
+      },
+      8);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(EffectiveThreadsTest, RespectsRequestAndAuto) {
+  EXPECT_EQ(EffectiveThreads(3), 3u);
+  EXPECT_GE(EffectiveThreads(0), 1u);
+}
+
+}  // namespace
+}  // namespace trendspeed

@@ -1,0 +1,134 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace trendspeed {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedIsUnbiasedEnough) {
+  Rng rng(11);
+  std::vector<int> counts(7, 0);
+  const int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 7.0, 0.05 * kDraws / 7.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Gaussian(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextPoisson(3.5);
+  EXPECT_NEAR(sum / kN, 3.5, 0.1);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 5 + rng.NextIndex(50);
+    size_t k = 1 + rng.NextIndex(n);
+    auto sample = rng.SampleWithoutReplacement(n, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (size_t idx : sample) EXPECT_LT(idx, n);
+  }
+  // k == n returns a permutation.
+  auto all = rng.SampleWithoutReplacement(10, 10);
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementCoversUniformly) {
+  Rng rng(29);
+  std::vector<int> hits(10, 0);
+  for (int t = 0; t < 10000; ++t) {
+    for (size_t idx : rng.SampleWithoutReplacement(10, 3)) ++hits[idx];
+  }
+  for (int h : hits) EXPECT_NEAR(h, 3000, 250);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(123);
+  Rng child = a.Fork();
+  // The child must differ from a fresh copy of the parent's continuation.
+  Rng b(123);
+  b.Fork();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.NextU32() == a.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(37);
+  int heads = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (rng.NextBool(0.3)) ++heads;
+  }
+  EXPECT_NEAR(heads / 50000.0, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace trendspeed

@@ -1,0 +1,145 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace trendspeed {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, SampleVariance) {
+  OnlineStats s;
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 0.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(OnlineStatsTest, MergeEqualsSequential) {
+  Rng rng(5);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Gaussian(3.0, 2.0);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  OnlineStats before = a;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), before.mean());
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonTest, IndependentNearZero) {
+  Rng rng(9);
+  std::vector<double> a(5000), b(5000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.NextGaussian();
+    b[i] = rng.NextGaussian();
+  }
+  EXPECT_LT(std::fabs(PearsonCorrelation(a, b)), 0.05);
+}
+
+TEST(QuantileTest, InterpolatesCorrectly) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({3, 1}, 0.5), 2.0);  // unsorted input
+}
+
+TEST(SpeedMetricsTest, ExactPredictionsAreZeroError) {
+  std::vector<double> t = {30, 40, 50};
+  SpeedMetrics m = ComputeSpeedMetrics(t, t);
+  EXPECT_EQ(m.count, 3u);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.mape, 0.0);
+  EXPECT_DOUBLE_EQ(m.error_rate, 0.0);
+}
+
+TEST(SpeedMetricsTest, KnownValues) {
+  std::vector<double> pred = {44.0, 30.0};
+  std::vector<double> truth = {40.0, 40.0};
+  SpeedMetrics m = ComputeSpeedMetrics(pred, truth, /*error_rate_tau=*/0.2);
+  EXPECT_DOUBLE_EQ(m.mae, 7.0);                       // (4 + 10) / 2
+  EXPECT_NEAR(m.rmse, std::sqrt((16 + 100) / 2.0), 1e-12);
+  EXPECT_NEAR(m.mape, (0.1 + 0.25) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.error_rate, 0.5);                // only the 25% one
+}
+
+TEST(SpeedMetricsTest, SkipsNonPositiveTruth) {
+  std::vector<double> pred = {10.0, 20.0};
+  std::vector<double> truth = {0.0, 20.0};
+  SpeedMetrics m = ComputeSpeedMetrics(pred, truth);
+  EXPECT_EQ(m.count, 1u);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+}
+
+TEST(SpeedMetricsTest, RmseAtLeastMae) {
+  Rng rng(13);
+  std::vector<double> pred(200), truth(200);
+  for (size_t i = 0; i < 200; ++i) {
+    truth[i] = rng.Uniform(10.0, 80.0);
+    pred[i] = truth[i] + rng.Gaussian(0.0, 5.0);
+  }
+  SpeedMetrics m = ComputeSpeedMetrics(pred, truth);
+  EXPECT_GE(m.rmse, m.mae);
+}
+
+TEST(TrendAccuracyTest, CountsAgreements) {
+  EXPECT_DOUBLE_EQ(TrendAccuracy({1, -1, 1, -1}, {1, -1, -1, -1}), 0.75);
+  EXPECT_DOUBLE_EQ(TrendAccuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(TrendAccuracy({1, 1}, {1, 1}), 1.0);
+}
+
+}  // namespace
+}  // namespace trendspeed
