@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_accuracy_vs_k"
+  "../bench/bench_fig_accuracy_vs_k.pdb"
+  "CMakeFiles/bench_fig_accuracy_vs_k.dir/bench_fig_accuracy_vs_k.cc.o"
+  "CMakeFiles/bench_fig_accuracy_vs_k.dir/bench_fig_accuracy_vs_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_accuracy_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_error_tolerance"
+  "../bench/bench_fig_error_tolerance.pdb"
+  "CMakeFiles/bench_fig_error_tolerance.dir/bench_fig_error_tolerance.cc.o"
+  "CMakeFiles/bench_fig_error_tolerance.dir/bench_fig_error_tolerance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_error_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_seed_runtime"
+  "../bench/bench_fig_seed_runtime.pdb"
+  "CMakeFiles/bench_fig_seed_runtime.dir/bench_fig_seed_runtime.cc.o"
+  "CMakeFiles/bench_fig_seed_runtime.dir/bench_fig_seed_runtime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_seed_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

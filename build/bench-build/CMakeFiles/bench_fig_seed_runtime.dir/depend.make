@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_seed_runtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_time_of_day"
+  "../bench/bench_fig_time_of_day.pdb"
+  "CMakeFiles/bench_fig_time_of_day.dir/bench_fig_time_of_day.cc.o"
+  "CMakeFiles/bench_fig_time_of_day.dir/bench_fig_time_of_day.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_time_of_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

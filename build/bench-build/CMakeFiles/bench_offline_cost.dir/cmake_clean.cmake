@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_offline_cost"
+  "../bench/bench_offline_cost.pdb"
+  "CMakeFiles/bench_offline_cost.dir/bench_offline_cost.cc.o"
+  "CMakeFiles/bench_offline_cost.dir/bench_offline_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offline_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

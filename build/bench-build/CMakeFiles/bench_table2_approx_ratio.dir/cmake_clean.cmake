@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_approx_ratio"
+  "../bench/bench_table2_approx_ratio.pdb"
+  "CMakeFiles/bench_table2_approx_ratio.dir/bench_table2_approx_ratio.cc.o"
+  "CMakeFiles/bench_table2_approx_ratio.dir/bench_table2_approx_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_approx_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_monitor.dir/city_monitor.cpp.o"
+  "CMakeFiles/city_monitor.dir/city_monitor.cpp.o.d"
+  "city_monitor"
+  "city_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

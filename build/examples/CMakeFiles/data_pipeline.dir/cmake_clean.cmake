@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_pipeline.dir/data_pipeline.cpp.o"
+  "CMakeFiles/data_pipeline.dir/data_pipeline.cpp.o.d"
+  "data_pipeline"
+  "data_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigator.dir/navigator.cpp.o"
+  "CMakeFiles/navigator.dir/navigator.cpp.o.d"
+  "navigator"
+  "navigator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/global_lsq.cc" "src/CMakeFiles/ts_baseline.dir/baseline/global_lsq.cc.o" "gcc" "src/CMakeFiles/ts_baseline.dir/baseline/global_lsq.cc.o.d"
+  "/root/repo/src/baseline/historical_mean.cc" "src/CMakeFiles/ts_baseline.dir/baseline/historical_mean.cc.o" "gcc" "src/CMakeFiles/ts_baseline.dir/baseline/historical_mean.cc.o.d"
+  "/root/repo/src/baseline/knn.cc" "src/CMakeFiles/ts_baseline.dir/baseline/knn.cc.o" "gcc" "src/CMakeFiles/ts_baseline.dir/baseline/knn.cc.o.d"
+  "/root/repo/src/baseline/label_propagation.cc" "src/CMakeFiles/ts_baseline.dir/baseline/label_propagation.cc.o" "gcc" "src/CMakeFiles/ts_baseline.dir/baseline/label_propagation.cc.o.d"
+  "/root/repo/src/baseline/matrix_completion.cc" "src/CMakeFiles/ts_baseline.dir/baseline/matrix_completion.cc.o" "gcc" "src/CMakeFiles/ts_baseline.dir/baseline/matrix_completion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ts_corr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

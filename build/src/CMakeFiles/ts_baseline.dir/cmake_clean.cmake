@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_baseline.dir/baseline/global_lsq.cc.o"
+  "CMakeFiles/ts_baseline.dir/baseline/global_lsq.cc.o.d"
+  "CMakeFiles/ts_baseline.dir/baseline/historical_mean.cc.o"
+  "CMakeFiles/ts_baseline.dir/baseline/historical_mean.cc.o.d"
+  "CMakeFiles/ts_baseline.dir/baseline/knn.cc.o"
+  "CMakeFiles/ts_baseline.dir/baseline/knn.cc.o.d"
+  "CMakeFiles/ts_baseline.dir/baseline/label_propagation.cc.o"
+  "CMakeFiles/ts_baseline.dir/baseline/label_propagation.cc.o.d"
+  "CMakeFiles/ts_baseline.dir/baseline/matrix_completion.cc.o"
+  "CMakeFiles/ts_baseline.dir/baseline/matrix_completion.cc.o.d"
+  "libts_baseline.a"
+  "libts_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_core.dir/core/config.cc.o"
+  "CMakeFiles/ts_core.dir/core/config.cc.o.d"
+  "CMakeFiles/ts_core.dir/core/estimator.cc.o"
+  "CMakeFiles/ts_core.dir/core/estimator.cc.o.d"
+  "CMakeFiles/ts_core.dir/core/evaluator.cc.o"
+  "CMakeFiles/ts_core.dir/core/evaluator.cc.o.d"
+  "CMakeFiles/ts_core.dir/core/model_io.cc.o"
+  "CMakeFiles/ts_core.dir/core/model_io.cc.o.d"
+  "CMakeFiles/ts_core.dir/core/monitor.cc.o"
+  "CMakeFiles/ts_core.dir/core/monitor.cc.o.d"
+  "CMakeFiles/ts_core.dir/core/routing.cc.o"
+  "CMakeFiles/ts_core.dir/core/routing.cc.o.d"
+  "libts_core.a"
+  "libts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

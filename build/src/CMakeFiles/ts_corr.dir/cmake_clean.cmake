@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_corr.dir/corr/correlation_graph.cc.o"
+  "CMakeFiles/ts_corr.dir/corr/correlation_graph.cc.o.d"
+  "CMakeFiles/ts_corr.dir/corr/cotrend.cc.o"
+  "CMakeFiles/ts_corr.dir/corr/cotrend.cc.o.d"
+  "libts_corr.a"
+  "libts_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

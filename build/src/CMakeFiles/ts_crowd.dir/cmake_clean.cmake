@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_crowd.dir/crowd/aggregate.cc.o"
+  "CMakeFiles/ts_crowd.dir/crowd/aggregate.cc.o.d"
+  "CMakeFiles/ts_crowd.dir/crowd/allocation.cc.o"
+  "CMakeFiles/ts_crowd.dir/crowd/allocation.cc.o.d"
+  "CMakeFiles/ts_crowd.dir/crowd/campaign.cc.o"
+  "CMakeFiles/ts_crowd.dir/crowd/campaign.cc.o.d"
+  "CMakeFiles/ts_crowd.dir/crowd/worker.cc.o"
+  "CMakeFiles/ts_crowd.dir/crowd/worker.cc.o.d"
+  "libts_crowd.a"
+  "libts_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_io.dir/io/dataset.cc.o"
+  "CMakeFiles/ts_io.dir/io/dataset.cc.o.d"
+  "CMakeFiles/ts_io.dir/io/serialize.cc.o"
+  "CMakeFiles/ts_io.dir/io/serialize.cc.o.d"
+  "libts_io.a"
+  "libts_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

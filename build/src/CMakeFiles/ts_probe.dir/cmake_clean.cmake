@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_probe.dir/probe/gps.cc.o"
+  "CMakeFiles/ts_probe.dir/probe/gps.cc.o.d"
+  "CMakeFiles/ts_probe.dir/probe/history.cc.o"
+  "CMakeFiles/ts_probe.dir/probe/history.cc.o.d"
+  "CMakeFiles/ts_probe.dir/probe/hmm_matching.cc.o"
+  "CMakeFiles/ts_probe.dir/probe/hmm_matching.cc.o.d"
+  "CMakeFiles/ts_probe.dir/probe/map_matching.cc.o"
+  "CMakeFiles/ts_probe.dir/probe/map_matching.cc.o.d"
+  "CMakeFiles/ts_probe.dir/probe/trips.cc.o"
+  "CMakeFiles/ts_probe.dir/probe/trips.cc.o.d"
+  "libts_probe.a"
+  "libts_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/generators.cc" "src/CMakeFiles/ts_roadnet.dir/roadnet/generators.cc.o" "gcc" "src/CMakeFiles/ts_roadnet.dir/roadnet/generators.cc.o.d"
+  "/root/repo/src/roadnet/road_network.cc" "src/CMakeFiles/ts_roadnet.dir/roadnet/road_network.cc.o" "gcc" "src/CMakeFiles/ts_roadnet.dir/roadnet/road_network.cc.o.d"
+  "/root/repo/src/roadnet/shortest_path.cc" "src/CMakeFiles/ts_roadnet.dir/roadnet/shortest_path.cc.o" "gcc" "src/CMakeFiles/ts_roadnet.dir/roadnet/shortest_path.cc.o.d"
+  "/root/repo/src/roadnet/stats.cc" "src/CMakeFiles/ts_roadnet.dir/roadnet/stats.cc.o" "gcc" "src/CMakeFiles/ts_roadnet.dir/roadnet/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

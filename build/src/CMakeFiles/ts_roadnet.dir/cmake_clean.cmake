@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_roadnet.dir/roadnet/generators.cc.o"
+  "CMakeFiles/ts_roadnet.dir/roadnet/generators.cc.o.d"
+  "CMakeFiles/ts_roadnet.dir/roadnet/road_network.cc.o"
+  "CMakeFiles/ts_roadnet.dir/roadnet/road_network.cc.o.d"
+  "CMakeFiles/ts_roadnet.dir/roadnet/shortest_path.cc.o"
+  "CMakeFiles/ts_roadnet.dir/roadnet/shortest_path.cc.o.d"
+  "CMakeFiles/ts_roadnet.dir/roadnet/stats.cc.o"
+  "CMakeFiles/ts_roadnet.dir/roadnet/stats.cc.o.d"
+  "libts_roadnet.a"
+  "libts_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

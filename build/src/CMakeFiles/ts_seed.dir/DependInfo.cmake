@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seed/adaptive.cc" "src/CMakeFiles/ts_seed.dir/seed/adaptive.cc.o" "gcc" "src/CMakeFiles/ts_seed.dir/seed/adaptive.cc.o.d"
+  "/root/repo/src/seed/exact.cc" "src/CMakeFiles/ts_seed.dir/seed/exact.cc.o" "gcc" "src/CMakeFiles/ts_seed.dir/seed/exact.cc.o.d"
+  "/root/repo/src/seed/greedy.cc" "src/CMakeFiles/ts_seed.dir/seed/greedy.cc.o" "gcc" "src/CMakeFiles/ts_seed.dir/seed/greedy.cc.o.d"
+  "/root/repo/src/seed/heuristics.cc" "src/CMakeFiles/ts_seed.dir/seed/heuristics.cc.o" "gcc" "src/CMakeFiles/ts_seed.dir/seed/heuristics.cc.o.d"
+  "/root/repo/src/seed/lazy_greedy.cc" "src/CMakeFiles/ts_seed.dir/seed/lazy_greedy.cc.o" "gcc" "src/CMakeFiles/ts_seed.dir/seed/lazy_greedy.cc.o.d"
+  "/root/repo/src/seed/objective.cc" "src/CMakeFiles/ts_seed.dir/seed/objective.cc.o" "gcc" "src/CMakeFiles/ts_seed.dir/seed/objective.cc.o.d"
+  "/root/repo/src/seed/stochastic_greedy.cc" "src/CMakeFiles/ts_seed.dir/seed/stochastic_greedy.cc.o" "gcc" "src/CMakeFiles/ts_seed.dir/seed/stochastic_greedy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ts_corr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

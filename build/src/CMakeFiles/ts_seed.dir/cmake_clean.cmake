@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_seed.dir/seed/adaptive.cc.o"
+  "CMakeFiles/ts_seed.dir/seed/adaptive.cc.o.d"
+  "CMakeFiles/ts_seed.dir/seed/exact.cc.o"
+  "CMakeFiles/ts_seed.dir/seed/exact.cc.o.d"
+  "CMakeFiles/ts_seed.dir/seed/greedy.cc.o"
+  "CMakeFiles/ts_seed.dir/seed/greedy.cc.o.d"
+  "CMakeFiles/ts_seed.dir/seed/heuristics.cc.o"
+  "CMakeFiles/ts_seed.dir/seed/heuristics.cc.o.d"
+  "CMakeFiles/ts_seed.dir/seed/lazy_greedy.cc.o"
+  "CMakeFiles/ts_seed.dir/seed/lazy_greedy.cc.o.d"
+  "CMakeFiles/ts_seed.dir/seed/objective.cc.o"
+  "CMakeFiles/ts_seed.dir/seed/objective.cc.o.d"
+  "CMakeFiles/ts_seed.dir/seed/stochastic_greedy.cc.o"
+  "CMakeFiles/ts_seed.dir/seed/stochastic_greedy.cc.o.d"
+  "libts_seed.a"
+  "libts_seed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_seed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_speed.dir/speed/hierarchical_model.cc.o"
+  "CMakeFiles/ts_speed.dir/speed/hierarchical_model.cc.o.d"
+  "CMakeFiles/ts_speed.dir/speed/linear_model.cc.o"
+  "CMakeFiles/ts_speed.dir/speed/linear_model.cc.o.d"
+  "CMakeFiles/ts_speed.dir/speed/propagation.cc.o"
+  "CMakeFiles/ts_speed.dir/speed/propagation.cc.o.d"
+  "libts_speed.a"
+  "libts_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_traffic.dir/traffic/disturbance.cc.o"
+  "CMakeFiles/ts_traffic.dir/traffic/disturbance.cc.o.d"
+  "CMakeFiles/ts_traffic.dir/traffic/incidents.cc.o"
+  "CMakeFiles/ts_traffic.dir/traffic/incidents.cc.o.d"
+  "CMakeFiles/ts_traffic.dir/traffic/profiles.cc.o"
+  "CMakeFiles/ts_traffic.dir/traffic/profiles.cc.o.d"
+  "CMakeFiles/ts_traffic.dir/traffic/simulator.cc.o"
+  "CMakeFiles/ts_traffic.dir/traffic/simulator.cc.o.d"
+  "libts_traffic.a"
+  "libts_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

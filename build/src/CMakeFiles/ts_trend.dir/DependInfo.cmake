@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trend/belief_propagation.cc" "src/CMakeFiles/ts_trend.dir/trend/belief_propagation.cc.o" "gcc" "src/CMakeFiles/ts_trend.dir/trend/belief_propagation.cc.o.d"
+  "/root/repo/src/trend/exact.cc" "src/CMakeFiles/ts_trend.dir/trend/exact.cc.o" "gcc" "src/CMakeFiles/ts_trend.dir/trend/exact.cc.o.d"
+  "/root/repo/src/trend/factor_graph.cc" "src/CMakeFiles/ts_trend.dir/trend/factor_graph.cc.o" "gcc" "src/CMakeFiles/ts_trend.dir/trend/factor_graph.cc.o.d"
+  "/root/repo/src/trend/gibbs.cc" "src/CMakeFiles/ts_trend.dir/trend/gibbs.cc.o" "gcc" "src/CMakeFiles/ts_trend.dir/trend/gibbs.cc.o.d"
+  "/root/repo/src/trend/icm.cc" "src/CMakeFiles/ts_trend.dir/trend/icm.cc.o" "gcc" "src/CMakeFiles/ts_trend.dir/trend/icm.cc.o.d"
+  "/root/repo/src/trend/trend_model.cc" "src/CMakeFiles/ts_trend.dir/trend/trend_model.cc.o" "gcc" "src/CMakeFiles/ts_trend.dir/trend/trend_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ts_corr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

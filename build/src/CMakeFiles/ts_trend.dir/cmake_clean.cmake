@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_trend.dir/trend/belief_propagation.cc.o"
+  "CMakeFiles/ts_trend.dir/trend/belief_propagation.cc.o.d"
+  "CMakeFiles/ts_trend.dir/trend/exact.cc.o"
+  "CMakeFiles/ts_trend.dir/trend/exact.cc.o.d"
+  "CMakeFiles/ts_trend.dir/trend/factor_graph.cc.o"
+  "CMakeFiles/ts_trend.dir/trend/factor_graph.cc.o.d"
+  "CMakeFiles/ts_trend.dir/trend/gibbs.cc.o"
+  "CMakeFiles/ts_trend.dir/trend/gibbs.cc.o.d"
+  "CMakeFiles/ts_trend.dir/trend/icm.cc.o"
+  "CMakeFiles/ts_trend.dir/trend/icm.cc.o.d"
+  "CMakeFiles/ts_trend.dir/trend/trend_model.cc.o"
+  "CMakeFiles/ts_trend.dir/trend/trend_model.cc.o.d"
+  "libts_trend.a"
+  "libts_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_util.dir/util/csv.cc.o"
+  "CMakeFiles/ts_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/ts_util.dir/util/logging.cc.o"
+  "CMakeFiles/ts_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/ts_util.dir/util/matrix.cc.o"
+  "CMakeFiles/ts_util.dir/util/matrix.cc.o.d"
+  "CMakeFiles/ts_util.dir/util/parallel.cc.o"
+  "CMakeFiles/ts_util.dir/util/parallel.cc.o.d"
+  "CMakeFiles/ts_util.dir/util/stats.cc.o"
+  "CMakeFiles/ts_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/ts_util.dir/util/status.cc.o"
+  "CMakeFiles/ts_util.dir/util/status.cc.o.d"
+  "libts_util.a"
+  "libts_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_seed_test.dir/adaptive_seed_test.cc.o"
+  "CMakeFiles/adaptive_seed_test.dir/adaptive_seed_test.cc.o.d"
+  "adaptive_seed_test"
+  "adaptive_seed_test.pdb"
+  "adaptive_seed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_seed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anticorrelation_test.dir/anticorrelation_test.cc.o"
+  "CMakeFiles/anticorrelation_test.dir/anticorrelation_test.cc.o.d"
+  "anticorrelation_test"
+  "anticorrelation_test.pdb"
+  "anticorrelation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anticorrelation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_global_lsq_test.dir/baseline_global_lsq_test.cc.o"
+  "CMakeFiles/baseline_global_lsq_test.dir/baseline_global_lsq_test.cc.o.d"
+  "baseline_global_lsq_test"
+  "baseline_global_lsq_test.pdb"
+  "baseline_global_lsq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_global_lsq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

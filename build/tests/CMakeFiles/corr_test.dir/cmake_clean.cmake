@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corr_test.dir/corr_test.cc.o"
+  "CMakeFiles/corr_test.dir/corr_test.cc.o.d"
+  "corr_test"
+  "corr_test.pdb"
+  "corr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

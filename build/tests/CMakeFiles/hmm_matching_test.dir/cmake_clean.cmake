@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_matching_test.dir/hmm_matching_test.cc.o"
+  "CMakeFiles/hmm_matching_test.dir/hmm_matching_test.cc.o.d"
+  "hmm_matching_test"
+  "hmm_matching_test.pdb"
+  "hmm_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

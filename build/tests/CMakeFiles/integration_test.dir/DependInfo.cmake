@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_speed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_trend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_seed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_corr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

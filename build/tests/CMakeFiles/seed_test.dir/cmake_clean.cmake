@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_test.dir/seed_test.cc.o"
+  "CMakeFiles/seed_test.dir/seed_test.cc.o.d"
+  "seed_test"
+  "seed_test.pdb"
+  "seed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

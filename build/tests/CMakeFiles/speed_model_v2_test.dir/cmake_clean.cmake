@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_model_v2_test.dir/speed_model_v2_test.cc.o"
+  "CMakeFiles/speed_model_v2_test.dir/speed_model_v2_test.cc.o.d"
+  "speed_model_v2_test"
+  "speed_model_v2_test.pdb"
+  "speed_model_v2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_model_v2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

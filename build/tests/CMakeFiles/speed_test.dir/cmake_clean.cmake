@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_test.dir/speed_test.cc.o"
+  "CMakeFiles/speed_test.dir/speed_test.cc.o.d"
+  "speed_test"
+  "speed_test.pdb"
+  "speed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

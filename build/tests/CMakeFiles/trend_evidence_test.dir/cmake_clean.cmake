@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_evidence_test.dir/trend_evidence_test.cc.o"
+  "CMakeFiles/trend_evidence_test.dir/trend_evidence_test.cc.o.d"
+  "trend_evidence_test"
+  "trend_evidence_test.pdb"
+  "trend_evidence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_evidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
