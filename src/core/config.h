@@ -18,6 +18,9 @@ struct PipelineConfig {
   HierarchicalModelOptions speed;
   PropagationOptions propagation;
   InfluenceOptions influence;
+  /// Thread/batch tuning for greedy seed selection (results are identical
+  /// to serial selection; only wall time changes).
+  SeedSelectionOptions seed_selection;
   /// Feed the calibrated logistic of the influence-weighted seed deviation
   /// into the trend MRF as soft node evidence (magnitude-aware Step 1).
   bool use_trend_evidence = true;

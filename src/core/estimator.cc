@@ -78,9 +78,9 @@ Result<SeedSelectionResult> TrafficSpeedEstimator::SelectSeeds(
     size_t k, SeedStrategy strategy, uint64_t rng_seed) const {
   switch (strategy) {
     case SeedStrategy::kGreedy:
-      return SelectSeedsGreedy(*influence_, k);
+      return SelectSeedsGreedy(*influence_, k, config_.seed_selection);
     case SeedStrategy::kLazyGreedy:
-      return SelectSeedsLazyGreedy(*influence_, k);
+      return SelectSeedsLazyGreedy(*influence_, k, config_.seed_selection);
     case SeedStrategy::kStochasticGreedy: {
       StochasticGreedyOptions opts;
       opts.seed = rng_seed;

@@ -8,7 +8,14 @@
 namespace trendspeed {
 
 /// Repeatedly adds the candidate with the largest marginal gain.
-/// O(K * n * avg_cover) gain evaluations.
+/// O(K * n * avg_cover) gain evaluations. Each round's candidate scan is
+/// batched across the thread pool (chunk-ordered argmax reduction keeps the
+/// selected set identical to the serial scan).
+Result<SeedSelectionResult> SelectSeedsGreedy(const InfluenceModel& model,
+                                              size_t k,
+                                              const SeedSelectionOptions& opts);
+/// Overload with default options (kept separate so the function's address
+/// stays compatible with two-argument selection tables in the benches).
 Result<SeedSelectionResult> SelectSeedsGreedy(const InfluenceModel& model,
                                               size_t k);
 

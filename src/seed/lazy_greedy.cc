@@ -1,12 +1,16 @@
 #include "seed/lazy_greedy.h"
 
+#include <algorithm>
 #include <queue>
 #include <vector>
 
+#include "util/parallel.h"
+#include "util/thread_pool.h"
+
 namespace trendspeed {
 
-Result<SeedSelectionResult> SelectSeedsLazyGreedy(const InfluenceModel& model,
-                                                  size_t k) {
+Result<SeedSelectionResult> SelectSeedsLazyGreedy(
+    const InfluenceModel& model, size_t k, const SeedSelectionOptions& opts) {
   size_t n = model.num_roads();
   if (k == 0 || k > n) {
     return Status::InvalidArgument("k must be in [1, num_roads]");
@@ -18,15 +22,39 @@ Result<SeedSelectionResult> SelectSeedsLazyGreedy(const InfluenceModel& model,
     double gain;
     RoadId road;
     uint32_t round;  // round the gain was computed in
-    bool operator<(const QEntry& other) const { return gain < other.gain; }
+    // Total order (lower road wins gain ties) so the pop sequence — and
+    // with it the selected set — is identical however entries were pushed,
+    // serially or from a parallel batch.
+    bool operator<(const QEntry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return road > other.road;
+    }
   };
   std::priority_queue<QEntry> pq;
   // Initial gains are computed against the empty set, which is exactly the
-  // state of round 1, so they enter the queue fresh.
-  for (RoadId j = 0; j < n; ++j) {
-    pq.push(QEntry{state.GainOf(j), j, 1});
-    ++result.gain_evaluations;
+  // state of round 1, so they enter the queue fresh. This scan is the
+  // single biggest evaluation block in CELF; batch it across the pool.
+  {
+    std::vector<double> init_gain(n);
+    ParallelFor(
+        n,
+        [&](size_t begin, size_t end) {
+          for (RoadId j = static_cast<RoadId>(begin); j < end; ++j) {
+            init_gain[j] = state.GainOf(j);
+          }
+        },
+        opts.num_threads);
+    for (RoadId j = 0; j < n; ++j) {
+      pq.push(QEntry{init_gain[j], j, 1});
+      ++result.gain_evaluations;
+    }
   }
+
+  size_t batch = opts.batch > 0
+                     ? opts.batch
+                     : static_cast<size_t>(EffectiveThreads(opts.num_threads));
+  std::vector<QEntry> stale;
+  stale.reserve(batch);
   for (uint32_t round = 1; round <= k && !pq.empty();) {
     QEntry top = pq.top();
     pq.pop();
@@ -35,16 +63,48 @@ Result<SeedSelectionResult> SelectSeedsLazyGreedy(const InfluenceModel& model,
       // can beat it, so commit.
       state.Add(top.road);
       ++round;
-    } else {
-      top.gain = state.GainOf(top.road);
-      ++result.gain_evaluations;
-      top.round = round;
-      pq.push(top);
+      continue;
     }
+    // Speculatively refresh up to `batch` stale entries from the top of the
+    // heap in one parallel region. Every refreshed gain is exact for the
+    // current state, so pushing them back with this round's stamp preserves
+    // the CELF invariant (an entry commits only when its gain is fresh) and
+    // hence the exact greedy seed set; with batch == 1 the evaluation
+    // schedule is byte-for-byte the serial one.
+    stale.clear();
+    stale.push_back(top);
+    while (stale.size() < batch && !pq.empty() && pq.top().round != round) {
+      stale.push_back(pq.top());
+      pq.pop();
+    }
+    if (stale.size() > 1) {
+      // Grain 1: each entry is one O(|cover|) evaluation, heavy enough to
+      // hand off individually (the legacy ParallelFor would inline a batch
+      // this small).
+      ThreadPool::Global().ParallelFor(
+          stale.size(), 1,
+          [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+              stale[i].gain = state.GainOf(stale[i].road);
+              stale[i].round = round;
+            }
+          },
+          EffectiveThreads(opts.num_threads));
+    } else {
+      stale[0].gain = state.GainOf(stale[0].road);
+      stale[0].round = round;
+    }
+    result.gain_evaluations += stale.size();
+    for (const QEntry& e : stale) pq.push(e);
   }
   result.seeds = state.seeds();
   result.objective = state.value();
   return result;
+}
+
+Result<SeedSelectionResult> SelectSeedsLazyGreedy(const InfluenceModel& model,
+                                                  size_t k) {
+  return SelectSeedsLazyGreedy(model, k, SeedSelectionOptions{});
 }
 
 }  // namespace trendspeed

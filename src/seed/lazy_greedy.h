@@ -13,7 +13,14 @@
 
 namespace trendspeed {
 
-/// CELF selection; returns exactly the plain-greedy solution.
+/// CELF selection; returns exactly the plain-greedy solution. Stale heap
+/// entries are re-evaluated in parallel batches of opts.batch (speculative:
+/// the seed set is unchanged, but the evaluation count can exceed the
+/// serial schedule's when later batch members would have been skipped).
+Result<SeedSelectionResult> SelectSeedsLazyGreedy(
+    const InfluenceModel& model, size_t k, const SeedSelectionOptions& opts);
+/// Overload with default options (kept separate so the function's address
+/// stays compatible with two-argument selection tables in the benches).
 Result<SeedSelectionResult> SelectSeedsLazyGreedy(const InfluenceModel& model,
                                                   size_t k);
 

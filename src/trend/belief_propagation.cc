@@ -1,11 +1,22 @@
 #include "trend/belief_propagation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace trendspeed {
+
+namespace {
+
+/// Below this variable count a sweep is a few hundred microseconds at most
+/// and pool handoff overhead outweighs the parallel win; run serially.
+constexpr size_t kMinParallelVars = 4096;
+
+}  // namespace
 
 BpGraph BpGraph::FromMrf(const PairwiseMrf& mrf) {
   BpGraph g;
@@ -43,29 +54,34 @@ BpResult InferMarginalsBpFlat(const BpGraph& graph,
 
   std::vector<double> msg(2 * dir_edges, 0.5);
   std::vector<double> next(2 * dir_edges, 0.5);
-  std::vector<double> in0(graph.max_degree), in1(graph.max_degree);
 
   BpResult result;
   result.p_up.assign(n, 0.5);
+  if (n == 0) return result;
 
-  double max_delta = 0.0;
-  for (uint32_t iter = 0; iter < opts.max_iters; ++iter) {
-    max_delta = 0.0;
-    for (size_t v = 0; v < n; ++v) {
-      size_t begin = graph.off[v];
-      size_t deg = graph.off[v + 1] - begin;
+  // One Jacobi half-sweep over the outgoing messages of variables in
+  // [begin, end): reads `msg`, writes `next` (slots of these variables
+  // only — disjoint across chunks), returns the local max message change.
+  // Per-variable arithmetic is independent of the chunking, so serial and
+  // parallel sweeps are bitwise identical.
+  auto sweep = [&](size_t begin, size_t end, std::vector<double>& in0,
+                   std::vector<double>& in1) -> double {
+    double local_max = 0.0;
+    for (size_t v = begin; v < end; ++v) {
+      size_t off = graph.off[v];
+      size_t deg = graph.off[v + 1] - off;
       if (deg == 0) continue;
       // Belief factors: phi_v(x) * prod of incoming messages.
       double in_prod[2] = {pot[2 * v], pot[2 * v + 1]};
       for (size_t k = 0; k < deg; ++k) {
-        size_t rs = graph.rev_slot[begin + k];
+        size_t rs = graph.rev_slot[off + k];
         in0[k] = msg[2 * rs];
         in1[k] = msg[2 * rs + 1];
         in_prod[0] *= in0[k];
         in_prod[1] *= in1[k];
       }
       for (size_t k = 0; k < deg; ++k) {
-        size_t slot = begin + k;
+        size_t slot = off + k;
         // Cavity belief of v excluding neighbour k (division fast path,
         // re-multiplication fallback when a message underflowed).
         double cav0, cav1;
@@ -99,8 +115,35 @@ BpResult InferMarginalsBpFlat(const BpGraph& graph,
         next[2 * slot] = new0;
         next[2 * slot + 1] = new1;
         double delta = std::fabs(new0 - old0);
-        if (delta > max_delta) max_delta = delta;
+        if (delta > local_max) local_max = delta;
       }
+    }
+    return local_max;
+  };
+
+  size_t threads = std::min<size_t>(EffectiveThreads(opts.num_threads), n);
+  bool parallel = threads > 1 && n >= kMinParallelVars;
+  std::vector<double> in0(graph.max_degree), in1(graph.max_degree);
+
+  double max_delta = 0.0;
+  for (uint32_t iter = 0; iter < opts.max_iters; ++iter) {
+    if (!parallel) {
+      max_delta = sweep(0, n, in0, in1);
+    } else {
+      // max() is order-independent, so a CAS-max reduction keeps the
+      // convergence decision — hence the iteration count and the final
+      // marginals — bitwise deterministic for any thread count.
+      std::atomic<double> shared_max{0.0};
+      ThreadPool::Global().ParallelForChunked(
+          n, threads, [&](size_t, size_t begin, size_t end) {
+            std::vector<double> t0(graph.max_degree), t1(graph.max_degree);
+            double local = sweep(begin, end, t0, t1);
+            double cur = shared_max.load(std::memory_order_relaxed);
+            while (local > cur &&
+                   !shared_max.compare_exchange_weak(cur, local)) {
+            }
+          });
+      max_delta = shared_max.load();
     }
     msg.swap(next);
     result.iterations = iter + 1;
@@ -112,16 +155,25 @@ BpResult InferMarginalsBpFlat(const BpGraph& graph,
 
   // Beliefs. Hard 0/1 potentials (clamped evidence) stay hard because
   // the potential factor multiplies every belief.
-  for (size_t v = 0; v < n; ++v) {
-    double b0 = pot[2 * v];
-    double b1 = pot[2 * v + 1];
-    for (size_t k = graph.off[v]; k < graph.off[v + 1]; ++k) {
-      size_t rs = graph.rev_slot[k];
-      b0 *= msg[2 * rs];
-      b1 *= msg[2 * rs + 1];
+  auto beliefs = [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      double b0 = pot[2 * v];
+      double b1 = pot[2 * v + 1];
+      for (size_t k = graph.off[v]; k < graph.off[v + 1]; ++k) {
+        size_t rs = graph.rev_slot[k];
+        b0 *= msg[2 * rs];
+        b1 *= msg[2 * rs + 1];
+      }
+      double z = b0 + b1;
+      result.p_up[v] = (z > 0.0 && std::isfinite(z)) ? b1 / z : 0.5;
     }
-    double z = b0 + b1;
-    result.p_up[v] = (z > 0.0 && std::isfinite(z)) ? b1 / z : 0.5;
+  };
+  if (!parallel) {
+    beliefs(0, n);
+  } else {
+    ThreadPool::Global().ParallelForChunked(
+        n, threads,
+        [&](size_t, size_t begin, size_t end) { beliefs(begin, end); });
   }
   return result;
 }

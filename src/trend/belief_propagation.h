@@ -25,6 +25,11 @@ struct BpOptions {
   double damping = 0.15;
   /// Convergence threshold on the max message change.
   double tol = 1e-4;
+  /// Worker threads for the message sweeps (0 = EffectiveThreads). The
+  /// update is two-phase (read `msg`, write `next`, swap), so marginals are
+  /// bitwise identical for every thread count, including 1; small graphs
+  /// run serially regardless (see kMinParallelVars in the .cc).
+  uint32_t num_threads = 0;
 };
 
 struct BpResult {

@@ -1,15 +1,27 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace trendspeed {
 
 size_t EffectiveThreads(size_t requested) {
   if (requested > 0) return requested;
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  static const size_t cached = [] {
+    if (const char* env = std::getenv("TRENDSPEED_NUM_THREADS")) {
+      char* end = nullptr;
+      unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0 && v <= 4096) {
+        return static_cast<size_t>(v);
+      }
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<size_t>(hw > 0 ? hw : 1);
+  }();
+  return cached;
 }
 
 void ParallelFor(size_t n,
@@ -17,22 +29,14 @@ void ParallelFor(size_t n,
                  size_t num_threads) {
   if (n == 0) return;
   size_t workers = std::min(EffectiveThreads(num_threads), n);
-  // Small jobs or single-threaded: run inline (no spawn overhead, easier
+  // Small jobs or single-threaded: run inline (no handoff overhead, easier
   // debugging).
   if (workers <= 1 || n < 16) {
     fn(0, n);
     return;
   }
-  size_t chunk = (n + workers - 1) / workers;
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    size_t begin = w * chunk;
-    if (begin >= n) break;
-    size_t end = std::min(n, begin + chunk);
-    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
-  }
-  for (std::thread& t : threads) t.join();
+  ThreadPool::Global().ParallelForChunked(
+      n, workers, [&fn](size_t, size_t begin, size_t end) { fn(begin, end); });
 }
 
 }  // namespace trendspeed

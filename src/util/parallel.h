@@ -1,8 +1,10 @@
-// Deterministic data-parallel helpers for the offline (training) phase.
+// Deterministic data-parallel helpers.
 //
-// ParallelFor splits [0, n) into contiguous chunks across worker threads.
-// Work items must be independent; given per-index determinism, results are
-// identical for any thread count — training stays reproducible.
+// ParallelFor splits [0, n) into contiguous chunks across the process-wide
+// persistent thread pool (util/thread_pool.h) — thread startup is amortized
+// across all parallel regions in the process. Work items must be
+// independent; given per-index determinism, results are identical for any
+// thread count — training stays reproducible.
 
 #ifndef TRENDSPEED_UTIL_PARALLEL_H_
 #define TRENDSPEED_UTIL_PARALLEL_H_
@@ -12,13 +14,18 @@
 
 namespace trendspeed {
 
-/// Number of workers used when `requested` is 0 (hardware concurrency,
-/// at least 1).
+/// Number of workers used when `requested` is 0: the TRENDSPEED_NUM_THREADS
+/// environment variable when set to a positive integer (reproducible
+/// benchmarking), otherwise hardware concurrency, at least 1. The fallback
+/// is resolved once and cached (hardware_concurrency is a syscall on some
+/// platforms and this is called on hot paths).
 size_t EffectiveThreads(size_t requested);
 
-/// Runs fn(begin, end) over disjoint chunks covering [0, n), on
-/// EffectiveThreads(num_threads) threads (inline when 1 or n is small).
-/// Blocks until all chunks complete. Exceptions escaping `fn` terminate.
+/// Runs fn(begin, end) over disjoint chunks covering [0, n), with at most
+/// EffectiveThreads(num_threads) chunks in flight (inline when 1 or n is
+/// small). Chunk boundaries depend only on n and num_threads. Blocks until
+/// all chunks complete. The first exception escaping `fn` is rethrown on
+/// the calling thread after the region drains.
 void ParallelFor(size_t n,
                  const std::function<void(size_t begin, size_t end)>& fn,
                  size_t num_threads = 0);

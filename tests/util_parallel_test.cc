@@ -1,6 +1,7 @@
 #include <atomic>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -68,6 +69,37 @@ TEST(ParallelForTest, ResultsMatchSerialComputation) {
 TEST(EffectiveThreadsTest, RespectsRequestAndAuto) {
   EXPECT_EQ(EffectiveThreads(3), 3u);
   EXPECT_GE(EffectiveThreads(0), 1u);
+  // The auto value is resolved once and cached; repeated calls must agree.
+  EXPECT_EQ(EffectiveThreads(0), EffectiveThreads(0));
+}
+
+// Regression: the seed implementation ran callbacks on bare std::threads, so
+// a throwing callback hit std::terminate. The pool-backed version must
+// capture the first exception and rethrow it on the calling thread.
+TEST(ParallelForTest, CallbackExceptionRethrownOnCaller) {
+  const size_t n = 4096;
+  EXPECT_THROW(
+      ParallelFor(
+          n,
+          [&](size_t begin, size_t) {
+            if (begin > 0) throw std::runtime_error("worker boom");
+          },
+          4),
+      std::runtime_error);
+  // Throwing on the caller-executed chunk must behave identically.
+  EXPECT_THROW(
+      ParallelFor(
+          n, [&](size_t, size_t) { throw std::runtime_error("boom"); }, 4),
+      std::runtime_error);
+  // And the shared pool must remain usable afterwards.
+  std::atomic<int> count{0};
+  ParallelFor(
+      n,
+      [&](size_t begin, size_t end) {
+        count += static_cast<int>(end - begin);
+      },
+      4);
+  EXPECT_EQ(count.load(), static_cast<int>(n));
 }
 
 }  // namespace
