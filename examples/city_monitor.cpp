@@ -5,7 +5,9 @@
 //                                  seed roads (3 workers each, median
 //                                  aggregation, online quality control)
 //   TrafficSpeedEstimator        — the two-step trend+speed inference
-//   OnlineTrafficMonitor         — streaming state, hysteresis alerts
+//   ServingSession               — hardened ingestion: validation, dedup,
+//                                  carry-forward, hysteresis alerts
+//                                  (docs/serving.md)
 //
 // At the end the alerts are scored against the simulator's ground truth.
 //
@@ -14,7 +16,7 @@
 #include <cstdio>
 #include <set>
 
-#include "core/monitor.h"
+#include "core/serving.h"
 #include "crowd/campaign.h"
 #include "io/dataset.h"
 
@@ -55,9 +57,16 @@ int main() {
   campaign_opts.aggregation = AggregationMethod::kMedian;
   CrowdCampaign campaign(&pool, campaign_opts);
 
-  MonitorOptions monitor_opts;
-  monitor_opts.alert_deviation = -0.35;
-  OnlineTrafficMonitor monitor(&*estimator, monitor_opts);
+  ServingOptions serving_opts;
+  serving_opts.monitor.alert_deviation = -0.35;
+  // Crowd answers are median-aggregated but still untrusted: drop (and
+  // count) any malformed report instead of failing the slot.
+  serving_opts.validation = ValidationPolicy::kFilter;
+  auto session = ServingSession::Create(&*estimator, serving_opts);
+  if (!session.ok()) {
+    std::fprintf(stderr, "serving: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("monitoring %zu roads | %zu seeds | %zu crowd workers\n\n",
               dataset->net.num_roads(), seeds->seeds.size(), pool.size());
@@ -71,13 +80,15 @@ int main() {
   for (uint64_t slot = start; slot < dataset->num_slots(); slot += 2) {
     auto obs = campaign.Collect(seeds->seeds, dataset->truth.speeds[slot]);
     if (!obs.ok()) return 1;
-    auto report = monitor.Process(slot, *obs);
+    auto report = session->Ingest(slot, *obs);
     if (!report.ok()) {
-      std::fprintf(stderr, "monitor: %s\n",
+      // Graceful degradation: the session stays usable; skip this slot.
+      std::fprintf(stderr, "slot %llu not served: %s\n",
+                   static_cast<unsigned long long>(slot),
                    report.status().ToString().c_str());
-      return 1;
+      continue;
     }
-    for (const TrafficAlert& a : report->new_alerts) {
+    for (const TrafficAlert& a : report->monitor.new_alerts) {
       if (a.raised) flagged_any.insert(a.road);
     }
     // Ground-truth congestion for final scoring.
@@ -89,14 +100,15 @@ int main() {
     // Hourly dashboard line.
     if (clock.SlotOfDay(slot) % 6 == 0) {
       std::string events;
-      for (const TrafficAlert& a : report->new_alerts) {
+      for (const TrafficAlert& a : report->monitor.new_alerts) {
         events += (a.raised ? "+" : "-") + std::to_string(a.road) + " ";
         if (events.size() > 20) break;
       }
       std::printf("%02d:00  %-10.1f%-12zu%-10zu%-24s\n",
                   static_cast<int>(clock.HourOfDay(slot)),
-                  report->mean_speed_kmh, report->congested_roads,
-                  monitor.ActiveAlerts().size(), events.c_str());
+                  report->monitor.mean_speed_kmh,
+                  report->monitor.congested_roads,
+                  session->ActiveAlerts().size(), events.c_str());
     }
   }
 
@@ -104,7 +116,13 @@ int main() {
   for (RoadId r : flagged_any) {
     if (truly_congested.count(r)) ++hits;
   }
-  std::printf("\ncrowd answers purchased: %llu\n",
+  const ServingStats& stats = session->stats();
+  std::printf("\nslots served: %llu fresh, %llu carried forward, "
+              "%llu observations dropped\n",
+              static_cast<unsigned long long>(stats.slots_estimated),
+              static_cast<unsigned long long>(stats.slots_carried_forward),
+              static_cast<unsigned long long>(stats.observations_dropped));
+  std::printf("crowd answers purchased: %llu\n",
               static_cast<unsigned long long>(campaign.answers_spent()));
   std::printf("roads that truly dropped >35%% below norm today: %zu\n",
               truly_congested.size());

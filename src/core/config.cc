@@ -24,6 +24,29 @@ Status PipelineConfig::Validate() const {
   if (trend.bp.damping < 0.0 || trend.bp.damping >= 1.0) {
     return Status::InvalidArgument("trend.bp.damping must be in [0, 1)");
   }
+  if (trend.bp.max_iters == 0) {
+    return Status::InvalidArgument("trend.bp.max_iters must be positive");
+  }
+  if (!(trend.bp.tol >= 0.0)) {  // also rejects NaN
+    return Status::InvalidArgument("trend.bp.tol must be >= 0");
+  }
+  // Parallel knobs: 0 means "auto"; explicit values beyond any plausible
+  // machine are almost certainly a units mistake, not a 5000-core box.
+  constexpr uint32_t kMaxThreads = 4096;
+  if (trend.bp.num_threads > kMaxThreads) {
+    return Status::InvalidArgument("trend.bp.num_threads implausibly large");
+  }
+  if (seed_selection.num_threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        "seed_selection.num_threads implausibly large");
+  }
+  if (seed_selection.batch > (size_t{1} << 20)) {
+    return Status::InvalidArgument("seed_selection.batch implausibly large");
+  }
+  if (seed_selection.min_parallel_candidates == 0) {
+    return Status::InvalidArgument(
+        "seed_selection.min_parallel_candidates must be positive");
+  }
   return Status::OK();
 }
 

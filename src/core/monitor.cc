@@ -15,12 +15,14 @@ OnlineTrafficMonitor::OnlineTrafficMonitor(
   TS_CHECK_GT(opts.ewma_alpha, 0.0);
   TS_CHECK_LE(opts.ewma_alpha, 1.0);
   TS_CHECK_LT(opts.alert_deviation, opts.clear_deviation);
+  TS_CHECK_LT(opts.congested_deviation, 0.0);
 }
 
 Result<OnlineTrafficMonitor::SlotReport> OnlineTrafficMonitor::Process(
     uint64_t slot, const std::vector<SeedSpeed>& observations) {
-  if (slots_processed_ > 0 && slot < last_slot_) {
-    return Status::InvalidArgument("slots must be processed in order");
+  if (slots_processed_ > 0 && slot <= last_slot_) {
+    return Status::InvalidArgument(
+        "slots must be processed in strictly increasing order");
   }
   SlotReport report;
   TS_ASSIGN_OR_RETURN(report.estimate, estimator_->Estimate(slot, observations));
@@ -33,7 +35,7 @@ Result<OnlineTrafficMonitor::SlotReport> OnlineTrafficMonitor::Process(
                    : (1.0 - opts_.ewma_alpha) * ewma_[r] +
                          opts_.ewma_alpha * d;
     speed_sum += report.estimate.speeds.speed_kmh[r];
-    if (ewma_[r] < -0.15) ++report.congested_roads;
+    if (ewma_[r] < opts_.congested_deviation) ++report.congested_roads;
 
     if (!alert_active_[r]) {
       if (ewma_[r] <= opts_.alert_deviation) {

@@ -25,6 +25,10 @@ struct MonitorOptions {
   double clear_deviation = -0.15;
   /// EWMA factor for the per-road smoothed deviation.
   double ewma_alpha = 0.4;
+  /// A road counts toward SlotReport::congested_roads while its smoothed
+  /// deviation sits below this (milder than alert_deviation: a dashboard
+  /// statistic, not an alert).
+  double congested_deviation = -0.15;
 };
 
 /// One raised or cleared alert.
@@ -46,10 +50,12 @@ class OnlineTrafficMonitor {
     TrafficSpeedEstimator::Output estimate;
     std::vector<TrafficAlert> new_alerts;  ///< raised or cleared this slot
     double mean_speed_kmh = 0.0;
-    size_t congested_roads = 0;  ///< smoothed deviation < -0.15
+    size_t congested_roads = 0;  ///< smoothed deviation < congested_deviation
   };
 
-  /// Processes one slot. Slots must be fed in non-decreasing order.
+  /// Processes one slot. Slots must be fed in strictly increasing order;
+  /// re-sending the current slot is rejected (it would double-apply the
+  /// EWMA updates and alert streaks).
   Result<SlotReport> Process(uint64_t slot,
                              const std::vector<SeedSpeed>& observations);
 

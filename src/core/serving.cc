@@ -1,0 +1,183 @@
+#include "core/serving.h"
+
+#include <cmath>
+#include <string>
+
+namespace trendspeed {
+
+Status ServingOptions::Validate() const {
+  // `!(a < b)` style keeps NaN-poisoned options invalid too.
+  if (!(monitor.ewma_alpha > 0.0) || !(monitor.ewma_alpha <= 1.0)) {
+    return Status::InvalidArgument("monitor.ewma_alpha must be in (0, 1]");
+  }
+  if (!(monitor.alert_deviation < monitor.clear_deviation)) {
+    return Status::InvalidArgument(
+        "monitor.alert_deviation must be below monitor.clear_deviation");
+  }
+  if (!(monitor.congested_deviation < 0.0)) {
+    return Status::InvalidArgument(
+        "monitor.congested_deviation must be negative");
+  }
+  if (monitor.alert_after_slots == 0) {
+    return Status::InvalidArgument("monitor.alert_after_slots must be positive");
+  }
+  if (!(max_speed_kmh > 0.0) || !std::isfinite(max_speed_kmh)) {
+    return Status::InvalidArgument("max_speed_kmh must be positive and finite");
+  }
+  return Status::OK();
+}
+
+ServingSession::ServingSession(const TrafficSpeedEstimator* estimator,
+                               const ServingOptions& opts)
+    : estimator_(estimator), opts_(opts), monitor_(estimator, opts.monitor) {}
+
+Result<ServingSession> ServingSession::Create(
+    const TrafficSpeedEstimator* estimator, const ServingOptions& opts) {
+  if (estimator == nullptr) {
+    return Status::InvalidArgument("null estimator");
+  }
+  TS_RETURN_NOT_OK(opts.Validate());
+  return ServingSession(estimator, opts);
+}
+
+Result<std::vector<SeedSpeed>> ServingSession::Sanitize(
+    const std::vector<SeedSpeed>& observations, size_t* dropped) const {
+  const size_t num_roads = estimator_->network().num_roads();
+  std::vector<SeedSpeed> out;
+  out.reserve(observations.size());
+  std::vector<size_t> pos(num_roads, SIZE_MAX);  // road -> index in `out`
+  std::vector<uint32_t> merged;  // kMean: observations merged per entry
+
+  for (const SeedSpeed& s : observations) {
+    const char* problem = nullptr;
+    if (s.road >= num_roads) {
+      problem = "road id out of range";
+    } else if (!std::isfinite(s.speed_kmh)) {
+      problem = "speed is not finite";
+    } else if (s.speed_kmh <= 0.0) {
+      problem = "speed is not positive";
+    } else if (s.speed_kmh > opts_.max_speed_kmh) {
+      problem = "speed exceeds max_speed_kmh";
+    }
+    if (problem != nullptr) {
+      if (opts_.validation == ValidationPolicy::kStrict) {
+        return Status::InvalidArgument("malformed observation for road " +
+                                       std::to_string(s.road) + ": " +
+                                       problem);
+      }
+      ++*dropped;
+      continue;
+    }
+    if (pos[s.road] != SIZE_MAX) {
+      switch (opts_.dedup) {
+        case DedupPolicy::kReject:
+          return Status::InvalidArgument(
+              "duplicate observation for road " + std::to_string(s.road));
+        case DedupPolicy::kKeepFirst:
+          break;
+        case DedupPolicy::kKeepLast:
+          out[pos[s.road]].speed_kmh = s.speed_kmh;
+          break;
+        case DedupPolicy::kMean:
+          out[pos[s.road]].speed_kmh += s.speed_kmh;
+          ++merged[pos[s.road]];
+          break;
+      }
+      ++*dropped;
+      continue;
+    }
+    pos[s.road] = out.size();
+    out.push_back(s);
+    if (opts_.dedup == DedupPolicy::kMean) merged.push_back(1);
+  }
+  if (opts_.dedup == DedupPolicy::kMean) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (merged[i] > 1) out[i].speed_kmh /= merged[i];
+    }
+  }
+  return out;
+}
+
+Result<ServingSession::SlotReport> ServingSession::CarryForward(uint64_t slot,
+                                                                size_t dropped) {
+  if (!has_report_) {
+    return Status::FailedPrecondition(
+        "no estimate available to carry forward");
+  }
+  if (stale_streak_ >= opts_.max_stale_slots) {
+    return Status::FailedPrecondition(
+        "estimate too stale: already " + std::to_string(stale_streak_) +
+        " consecutive carried-forward slots");
+  }
+  ++stats_.slots_carried_forward;
+  ++stale_streak_;
+  last_report_.slot = slot;
+  last_report_.stale = true;
+  last_report_.stale_slots = stale_streak_;
+  last_report_.duplicate = false;
+  // Alerts belong to the slot they were raised in; a re-served estimate
+  // raises nothing new.
+  last_report_.monitor.new_alerts.clear();
+  last_report_.observations_used = 0;
+  last_report_.observations_dropped = dropped;
+  return last_report_;
+}
+
+Result<ServingSession::SlotReport> ServingSession::Ingest(
+    uint64_t slot, const std::vector<SeedSpeed>& observations) {
+  if (has_report_) {
+    if (slot == last_report_.slot) {
+      // Idempotent re-delivery: serve the cached report, mutate nothing.
+      ++stats_.duplicate_slots;
+      SlotReport replay = last_report_;
+      replay.duplicate = true;
+      return replay;
+    }
+    if (slot < last_report_.slot) {
+      ++stats_.out_of_order_slots;
+      return Status::FailedPrecondition(
+          "stale slot " + std::to_string(slot) + " arrived after slot " +
+          std::to_string(last_report_.slot) + " was served");
+    }
+  }
+
+  size_t dropped = 0;
+  Result<std::vector<SeedSpeed>> sanitized = Sanitize(observations, &dropped);
+  if (!sanitized.ok()) {
+    // The slot is not consumed: a corrected batch may be re-sent.
+    ++stats_.rejected_batches;
+    return sanitized.status();
+  }
+  stats_.observations_dropped += dropped;
+  if (sanitized->empty()) return CarryForward(slot, dropped);
+
+  Result<OnlineTrafficMonitor::SlotReport> report =
+      monitor_.Process(slot, *sanitized);
+  bool healthy = report.ok();
+  if (healthy) {
+    // Never serve a non-finite or negative speed, whatever the estimator
+    // produced; degrade to the last good estimate instead.
+    for (double v : report->estimate.speeds.speed_kmh) {
+      if (!std::isfinite(v) || v < 0.0) {
+        healthy = false;
+        break;
+      }
+    }
+  }
+  if (!healthy) {
+    ++stats_.estimation_failures;
+    return CarryForward(slot, dropped);
+  }
+
+  ++stats_.slots_estimated;
+  stale_streak_ = 0;
+  last_report_ = SlotReport{};
+  last_report_.slot = slot;
+  last_report_.monitor = std::move(*report);
+  last_report_.observations_used = sanitized->size();
+  last_report_.observations_dropped = dropped;
+  has_report_ = true;
+  return last_report_;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,152 @@
+// ServingSession: the hardened online ingestion/serving layer.
+//
+// OnlineTrafficMonitor assumes a well-behaved caller: strictly increasing
+// slots, one observation per road, physically plausible speeds. Production
+// crowd streams guarantee none of that — reports arrive late, twice, with
+// fat-fingered or sensor-garbage values, or not at all. ServingSession wraps
+// the estimator + monitor behind a single Ingest(slot, observations) call
+// that enforces the contract at the boundary:
+//
+//   * strict validation — NaN/negative/absurd speeds and out-of-range roads
+//     are rejected with a Status (never a TS_CHECK abort), either failing
+//     the whole batch (kStrict) or dropping the bad entries (kFilter);
+//   * per-road deduplication by configurable policy;
+//   * idempotent duplicate slots — re-delivering the last slot returns the
+//     cached report without double-applying monitor state;
+//   * graceful rejection of out-of-order (stale) slot arrivals;
+//   * carry-forward — when a slot arrives empty (or estimation fails) the
+//     last good estimate is re-served with a staleness flag, up to a
+//     configurable limit;
+//   * cumulative degradation counters (ServingStats) for operations.
+//
+// See docs/serving.md for the full contract and tests/fault_injection_test.cc
+// for the harness that replays a clean scenario under injected faults.
+
+#ifndef TRENDSPEED_CORE_SERVING_H_
+#define TRENDSPEED_CORE_SERVING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/monitor.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// Resolution of multiple observations for the same road in one batch.
+enum class DedupPolicy {
+  kMean,       ///< average the duplicate speeds (default)
+  kKeepFirst,  ///< first occurrence wins
+  kKeepLast,   ///< last occurrence wins
+  kReject,     ///< duplicates fail the batch with InvalidArgument
+};
+
+/// Handling of malformed observations (bad road id / non-finite,
+/// non-positive, or implausibly large speed).
+enum class ValidationPolicy {
+  kStrict,  ///< any malformed observation fails the batch (default)
+  kFilter,  ///< malformed observations are dropped and counted
+};
+
+struct ServingOptions {
+  MonitorOptions monitor;
+  /// Observed speeds above this are malformed (sensor garbage / unit
+  /// mistakes), not merely fast traffic.
+  double max_speed_kmh = 250.0;
+  DedupPolicy dedup = DedupPolicy::kMean;
+  ValidationPolicy validation = ValidationPolicy::kStrict;
+  /// Consecutive carried-forward slots tolerated before an empty/failed
+  /// slot is refused with FailedPrecondition instead of re-serving an
+  /// ever-staler estimate. 0 disables carry-forward entirely.
+  uint32_t max_stale_slots = 12;
+
+  /// Full validation of every knob (including the wrapped MonitorOptions,
+  /// so user-supplied options never trip the monitor's TS_CHECKs).
+  Status Validate() const;
+};
+
+/// Cumulative degradation counters. Monotone over the session lifetime;
+/// a healthy stream keeps everything but slots_estimated at 0.
+struct ServingStats {
+  uint64_t slots_estimated = 0;        ///< fresh estimates served
+  uint64_t slots_carried_forward = 0;  ///< stale re-serves of the last good
+  uint64_t duplicate_slots = 0;        ///< idempotent re-deliveries
+  uint64_t out_of_order_slots = 0;     ///< stale arrivals rejected
+  uint64_t rejected_batches = 0;       ///< batches failed by validation/dedup
+  uint64_t observations_dropped = 0;   ///< filtered or deduplicated away
+  uint64_t estimation_failures = 0;    ///< estimator/monitor errors absorbed
+};
+
+class ServingSession {
+ public:
+  /// One served slot. `monitor` holds the estimate + alerting output; the
+  /// remaining fields describe how degraded the serving of this slot was.
+  struct SlotReport {
+    uint64_t slot = 0;
+    OnlineTrafficMonitor::SlotReport monitor;
+    /// True when this is the last good estimate carried forward, not a
+    /// fresh one; `monitor.new_alerts` is empty in that case.
+    bool stale = false;
+    /// Consecutive carried-forward slots ending at this one (0 = fresh).
+    uint32_t stale_slots = 0;
+    /// True when this report is the idempotent re-delivery of a slot
+    /// already served.
+    bool duplicate = false;
+    size_t observations_used = 0;
+    size_t observations_dropped = 0;  ///< this batch only
+  };
+
+  /// The estimator must outlive the session.
+  static Result<ServingSession> Create(const TrafficSpeedEstimator* estimator,
+                                       const ServingOptions& opts = {});
+
+  /// Ingests one slot of crowd observations and serves the estimate.
+  ///
+  /// Error statuses (all graceful — the session stays usable):
+  ///   InvalidArgument      malformed batch under kStrict, or duplicate
+  ///                        roads under DedupPolicy::kReject; the slot is
+  ///                        NOT consumed, a corrected batch may be re-sent.
+  ///   FailedPrecondition   stale (out-of-order) slot arrival, or an
+  ///                        empty/failed slot with no carry-forward
+  ///                        available (none yet, or staleness limit hit).
+  Result<SlotReport> Ingest(uint64_t slot,
+                            const std::vector<SeedSpeed>& observations);
+
+  const ServingStats& stats() const { return stats_; }
+
+  /// True once any slot has been served (fresh or carried forward).
+  bool has_estimate() const { return has_report_; }
+  /// Last served report. Precondition: has_estimate().
+  const SlotReport& last_report() const { return last_report_; }
+
+  /// Roads currently under an active alert.
+  std::vector<RoadId> ActiveAlerts() const { return monitor_.ActiveAlerts(); }
+
+  const ServingOptions& options() const { return opts_; }
+
+ private:
+  ServingSession(const TrafficSpeedEstimator* estimator,
+                 const ServingOptions& opts);
+
+  /// Validates + deduplicates one batch. On success returns the sanitized
+  /// observations and sets *dropped to the number removed.
+  Result<std::vector<SeedSpeed>> Sanitize(
+      const std::vector<SeedSpeed>& observations, size_t* dropped) const;
+
+  /// Serves the last good estimate for `slot` with the staleness flag, or
+  /// explains why it cannot.
+  Result<SlotReport> CarryForward(uint64_t slot, size_t dropped);
+
+  const TrafficSpeedEstimator* estimator_;
+  ServingOptions opts_;
+  OnlineTrafficMonitor monitor_;
+  ServingStats stats_;
+  bool has_report_ = false;
+  SlotReport last_report_;
+  uint32_t stale_streak_ = 0;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_CORE_SERVING_H_

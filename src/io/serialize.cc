@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cmath>
+#include <limits>
 
 namespace trendspeed {
 
@@ -110,14 +111,22 @@ Result<SpeedField> SpeedFieldFromCsv(const CsvTable& table, size_t num_roads,
   TS_ASSIGN_OR_RETURN(size_t cs, table.ColumnIndex("slot"));
   TS_ASSIGN_OR_RETURN(size_t cr, table.ColumnIndex("road"));
   TS_ASSIGN_OR_RETURN(size_t cv, table.ColumnIndex("speed_kmh"));
+  if (table.rows.empty()) {
+    return Status::InvalidArgument("speed field table has no rows");
+  }
   uint64_t max_slot = 0;
   for (const auto& row : table.rows) {
     TS_ASSIGN_OR_RETURN(uint64_t slot, ParseU64(row[cs]));
     max_slot = std::max(max_slot, slot);
   }
+  // NaN marks not-yet-assigned cells so gaps and duplicate rows are
+  // detectable; a silent 0.0 fill would later be rejected downstream (e.g.
+  // HistoryFromRecords requires positive speeds) or, worse, read as a
+  // genuinely stopped road.
+  constexpr double kUnassigned = std::numeric_limits<double>::quiet_NaN();
   SpeedField field;
   field.slots_per_day = slots_per_day;
-  field.speeds.assign(max_slot + 1, std::vector<double>(num_roads, 0.0));
+  field.speeds.assign(max_slot + 1, std::vector<double>(num_roads, kUnassigned));
   for (const auto& row : table.rows) {
     TS_ASSIGN_OR_RETURN(uint64_t slot, ParseU64(row[cs]));
     TS_ASSIGN_OR_RETURN(uint64_t road, ParseU64(row[cr]));
@@ -125,7 +134,26 @@ Result<SpeedField> SpeedFieldFromCsv(const CsvTable& table, size_t num_roads,
       return Status::InvalidArgument("road id out of range");
     }
     TS_ASSIGN_OR_RETURN(double v, ParseDouble(row[cv]));
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("speed must be finite at slot " +
+                                     std::to_string(slot) + ", road " +
+                                     std::to_string(road));
+    }
+    if (!std::isnan(field.speeds[slot][road])) {
+      return Status::InvalidArgument("duplicate (slot, road) row: slot " +
+                                     std::to_string(slot) + ", road " +
+                                     std::to_string(road));
+    }
     field.speeds[slot][road] = v;
+  }
+  for (uint64_t slot = 0; slot <= max_slot; ++slot) {
+    for (uint64_t road = 0; road < num_roads; ++road) {
+      if (std::isnan(field.speeds[slot][road])) {
+        return Status::InvalidArgument("missing (slot, road) cell: slot " +
+                                       std::to_string(slot) + ", road " +
+                                       std::to_string(road));
+      }
+    }
   }
   return field;
 }

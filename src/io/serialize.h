@@ -24,6 +24,9 @@ Result<RoadNetwork> NetworkFromCsv(const CsvTable& nodes,
 
 /// Speed field -> long-form CSV: slot,road,speed_kmh.
 CsvTable SpeedFieldToCsv(const SpeedField& field);
+/// Rebuilds a dense field. The table must cover every (slot, road) cell for
+/// slots 0..max_slot exactly once; gaps, duplicate rows, and non-finite
+/// speeds are rejected with InvalidArgument (no silent zero-fill).
 Result<SpeedField> SpeedFieldFromCsv(const CsvTable& table,
                                      size_t num_roads, uint32_t slots_per_day);
 

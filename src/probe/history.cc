@@ -29,8 +29,12 @@ void HistoricalDb::Builder::Add(RoadId road, uint64_t slot, double speed_kmh) {
   TS_CHECK_LT(slot, num_slots_);
   TS_CHECK_GT(speed_kmh, 0.0);
   size_t idx = static_cast<size_t>(road) * num_slots_ + slot;
+  // Once the counter saturates the cell mean freezes: accumulating into
+  // sum_ without advancing count_ would inflate the mean of heavily
+  // observed cells.
+  if (count_[idx] == UINT16_MAX) return;
   sum_[idx] += static_cast<float>(speed_kmh);
-  if (count_[idx] < UINT16_MAX) ++count_[idx];
+  ++count_[idx];
 }
 
 HistoricalDb HistoricalDb::Builder::Finish() {
@@ -118,9 +122,12 @@ double HistoricalDb::DeviationOf(RoadId road, uint64_t slot,
 
 double HistoricalDb::TrendUpProbability(RoadId road, uint64_t slot,
                                         double pseudo) const {
+  TS_CHECK_GE(pseudo, 0.0);
   size_t b = BucketIdx(road, slot);
-  return (static_cast<double>(bucket_up_[b]) + pseudo) /
-         (static_cast<double>(bucket_count_[b]) + 2.0 * pseudo);
+  double denom = static_cast<double>(bucket_count_[b]) + 2.0 * pseudo;
+  // Empty bucket and no smoothing: 0/0. The uninformed prior is 0.5.
+  if (denom <= 0.0) return 0.5;
+  return (static_cast<double>(bucket_up_[b]) + pseudo) / denom;
 }
 
 double HistoricalDb::CoverageFraction() const {

@@ -35,7 +35,8 @@ class HistoricalDb {
     Builder(size_t num_roads, uint64_t num_slots, uint32_t slots_per_day);
 
     /// Adds one observation; multiple observations of the same (road, slot)
-    /// are averaged.
+    /// are averaged. A cell's mean freezes after 65535 observations (further
+    /// adds are ignored rather than biasing the mean).
     void Add(RoadId road, uint64_t slot, double speed_kmh);
 
     HistoricalDb Finish();
@@ -81,7 +82,8 @@ class HistoricalDb {
 
   /// Empirical P(T = +1) for the bucket of `slot`, smoothed toward 0.5 with
   /// `pseudo` pseudo-counts per side (buckets hold few samples; a weak prior
-  /// must not overpower real-time evidence).
+  /// must not overpower real-time evidence). `pseudo` must be >= 0; an empty
+  /// bucket with pseudo = 0 returns the uninformed prior 0.5.
   double TrendUpProbability(RoadId road, uint64_t slot,
                             double pseudo = 3.0) const;
 

@@ -1,6 +1,9 @@
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "core/config.h"
+#include "core/serving.h"
 
 namespace trendspeed {
 namespace {
@@ -53,6 +56,77 @@ TEST(ConfigTest, RejectsBadDamping) {
   EXPECT_FALSE(config.Validate().ok());
   config.trend.bp.damping = -0.1;
   EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadBpKnobs) {
+  PipelineConfig config;
+  config.trend.bp.max_iters = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = PipelineConfig{};
+  config.trend.bp.tol = -1e-4;
+  EXPECT_FALSE(config.Validate().ok());
+  config = PipelineConfig{};
+  config.trend.bp.num_threads = 100000;  // units mistake, not a machine
+  EXPECT_FALSE(config.Validate().ok());
+  config.trend.bp.num_threads = 8;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadSeedSelectionKnobs) {
+  PipelineConfig config;
+  config.seed_selection.num_threads = 100000;
+  EXPECT_FALSE(config.Validate().ok());
+  config = PipelineConfig{};
+  config.seed_selection.batch = size_t{1} << 30;
+  EXPECT_FALSE(config.Validate().ok());
+  config = PipelineConfig{};
+  config.seed_selection.min_parallel_candidates = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = PipelineConfig{};
+  config.seed_selection.num_threads = 4;
+  config.seed_selection.batch = 64;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ServingOptionsTest, DefaultsValidate) {
+  ServingOptions opts;
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+TEST(ServingOptionsTest, RejectsBadMonitorOptions) {
+  ServingOptions opts;
+  opts.monitor.ewma_alpha = 0.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = ServingOptions{};
+  opts.monitor.ewma_alpha = 1.5;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = ServingOptions{};
+  opts.monitor.alert_deviation = -0.1;  // above clear_deviation
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = ServingOptions{};
+  opts.monitor.congested_deviation = 0.1;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = ServingOptions{};
+  opts.monitor.alert_after_slots = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+TEST(ServingOptionsTest, RejectsBadServingKnobs) {
+  ServingOptions opts;
+  opts.max_speed_kmh = 0.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = ServingOptions{};
+  opts.max_speed_kmh = -10.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = ServingOptions{};
+  opts.max_speed_kmh = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = ServingOptions{};
+  opts.max_speed_kmh = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = ServingOptions{};
+  opts.monitor.ewma_alpha = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(opts.Validate().ok());
 }
 
 }  // namespace

@@ -62,6 +62,34 @@ TEST(SerializeTest, SpeedFieldRoundTrip) {
   }
 }
 
+TEST(SerializeTest, SpeedFieldFromCsvRejectsGapsAndDuplicates) {
+  CsvTable t;
+  t.header = {"slot", "road", "speed_kmh"};
+  // Complete 2-slot x 2-road table parses.
+  t.rows = {{"0", "0", "30"}, {"0", "1", "33"},
+            {"1", "0", "31"}, {"1", "1", "32"}};
+  auto ok = SpeedFieldFromCsv(t, 2, 144);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_NEAR(ok->at(1, 1), 32.0, 1e-9);
+
+  // Missing cell (1, 1): used to come back as a silent 0 km/h.
+  t.rows = {{"0", "0", "30"}, {"0", "1", "33"}, {"1", "0", "31"}};
+  EXPECT_FALSE(SpeedFieldFromCsv(t, 2, 144).ok());
+
+  // Duplicate (slot, road) row.
+  t.rows = {{"0", "0", "30"}, {"0", "1", "33"},
+            {"1", "0", "31"}, {"1", "1", "32"}, {"1", "1", "99"}};
+  EXPECT_FALSE(SpeedFieldFromCsv(t, 2, 144).ok());
+
+  // Non-finite speed.
+  t.rows = {{"0", "0", "nan"}, {"0", "1", "33"}};
+  EXPECT_FALSE(SpeedFieldFromCsv(t, 2, 144).ok());
+
+  // Empty table.
+  t.rows.clear();
+  EXPECT_FALSE(SpeedFieldFromCsv(t, 2, 144).ok());
+}
+
 TEST(SerializeTest, RecordsRoundTripAndHistoryRebuild) {
   std::vector<RawRecord> records = {
       {0, 3, 42.5}, {1, 3, 30.0}, {0, 4, 40.0}, {0, 3, 43.5}};

@@ -123,6 +123,42 @@ TEST_F(MonitorTest, DebounceSuppressesOneSlotBlips) {
   EXPECT_TRUE(monitor.ActiveAlerts().empty());
 }
 
+TEST_F(MonitorTest, DuplicateSlotRejectedWithoutDoubleApply) {
+  OnlineTrafficMonitor monitor(estimator_);
+  auto seeds = estimator_->SelectSeeds(4, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+  uint64_t start = ds().first_test_slot();
+  auto obs = TrueSeeds(ds(), seeds->seeds, start, 0.5);
+  ASSERT_TRUE(monitor.Process(start, obs).ok());
+  RoadId probe = seeds->seeds[0];
+  double dev = monitor.SmoothedDeviation(probe);
+
+  // Re-sending the current slot must not double-apply the EWMA update or
+  // the alert streaks.
+  EXPECT_FALSE(monitor.Process(start, obs).ok());
+  EXPECT_EQ(monitor.slots_processed(), 1u);
+  EXPECT_EQ(monitor.SmoothedDeviation(probe), dev);
+}
+
+TEST_F(MonitorTest, CongestedDeviationThresholdIsConfigurable) {
+  MonitorOptions loose;  // default congested_deviation = -0.15
+  loose.ewma_alpha = 1.0;
+  MonitorOptions tight = loose;
+  tight.congested_deviation = -0.95;  // speeds would have to drop ~20x
+  OnlineTrafficMonitor loose_monitor(estimator_, loose);
+  OnlineTrafficMonitor tight_monitor(estimator_, tight);
+  auto seeds = estimator_->SelectSeeds(8, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+  uint64_t start = ds().first_test_slot();
+  auto obs = TrueSeeds(ds(), seeds->seeds, start, 0.45);  // heavy slowdown
+  auto loose_report = loose_monitor.Process(start, obs);
+  auto tight_report = tight_monitor.Process(start, obs);
+  ASSERT_TRUE(loose_report.ok());
+  ASSERT_TRUE(tight_report.ok());
+  EXPECT_GT(loose_report->congested_roads, 0u);
+  EXPECT_EQ(tight_report->congested_roads, 0u);
+}
+
 TEST_F(MonitorTest, SmoothedDeviationTracksEwma) {
   MonitorOptions mopts;
   mopts.ewma_alpha = 0.5;

@@ -220,6 +220,28 @@ TEST(HistoricalDbTest, TrendUpProbabilitySmoothing) {
   EXPECT_DOUBLE_EQ(db.TrendUpProbability(0, 0), 0.5);
 }
 
+TEST(HistoricalDbTest, TrendUpProbabilityEmptyBucketZeroPseudo) {
+  HistoricalDb::Builder builder(1, 4, 144);
+  HistoricalDb db = builder.Finish();
+  // Empty bucket and pseudo = 0 used to divide 0/0; the uninformed prior
+  // must come back, not NaN.
+  double p = db.TrendUpProbability(0, 0, /*pseudo=*/0.0);
+  EXPECT_FALSE(std::isnan(p));
+  EXPECT_DOUBLE_EQ(p, 0.5);
+}
+
+TEST(HistoricalDbTest, SaturatedCellMeanIsUnbiased) {
+  HistoricalDb::Builder builder(1, 1, 144);
+  // Saturate the uint16 observation counter at exactly 40 km/h...
+  for (int i = 0; i < 65535; ++i) builder.Add(0, 0, 40.0);
+  // ...then keep hammering the cell with much faster reports. The counter
+  // can no longer advance, so these must not accumulate into the sum
+  // either — the pre-fix code inflated the mean here.
+  for (int i = 0; i < 1000; ++i) builder.Add(0, 0, 90.0);
+  HistoricalDb db = builder.Finish();
+  EXPECT_NEAR(db.Observation(0, 0), 40.0, 0.01);
+}
+
 TEST(HistoricalDbTest, CoverageStats) {
   HistoricalDb::Builder builder(2, 10, 144);
   for (uint64_t s = 0; s < 10; ++s) builder.Add(0, s, 30.0);

@@ -1,0 +1,270 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/serving.h"
+#include "test_util.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::SharedTinyDataset;
+
+class ServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Dataset& ds = SharedTinyDataset();
+    PipelineConfig config;
+    config.corr.min_co_observed = 8;
+    auto est = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+    TS_CHECK(est.ok());
+    estimator_ = new TrafficSpeedEstimator(std::move(est).value());
+    auto seeds = estimator_->SelectSeeds(6, SeedStrategy::kLazyGreedy);
+    TS_CHECK(seeds.ok());
+    seeds_ = new std::vector<RoadId>(seeds->seeds);
+  }
+
+  const Dataset& ds() { return SharedTinyDataset(); }
+
+  /// Truthful observations for the shared seed set at `slot`.
+  std::vector<SeedSpeed> CleanObs(uint64_t slot, double factor = 1.0) {
+    std::vector<SeedSpeed> out;
+    for (RoadId r : *seeds_) {
+      out.push_back({r, std::max(1.0, ds().truth.at(slot, r) * factor)});
+    }
+    return out;
+  }
+
+  ServingSession Session(const ServingOptions& opts = {}) {
+    auto session = ServingSession::Create(estimator_, opts);
+    TS_CHECK(session.ok()) << session.status().ToString();
+    return std::move(session).value();
+  }
+
+  static TrafficSpeedEstimator* estimator_;
+  static std::vector<RoadId>* seeds_;
+};
+
+TrafficSpeedEstimator* ServingTest::estimator_ = nullptr;
+std::vector<RoadId>* ServingTest::seeds_ = nullptr;
+
+TEST_F(ServingTest, CreateValidatesArguments) {
+  EXPECT_FALSE(ServingSession::Create(nullptr).ok());
+  ServingOptions opts;
+  opts.monitor.ewma_alpha = 0.0;
+  EXPECT_FALSE(ServingSession::Create(estimator_, opts).ok());
+  opts = ServingOptions{};
+  opts.monitor.congested_deviation = 0.0;
+  EXPECT_FALSE(ServingSession::Create(estimator_, opts).ok());
+  opts = ServingOptions{};
+  opts.monitor.alert_deviation = opts.monitor.clear_deviation;
+  EXPECT_FALSE(ServingSession::Create(estimator_, opts).ok());
+  opts = ServingOptions{};
+  opts.monitor.alert_after_slots = 0;
+  EXPECT_FALSE(ServingSession::Create(estimator_, opts).ok());
+  opts = ServingOptions{};
+  opts.max_speed_kmh = 0.0;
+  EXPECT_FALSE(ServingSession::Create(estimator_, opts).ok());
+  opts.max_speed_kmh = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(ServingSession::Create(estimator_, opts).ok());
+}
+
+TEST_F(ServingTest, ServesCleanSlots) {
+  ServingSession session = Session();
+  uint64_t start = ds().first_test_slot();
+  for (uint64_t slot = start; slot < start + 3; ++slot) {
+    auto report = session.Ingest(slot, CleanObs(slot));
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->slot, slot);
+    EXPECT_FALSE(report->stale);
+    EXPECT_FALSE(report->duplicate);
+    EXPECT_EQ(report->observations_used, seeds_->size());
+    EXPECT_EQ(report->observations_dropped, 0u);
+    EXPECT_GT(report->monitor.mean_speed_kmh, 0.0);
+  }
+  EXPECT_EQ(session.stats().slots_estimated, 3u);
+  EXPECT_EQ(session.stats().rejected_batches, 0u);
+}
+
+TEST_F(ServingTest, StrictValidationRejectsMalformedBatches) {
+  ServingSession session = Session();
+  uint64_t slot = ds().first_test_slot();
+
+  auto bad = CleanObs(slot);
+  bad[0].speed_kmh = std::numeric_limits<double>::quiet_NaN();
+  auto r = session.Ingest(slot, bad);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  bad = CleanObs(slot);
+  bad[1].speed_kmh = -5.0;
+  EXPECT_FALSE(session.Ingest(slot, bad).ok());
+
+  bad = CleanObs(slot);
+  bad[2].speed_kmh = 1.0e6;  // > max_speed_kmh
+  EXPECT_FALSE(session.Ingest(slot, bad).ok());
+
+  bad = CleanObs(slot);
+  bad[0].road = static_cast<RoadId>(ds().net.num_roads());
+  EXPECT_FALSE(session.Ingest(slot, bad).ok());
+
+  EXPECT_EQ(session.stats().rejected_batches, 4u);
+  // The slot was never consumed: a corrected batch is still accepted.
+  auto ok = session.Ingest(slot, CleanObs(slot));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_FALSE(ok->stale);
+}
+
+TEST_F(ServingTest, FilterValidationDropsAndCounts) {
+  ServingOptions opts;
+  opts.validation = ValidationPolicy::kFilter;
+  ServingSession session = Session(opts);
+  uint64_t slot = ds().first_test_slot();
+
+  auto obs = CleanObs(slot);
+  obs[0].speed_kmh = std::numeric_limits<double>::quiet_NaN();
+  obs[1].speed_kmh = -3.0;
+  auto report = session.Ingest(slot, obs);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->observations_used, obs.size() - 2);
+  EXPECT_EQ(report->observations_dropped, 2u);
+  EXPECT_EQ(session.stats().observations_dropped, 2u);
+}
+
+TEST_F(ServingTest, DedupPoliciesResolveDuplicateRoads) {
+  uint64_t slot = ds().first_test_slot();
+  RoadId road = (*seeds_)[0];
+
+  // Reference sessions fed a single observation of 30, 50, and 40 km/h.
+  auto single = [&](double speed) {
+    ServingSession s = Session();
+    auto r = s.Ingest(slot, {{road, speed}});
+    TS_CHECK(r.ok()) << r.status().ToString();
+    return r->monitor.estimate.speeds.speed_kmh;
+  };
+  std::vector<double> ref_first = single(30.0);
+  std::vector<double> ref_last = single(50.0);
+  std::vector<double> ref_mean = single(40.0);
+
+  auto dup = [&](DedupPolicy policy) {
+    ServingOptions opts;
+    opts.dedup = policy;
+    ServingSession s = Session(opts);
+    return s.Ingest(slot, {{road, 30.0}, {road, 50.0}});
+  };
+
+  auto mean = dup(DedupPolicy::kMean);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_EQ(mean->observations_used, 1u);
+  EXPECT_EQ(mean->observations_dropped, 1u);
+  EXPECT_EQ(mean->monitor.estimate.speeds.speed_kmh, ref_mean);
+
+  auto first = dup(DedupPolicy::kKeepFirst);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->monitor.estimate.speeds.speed_kmh, ref_first);
+
+  auto last = dup(DedupPolicy::kKeepLast);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->monitor.estimate.speeds.speed_kmh, ref_last);
+
+  auto reject = dup(DedupPolicy::kReject);
+  EXPECT_FALSE(reject.ok());
+  EXPECT_EQ(reject.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServingTest, DuplicateSlotIsIdempotent) {
+  ServingSession session = Session();
+  uint64_t slot = ds().first_test_slot();
+  auto fresh = session.Ingest(slot, CleanObs(slot));
+  ASSERT_TRUE(fresh.ok());
+
+  // Re-delivery — even with different (here: absurd) payload — returns the
+  // cached report and mutates nothing.
+  auto replay = session.Ingest(slot, CleanObs(slot, 0.1));
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->duplicate);
+  EXPECT_EQ(replay->monitor.estimate.speeds.speed_kmh,
+            fresh->monitor.estimate.speeds.speed_kmh);
+  EXPECT_EQ(session.stats().duplicate_slots, 1u);
+  EXPECT_EQ(session.stats().slots_estimated, 1u);
+
+  auto next = session.Ingest(slot + 1, CleanObs(slot + 1));
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+}
+
+TEST_F(ServingTest, OutOfOrderSlotRejectedGracefully) {
+  ServingSession session = Session();
+  uint64_t start = ds().first_test_slot();
+  ASSERT_TRUE(session.Ingest(start + 3, CleanObs(start + 3)).ok());
+  auto late = session.Ingest(start + 1, CleanObs(start + 1));
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.stats().out_of_order_slots, 1u);
+  // Session keeps serving.
+  EXPECT_TRUE(session.Ingest(start + 4, CleanObs(start + 4)).ok());
+}
+
+TEST_F(ServingTest, EmptySlotCarriesForwardLastGoodEstimate) {
+  ServingSession session = Session();
+  uint64_t start = ds().first_test_slot();
+  auto fresh = session.Ingest(start, CleanObs(start));
+  ASSERT_TRUE(fresh.ok());
+
+  auto stale1 = session.Ingest(start + 1, {});
+  ASSERT_TRUE(stale1.ok()) << stale1.status().ToString();
+  EXPECT_TRUE(stale1->stale);
+  EXPECT_EQ(stale1->stale_slots, 1u);
+  EXPECT_EQ(stale1->slot, start + 1);
+  EXPECT_TRUE(stale1->monitor.new_alerts.empty());
+  EXPECT_EQ(stale1->monitor.estimate.speeds.speed_kmh,
+            fresh->monitor.estimate.speeds.speed_kmh);
+
+  auto stale2 = session.Ingest(start + 2, {});
+  ASSERT_TRUE(stale2.ok());
+  EXPECT_EQ(stale2->stale_slots, 2u);
+  EXPECT_EQ(session.stats().slots_carried_forward, 2u);
+
+  // Fresh data ends the staleness streak.
+  auto recovered = session.Ingest(start + 3, CleanObs(start + 3));
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered->stale);
+  EXPECT_EQ(recovered->stale_slots, 0u);
+}
+
+TEST_F(ServingTest, NoCarryForwardBeforeFirstEstimate) {
+  ServingSession session = Session();
+  auto r = session.Ingest(ds().first_test_slot(), {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(session.has_estimate());
+}
+
+TEST_F(ServingTest, StalenessLimitStopsCarryForward) {
+  ServingOptions opts;
+  opts.max_stale_slots = 2;
+  ServingSession session = Session(opts);
+  uint64_t start = ds().first_test_slot();
+  ASSERT_TRUE(session.Ingest(start, CleanObs(start)).ok());
+  ASSERT_TRUE(session.Ingest(start + 1, {}).ok());
+  ASSERT_TRUE(session.Ingest(start + 2, {}).ok());
+  auto over = session.Ingest(start + 3, {});
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kFailedPrecondition);
+  // A fresh batch still recovers the session.
+  auto recovered = session.Ingest(start + 4, CleanObs(start + 4));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered->stale);
+}
+
+TEST_F(ServingTest, CarryForwardDisabledWithZeroLimit) {
+  ServingOptions opts;
+  opts.max_stale_slots = 0;
+  ServingSession session = Session(opts);
+  uint64_t start = ds().first_test_slot();
+  ASSERT_TRUE(session.Ingest(start, CleanObs(start)).ok());
+  EXPECT_FALSE(session.Ingest(start + 1, {}).ok());
+}
+
+}  // namespace
+}  // namespace trendspeed

@@ -3,13 +3,18 @@
 #ifndef TRENDSPEED_TESTS_TEST_UTIL_H_
 #define TRENDSPEED_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
+#include <limits>
 #include <memory>
+#include <vector>
 
 #include "io/dataset.h"
 #include "probe/history.h"
 #include "roadnet/generators.h"
 #include "roadnet/road_network.h"
+#include "speed/propagation.h"
 #include "util/logging.h"
+#include "util/random.h"
 
 namespace trendspeed {
 namespace testing_util {
@@ -75,6 +80,75 @@ inline const Dataset& SharedTinyDataset() {
   }();
   return *dataset;
 }
+
+/// Fault mix applied by FaultyObservationSource. Probabilities are
+/// independent per delivery (or per observation for corrupt_prob).
+struct FaultPlan {
+  double drop_prob = 0.0;       ///< slot never delivered
+  double duplicate_prob = 0.0;  ///< slot delivered twice back-to-back
+  double empty_prob = 0.0;      ///< batch replaced by an empty one
+  double corrupt_prob = 0.0;    ///< per-observation speed corruption
+  /// Deliveries are shuffled within consecutive windows of this size
+  /// (> 1 produces out-of-order and therefore effectively dropped slots).
+  size_t reorder_window = 0;
+  uint64_t seed = 7;
+};
+
+/// Deterministic fault injector for serving-path robustness tests: takes the
+/// clean per-slot delivery schedule and returns a corrupted one (dropped,
+/// duplicated, reordered, emptied deliveries; NaN/negative/zero/absurd
+/// speeds). Same plan + same input => same faults.
+class FaultyObservationSource {
+ public:
+  struct Delivery {
+    uint64_t slot = 0;
+    std::vector<SeedSpeed> observations;
+  };
+
+  explicit FaultyObservationSource(const FaultPlan& plan)
+      : plan_(plan), rng_(plan.seed) {}
+
+  std::vector<Delivery> Corrupt(const std::vector<Delivery>& clean) {
+    std::vector<Delivery> out;
+    out.reserve(clean.size());
+    for (const Delivery& d : clean) {
+      if (rng_.NextBool(plan_.drop_prob)) continue;
+      Delivery faulty = d;
+      if (rng_.NextBool(plan_.empty_prob)) faulty.observations.clear();
+      for (SeedSpeed& s : faulty.observations) {
+        if (rng_.NextBool(plan_.corrupt_prob)) {
+          s.speed_kmh = NextCorruptSpeed();
+        }
+      }
+      out.push_back(faulty);
+      if (rng_.NextBool(plan_.duplicate_prob)) out.push_back(faulty);
+    }
+    if (plan_.reorder_window > 1) {
+      for (size_t begin = 0; begin < out.size();
+           begin += plan_.reorder_window) {
+        size_t end = std::min(begin + plan_.reorder_window, out.size());
+        std::vector<Delivery> window(out.begin() + begin, out.begin() + end);
+        rng_.Shuffle(&window);
+        std::copy(window.begin(), window.end(), out.begin() + begin);
+      }
+    }
+    return out;
+  }
+
+ private:
+  /// Cycles through every malformed-speed class the serving layer must
+  /// reject: NaN, negative, +/-inf, unit-mistake huge, and zero.
+  double NextCorruptSpeed() {
+    static constexpr double kInf = std::numeric_limits<double>::infinity();
+    const double kinds[] = {std::numeric_limits<double>::quiet_NaN(),
+                            -20.0, kInf, 1.0e7, 0.0, -kInf};
+    return kinds[next_corrupt_++ % 6];
+  }
+
+  FaultPlan plan_;
+  Rng rng_;
+  size_t next_corrupt_ = 0;
+};
 
 }  // namespace testing_util
 }  // namespace trendspeed
