@@ -1,0 +1,283 @@
+// Observability overhead bench: proves the detached-registry contract.
+//
+// Three measurement groups, emitted as JSON on stdout (saved as
+// BENCH_observability_overhead.json):
+//
+//   * ops_ns    — nanoseconds per primitive record operation, null handles
+//                 (detached) vs live handles (attached). The null costs are
+//                 what every record site pays when no registry is attached.
+//   * bp        — BP inference timed detached vs attached. The detached
+//                 overhead cannot be measured against un-instrumented code
+//                 (it no longer exists), so it is *derived*: record sites
+//                 per run x null-op cost / detached run time. The
+//                 acceptance gate is <= 2%.
+//   * serving   — ServingSession::Ingest over a trained tiny-city
+//                 estimator, same treatment.
+//
+// Correctness is asserted inline: attached and detached BP runs must
+// produce bitwise-identical marginals.
+//
+// Flags:
+//   --smoke   tiny instance, used by the `perf`-labelled CTest smoke entry.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/serving.h"
+#include "io/dataset.h"
+#include "obs/catalog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "trend/belief_propagation.h"
+#include "trend/factor_graph.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace trendspeed {
+namespace {
+
+struct OverheadConfig {
+  size_t rows = 230;
+  size_t cols = 220;  // 50600 segments
+  uint32_t bp_iters = 10;
+  int bp_reps = 5;
+  size_t op_iters = 20'000'000;
+  size_t ingests = 200;
+};
+
+BpGraph MakeGridBpGraph(const OverheadConfig& cfg, std::vector<double>* pot) {
+  size_t n = cfg.rows * cfg.cols;
+  PairwiseMrf mrf(n);
+  Rng rng(2026);
+  for (size_t r = 0; r < cfg.rows; ++r) {
+    for (size_t c = 0; c < cfg.cols; ++c) {
+      size_t v = r * cfg.cols + c;
+      double same = rng.Uniform(0.55, 0.95);
+      double compat[2][2] = {{same, 1.0 - same}, {1.0 - same, same}};
+      if (c + 1 < cfg.cols) mrf.AddEdge(v, v + 1, compat);
+      if (r + 1 < cfg.rows) mrf.AddEdge(v, v + cfg.cols, compat);
+    }
+  }
+  pot->resize(2 * n);
+  for (size_t v = 0; v < n; ++v) {
+    double p = rng.Uniform(0.05, 0.95);
+    (*pot)[2 * v] = 1.0 - p;
+    (*pot)[2 * v + 1] = p;
+  }
+  return BpGraph::FromMrf(mrf);
+}
+
+template <typename Fn>
+double BestMillis(int reps, const Fn& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    double ms = timer.ElapsedMillis();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// ns per op over `iters` iterations of `fn`. Handles are read through
+/// volatile pointers at the call sites so the loop body cannot be hoisted
+/// or elided.
+template <typename Fn>
+double NanosPerOp(size_t iters, const Fn& fn) {
+  WallTimer timer;
+  for (size_t i = 0; i < iters; ++i) fn();
+  return timer.ElapsedMillis() * 1e6 / static_cast<double>(iters);
+}
+
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  TS_CHECK_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+int Run(const OverheadConfig& cfg) {
+  std::printf("{\n");
+  std::printf("  \"bench\": \"observability_overhead\",\n");
+  std::printf("  \"hardware_concurrency\": %zu,\n", EffectiveThreads(0));
+
+  // --- primitive op costs -------------------------------------------------
+  obs::MetricsRegistry reg;
+  obs::Counter* live_counter = reg.GetCounter(obs::kBpRunsTotal);
+  obs::Gauge* live_gauge = reg.GetGauge(obs::kPoolQueueDepth);
+  obs::Histogram* live_hist = reg.GetHistogram(obs::kBpResidual);
+  obs::TraceRecorder recorder(1024);
+
+  obs::Counter* volatile vc_null = nullptr;
+  obs::Counter* volatile vc_live = live_counter;
+  obs::Gauge* volatile vg_live = live_gauge;
+  obs::Histogram* volatile vh_null = nullptr;
+  obs::Histogram* volatile vh_live = live_hist;
+  obs::TraceRecorder* volatile vr_null = nullptr;
+  obs::TraceRecorder* volatile vr_live = &recorder;
+
+  size_t iters = cfg.op_iters;
+  double null_counter_ns = NanosPerOp(iters, [&] { obs::Add(vc_null); });
+  double counter_ns = NanosPerOp(iters, [&] { obs::Add(vc_live); });
+  double null_hist_ns = NanosPerOp(iters, [&] { obs::Observe(vh_null, 0.5); });
+  double hist_ns = NanosPerOp(iters, [&] { obs::Observe(vh_live, 1e-4); });
+  double gauge_ns = NanosPerOp(iters, [&] { obs::Set(vg_live, 3.0); });
+  size_t span_iters = iters / 100;
+  double null_span_ns = NanosPerOp(span_iters, [&] {
+    obs::ScopedSpan span(vr_null, "bench/op");
+  });
+  double span_ns = NanosPerOp(span_iters, [&] {
+    obs::ScopedSpan span(vr_live, "bench/op");
+  });
+  double clock_ns = NanosPerOp(span_iters, [&] { obs::MonotonicNanos(); });
+
+  std::printf("  \"ops_ns\": {\n");
+  std::printf("    \"null_counter_add\": %.3f,\n", null_counter_ns);
+  std::printf("    \"counter_add\": %.3f,\n", counter_ns);
+  std::printf("    \"null_histogram_observe\": %.3f,\n", null_hist_ns);
+  std::printf("    \"histogram_observe\": %.3f,\n", hist_ns);
+  std::printf("    \"gauge_set\": %.3f,\n", gauge_ns);
+  std::printf("    \"null_span\": %.3f,\n", null_span_ns);
+  std::printf("    \"span\": %.3f,\n", span_ns);
+  std::printf("    \"monotonic_nanos\": %.3f\n", clock_ns);
+  std::printf("  },\n");
+
+  // --- BP hot path --------------------------------------------------------
+  std::vector<double> pot;
+  BpGraph graph = MakeGridBpGraph(cfg, &pot);
+  size_t n = graph.num_vars;
+  BpOptions bp;
+  bp.max_iters = cfg.bp_iters;
+  bp.tol = 0.0;  // never converge early: identical work in both regimes
+
+  BpResult detached_result, attached_result;
+  double bp_detached_ms = BestMillis(cfg.bp_reps, [&] {
+    detached_result = InferMarginalsBpFlat(graph, pot, bp);
+  });
+  bp.metrics = &reg;
+  obs::TraceRecorder bp_trace(1024);
+  bp.trace = &bp_trace;
+  double bp_attached_ms = BestMillis(cfg.bp_reps, [&] {
+    attached_result = InferMarginalsBpFlat(graph, pot, bp);
+  });
+  TS_CHECK_LT(MaxAbsDiff(detached_result.p_up, attached_result.p_up), 1e-12);
+
+  // Record sites a detached run touches: per iteration two counter adds and
+  // one histogram observe, plus two counters and one histogram per run, six
+  // null registrations, and one null span.
+  double bp_sites =
+      3.0 * cfg.bp_iters + 3.0 + 6.0 /* registrations */ + 1.0 /* span */;
+  double bp_detached_pct =
+      bp_sites * null_counter_ns / (bp_detached_ms * 1e6) * 100.0;
+  double bp_attached_pct =
+      (bp_attached_ms - bp_detached_ms) / bp_detached_ms * 100.0;
+  std::printf("  \"bp\": {\n");
+  std::printf("    \"segments\": %zu,\n", n);
+  std::printf("    \"iterations\": %u,\n", cfg.bp_iters);
+  std::printf("    \"detached_ms\": %.3f,\n", bp_detached_ms);
+  std::printf("    \"attached_ms\": %.3f,\n", bp_attached_ms);
+  std::printf("    \"attached_overhead_pct\": %.3f,\n", bp_attached_pct);
+  std::printf("    \"record_sites_per_run\": %.0f,\n", bp_sites);
+  std::printf("    \"derived_detached_overhead_pct\": %.6f\n",
+              bp_detached_pct);
+  std::printf("  },\n");
+  TS_CHECK_LT(bp_detached_pct, 2.0);
+
+  // --- serving hot path ---------------------------------------------------
+  auto ds = BuildTinyCity();
+  TS_CHECK(ds.ok()) << ds.status().ToString();
+  PipelineConfig config;
+  config.corr.min_co_observed = 8;
+  auto est = TrafficSpeedEstimator::Train(&ds->net, &ds->history, config);
+  TS_CHECK(est.ok()) << est.status().ToString();
+  auto seeds = est->SelectSeeds(6, SeedStrategy::kLazyGreedy);
+  TS_CHECK(seeds.ok());
+
+  auto make_obs = [&](uint64_t slot) {
+    std::vector<SeedSpeed> out;
+    for (RoadId r : seeds->seeds) {
+      out.push_back({r, std::max(1.0, ds->truth.at(slot, r))});
+    }
+    return out;
+  };
+  auto run_ingests = [&](ServingSession* session) {
+    for (size_t i = 0; i < cfg.ingests; ++i) {
+      auto report = session->Ingest(i, make_obs(i % ds->num_slots()));
+      TS_CHECK(report.ok()) << report.status().ToString();
+    }
+  };
+
+  ServingOptions detached_opts;
+  auto detached_session = ServingSession::Create(&est.value(), detached_opts);
+  TS_CHECK(detached_session.ok());
+  WallTimer timer;
+  run_ingests(&detached_session.value());
+  double serving_detached_ms =
+      timer.ElapsedMillis() / static_cast<double>(cfg.ingests);
+
+  // Attached session: fresh registry + trace so handles are live. The
+  // estimator itself stays detached — this isolates the serving layer's own
+  // instrumentation, the quantity the <= 2% gate covers.
+  obs::MetricsRegistry serving_reg;
+  obs::TraceRecorder serving_trace(1024);
+  ServingOptions attached_opts;
+  attached_opts.observability.metrics = &serving_reg;
+  attached_opts.observability.trace = &serving_trace;
+  auto attached_session = ServingSession::Create(&est.value(), attached_opts);
+  TS_CHECK(attached_session.ok());
+  timer.Restart();
+  run_ingests(&attached_session.value());
+  double serving_attached_ms =
+      timer.ElapsedMillis() / static_cast<double>(cfg.ingests);
+
+  // Detached Ingest sites: one counter + staleness gauge per slot, the
+  // latency scope (histogram + slow counter), ten null registrations in the
+  // constructor amortized to ~0, and one null span.
+  double serving_sites = 7.0;
+  double serving_detached_pct =
+      serving_sites * null_counter_ns / (serving_detached_ms * 1e6) * 100.0;
+  double serving_attached_pct =
+      (serving_attached_ms - serving_detached_ms) / serving_detached_ms *
+      100.0;
+  std::printf("  \"serving\": {\n");
+  std::printf("    \"ingests\": %zu,\n", cfg.ingests);
+  std::printf("    \"detached_ms_per_ingest\": %.3f,\n", serving_detached_ms);
+  std::printf("    \"attached_ms_per_ingest\": %.3f,\n", serving_attached_ms);
+  std::printf("    \"attached_overhead_pct\": %.3f,\n", serving_attached_pct);
+  std::printf("    \"record_sites_per_ingest\": %.0f,\n", serving_sites);
+  std::printf("    \"derived_detached_overhead_pct\": %.6f\n",
+              serving_detached_pct);
+  std::printf("  }\n}\n");
+  TS_CHECK_LT(serving_detached_pct, 2.0);
+  TS_CHECK_EQ(
+      serving_reg.GetCounter(obs::kServingSlotsEstimatedTotal)->Value(),
+      static_cast<uint64_t>(cfg.ingests));
+  return 0;
+}
+
+}  // namespace
+}  // namespace trendspeed
+
+int main(int argc, char** argv) {
+  trendspeed::OverheadConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.rows = 60;
+      cfg.cols = 60;
+      cfg.bp_iters = 4;
+      cfg.bp_reps = 2;
+      cfg.op_iters = 2'000'000;
+      cfg.ingests = 20;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  return trendspeed::Run(cfg);
+}

@@ -8,8 +8,12 @@
 //   ServingSession               — hardened ingestion: validation, dedup,
 //                                  carry-forward, hysteresis alerts
 //                                  (docs/serving.md)
+//   MetricsRegistry/TraceRecorder — every stage records into one registry
+//                                  (docs/observability.md)
 //
-// At the end the alerts are scored against the simulator's ground truth.
+// At the end the alerts are scored against the simulator's ground truth and
+// the registry is dumped in Prometheus text format — exactly what a real
+// deployment would serve from its /metrics endpoint.
 //
 // Build & run:  ./build/examples/city_monitor
 
@@ -19,6 +23,8 @@
 #include "core/serving.h"
 #include "crowd/campaign.h"
 #include "io/dataset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace trendspeed;
 
@@ -34,8 +40,15 @@ int main() {
     std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
     return 1;
   }
+  // One registry + trace recorder observe the whole run: training, seed
+  // selection, every online estimate, and the serving layer.
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder trace(256);
+  PipelineConfig config;
+  config.observability.metrics = &registry;
+  config.observability.trace = &trace;
   auto estimator =
-      TrafficSpeedEstimator::Train(&dataset->net, &dataset->history, {});
+      TrafficSpeedEstimator::Train(&dataset->net, &dataset->history, config);
   if (!estimator.ok()) {
     std::fprintf(stderr, "train: %s\n",
                  estimator.status().ToString().c_str());
@@ -62,6 +75,8 @@ int main() {
   // Crowd answers are median-aggregated but still untrusted: drop (and
   // count) any malformed report instead of failing the slot.
   serving_opts.validation = ValidationPolicy::kFilter;
+  serving_opts.observability.metrics = &registry;
+  serving_opts.observability.trace = &trace;
   auto session = ServingSession::Create(&*estimator, serving_opts);
   if (!session.ok()) {
     std::fprintf(stderr, "serving: %s\n", session.status().ToString().c_str());
@@ -78,9 +93,9 @@ int main() {
   std::set<RoadId> truly_congested;
   uint64_t start = dataset->first_test_slot();
   for (uint64_t slot = start; slot < dataset->num_slots(); slot += 2) {
-    auto obs = campaign.Collect(seeds->seeds, dataset->truth.speeds[slot]);
-    if (!obs.ok()) return 1;
-    auto report = session->Ingest(slot, *obs);
+    auto answers = campaign.Collect(seeds->seeds, dataset->truth.speeds[slot]);
+    if (!answers.ok()) return 1;
+    auto report = session->Ingest(slot, *answers);
     if (!report.ok()) {
       // Graceful degradation: the session stays usable; skip this slot.
       std::fprintf(stderr, "slot %llu not served: %s\n",
@@ -133,5 +148,13 @@ int main() {
               truly_congested.empty()
                   ? 0.0
                   : 100.0 * hits / truly_congested.size());
+
+  // Scrape-ready view of the same run. A deployment serves this string from
+  // an HTTP /metrics endpoint; trace.ToJson() holds the last spans.
+  std::printf("\n--- /metrics (Prometheus text format) ---\n%s",
+              registry.ToPrometheus().c_str());
+  std::printf("--- trace: %llu spans recorded, last %zu retained ---\n",
+              static_cast<unsigned long long>(trace.total_recorded()),
+              trace.Events().size());
   return 0;
 }

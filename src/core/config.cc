@@ -1,5 +1,7 @@
 #include "core/config.h"
 
+#include <cmath>
+
 namespace trendspeed {
 
 Status PipelineConfig::Validate() const {
@@ -46,6 +48,16 @@ Status PipelineConfig::Validate() const {
   if (seed_selection.min_parallel_candidates == 0) {
     return Status::InvalidArgument(
         "seed_selection.min_parallel_candidates must be positive");
+  }
+  if (!(observability.slow_ingest_ms > 0.0) ||
+      !std::isfinite(observability.slow_ingest_ms)) {  // also rejects NaN
+    return Status::InvalidArgument(
+        "observability.slow_ingest_ms must be positive and finite");
+  }
+  if (observability.instrument_thread_pool &&
+      observability.metrics == nullptr) {
+    return Status::InvalidArgument(
+        "observability.instrument_thread_pool requires a metrics registry");
   }
   return Status::OK();
 }

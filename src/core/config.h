@@ -4,6 +4,8 @@
 #define TRENDSPEED_CORE_CONFIG_H_
 
 #include "corr/correlation_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "seed/objective.h"
 #include "speed/hierarchical_model.h"
 #include "speed/propagation.h"
@@ -11,6 +13,26 @@
 #include "util/status.h"
 
 namespace trendspeed {
+
+/// Pipeline-wide observability wiring (docs/observability.md). Both
+/// pointers are borrowed and must outlive every estimator / serving session
+/// built from this config; null (the default) disables all recording —
+/// instrumented hot paths then cost one predicted branch per record site
+/// (bench/bench_observability_overhead.cc quantifies this as < 2%).
+struct ObservabilityOptions {
+  /// Destination for every trendspeed_* metric the pipeline emits.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Destination for ScopedSpan wall-clock spans ("bp/infer",
+  /// "seed/<algorithm>", "estimator/estimate", "serving/ingest").
+  obs::TraceRecorder* trace = nullptr;
+  /// Also attach `metrics` to the process-wide ThreadPool::Global()
+  /// (trendspeed_pool_* series). Off by default because the global pool is
+  /// shared across estimators; last attach wins.
+  bool instrument_thread_pool = false;
+  /// Serving: an Ingest call slower than this bumps
+  /// trendspeed_serving_slow_ingests_total. Must be positive and finite.
+  double slow_ingest_ms = 250.0;
+};
 
 struct PipelineConfig {
   CorrelationGraphOptions corr;
@@ -24,6 +46,11 @@ struct PipelineConfig {
   /// Feed the calibrated logistic of the influence-weighted seed deviation
   /// into the trend MRF as soft node evidence (magnitude-aware Step 1).
   bool use_trend_evidence = true;
+  /// Metrics/tracing sinks; propagated into the BP and seed-selection
+  /// options by TrafficSpeedEstimator::FromComponents (per-stage pointers
+  /// set explicitly here take precedence — FromComponents only fills the
+  /// ones left null).
+  ObservabilityOptions observability;
 
   /// Basic sanity validation; Build paths also validate individually.
   Status Validate() const;

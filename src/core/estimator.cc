@@ -1,10 +1,13 @@
 #include "core/estimator.h"
 
+#include "obs/catalog.h"
 #include "seed/exact.h"
 #include "seed/greedy.h"
 #include "seed/heuristics.h"
 #include "seed/lazy_greedy.h"
 #include "seed/stochastic_greedy.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace trendspeed {
 
@@ -65,12 +68,31 @@ Result<TrafficSpeedEstimator> TrafficSpeedEstimator::FromComponents(
   est.net_ = net;
   est.db_ = db;
   est.config_ = config;
+  // Fan the pipeline-wide observability sinks out to the per-stage option
+  // structs (only where the caller left them null, so explicit per-stage
+  // wiring wins). Must happen before the TrendModel copies config_.trend.
+  const ObservabilityOptions& o = config.observability;
+  if (est.config_.trend.bp.metrics == nullptr) {
+    est.config_.trend.bp.metrics = o.metrics;
+  }
+  if (est.config_.trend.bp.trace == nullptr) {
+    est.config_.trend.bp.trace = o.trace;
+  }
+  if (est.config_.seed_selection.metrics == nullptr) {
+    est.config_.seed_selection.metrics = o.metrics;
+  }
+  if (est.config_.seed_selection.trace == nullptr) {
+    est.config_.seed_selection.trace = o.trace;
+  }
+  if (o.instrument_thread_pool && o.metrics != nullptr) {
+    ThreadPool::Global().AttachMetrics(o.metrics);
+  }
   est.graph_ = std::make_unique<CorrelationGraph>(std::move(graph));
   est.influence_ = std::make_unique<InfluenceModel>(std::move(influence));
   est.speed_model_ =
       std::make_unique<HierarchicalSpeedModel>(std::move(speed_model));
   est.trend_model_ =
-      std::make_unique<TrendModel>(est.graph_.get(), db, config.trend);
+      std::make_unique<TrendModel>(est.graph_.get(), db, est.config_.trend);
   return est;
 }
 
@@ -84,6 +106,8 @@ Result<SeedSelectionResult> TrafficSpeedEstimator::SelectSeeds(
     case SeedStrategy::kStochasticGreedy: {
       StochasticGreedyOptions opts;
       opts.seed = rng_seed;
+      opts.metrics = config_.seed_selection.metrics;
+      opts.trace = config_.seed_selection.trace;
       return SelectSeedsStochasticGreedy(*influence_, k, opts);
     }
     case SeedStrategy::kRandom:
@@ -102,6 +126,9 @@ Result<SeedSelectionResult> TrafficSpeedEstimator::SelectSeeds(
 
 Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
     uint64_t slot, const std::vector<SeedSpeed>& seeds) const {
+  const ObservabilityOptions& o = config_.observability;
+  obs::ScopedSpan span(o.trace, "estimator/estimate");
+  WallTimer timer;
   // Seed trends come from comparing the crowdsourced speed with the road's
   // historical mean.
   std::vector<SeedTrend> seed_trends;
@@ -193,6 +220,9 @@ Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
         PropagateSpeeds(*net_, *graph_, *db_, *speed_model_, out.trends,
                         seeds, slot, config_.propagation));
   }
+  obs::Add(obs::GetCounter(o.metrics, obs::kEstimatesTotal));
+  obs::Observe(obs::GetHistogram(o.metrics, obs::kEstimateLatencyMs),
+               timer.ElapsedMillis());
   return out;
 }
 

@@ -3,7 +3,36 @@
 #include <cmath>
 #include <string>
 
+#include "obs/catalog.h"
+#include "util/timer.h"
+
 namespace trendspeed {
+
+namespace {
+
+/// Records the enclosing Ingest call's latency on destruction, whichever
+/// return path is taken, and bumps the slow-ingest counter past the
+/// configured threshold. All-null handles make this a no-op.
+class IngestLatencyScope {
+ public:
+  IngestLatencyScope(obs::Histogram* latency_ms, obs::Counter* slow,
+                     double slow_ingest_ms)
+      : latency_ms_(latency_ms), slow_(slow), slow_ingest_ms_(slow_ingest_ms) {}
+  ~IngestLatencyScope() {
+    if (latency_ms_ == nullptr && slow_ == nullptr) return;
+    double ms = timer_.ElapsedMillis();
+    obs::Observe(latency_ms_, ms);
+    if (ms > slow_ingest_ms_) obs::Add(slow_);
+  }
+
+ private:
+  obs::Histogram* latency_ms_;
+  obs::Counter* slow_;
+  double slow_ingest_ms_;
+  WallTimer timer_;
+};
+
+}  // namespace
 
 Status ServingOptions::Validate() const {
   // `!(a < b)` style keeps NaN-poisoned options invalid too.
@@ -24,12 +53,34 @@ Status ServingOptions::Validate() const {
   if (!(max_speed_kmh > 0.0) || !std::isfinite(max_speed_kmh)) {
     return Status::InvalidArgument("max_speed_kmh must be positive and finite");
   }
+  if (!(observability.slow_ingest_ms > 0.0) ||
+      !std::isfinite(observability.slow_ingest_ms)) {
+    return Status::InvalidArgument(
+        "observability.slow_ingest_ms must be positive and finite");
+  }
   return Status::OK();
 }
 
 ServingSession::ServingSession(const TrafficSpeedEstimator* estimator,
                                const ServingOptions& opts)
-    : estimator_(estimator), opts_(opts), monitor_(estimator, opts.monitor) {}
+    : estimator_(estimator), opts_(opts), monitor_(estimator, opts.monitor) {
+  // Register handles once; every hot-path record is then a pointer check.
+  obs::MetricsRegistry* reg = opts_.observability.metrics;
+  m_slots_estimated_ = obs::GetCounter(reg, obs::kServingSlotsEstimatedTotal);
+  m_slots_carried_forward_ =
+      obs::GetCounter(reg, obs::kServingSlotsCarriedForwardTotal);
+  m_duplicate_slots_ = obs::GetCounter(reg, obs::kServingDuplicateSlotsTotal);
+  m_out_of_order_slots_ =
+      obs::GetCounter(reg, obs::kServingOutOfOrderSlotsTotal);
+  m_rejected_batches_ = obs::GetCounter(reg, obs::kServingRejectedBatchesTotal);
+  m_observations_dropped_ =
+      obs::GetCounter(reg, obs::kServingObservationsDroppedTotal);
+  m_estimation_failures_ =
+      obs::GetCounter(reg, obs::kServingEstimationFailuresTotal);
+  m_slow_ingests_ = obs::GetCounter(reg, obs::kServingSlowIngestsTotal);
+  m_ingest_latency_ = obs::GetHistogram(reg, obs::kServingIngestLatencyMs);
+  m_staleness_ = obs::GetGauge(reg, obs::kServingStalenessSlots);
+}
 
 Result<ServingSession> ServingSession::Create(
     const TrafficSpeedEstimator* estimator, const ServingOptions& opts) {
@@ -109,8 +160,9 @@ Result<ServingSession::SlotReport> ServingSession::CarryForward(uint64_t slot,
         "estimate too stale: already " + std::to_string(stale_streak_) +
         " consecutive carried-forward slots");
   }
-  ++stats_.slots_carried_forward;
+  Count(stats_.slots_carried_forward, m_slots_carried_forward_);
   ++stale_streak_;
+  obs::Set(m_staleness_, static_cast<double>(stale_streak_));
   last_report_.slot = slot;
   last_report_.stale = true;
   last_report_.stale_slots = stale_streak_;
@@ -125,16 +177,19 @@ Result<ServingSession::SlotReport> ServingSession::CarryForward(uint64_t slot,
 
 Result<ServingSession::SlotReport> ServingSession::Ingest(
     uint64_t slot, const std::vector<SeedSpeed>& observations) {
+  obs::ScopedSpan span(opts_.observability.trace, "serving/ingest");
+  IngestLatencyScope latency(m_ingest_latency_, m_slow_ingests_,
+                             opts_.observability.slow_ingest_ms);
   if (has_report_) {
     if (slot == last_report_.slot) {
       // Idempotent re-delivery: serve the cached report, mutate nothing.
-      ++stats_.duplicate_slots;
+      Count(stats_.duplicate_slots, m_duplicate_slots_);
       SlotReport replay = last_report_;
       replay.duplicate = true;
       return replay;
     }
     if (slot < last_report_.slot) {
-      ++stats_.out_of_order_slots;
+      Count(stats_.out_of_order_slots, m_out_of_order_slots_);
       return Status::FailedPrecondition(
           "stale slot " + std::to_string(slot) + " arrived after slot " +
           std::to_string(last_report_.slot) + " was served");
@@ -145,10 +200,11 @@ Result<ServingSession::SlotReport> ServingSession::Ingest(
   Result<std::vector<SeedSpeed>> sanitized = Sanitize(observations, &dropped);
   if (!sanitized.ok()) {
     // The slot is not consumed: a corrected batch may be re-sent.
-    ++stats_.rejected_batches;
+    Count(stats_.rejected_batches, m_rejected_batches_);
     return sanitized.status();
   }
   stats_.observations_dropped += dropped;
+  obs::Add(m_observations_dropped_, dropped);
   if (sanitized->empty()) return CarryForward(slot, dropped);
 
   Result<OnlineTrafficMonitor::SlotReport> report =
@@ -165,12 +221,13 @@ Result<ServingSession::SlotReport> ServingSession::Ingest(
     }
   }
   if (!healthy) {
-    ++stats_.estimation_failures;
+    Count(stats_.estimation_failures, m_estimation_failures_);
     return CarryForward(slot, dropped);
   }
 
-  ++stats_.slots_estimated;
+  Count(stats_.slots_estimated, m_slots_estimated_);
   stale_streak_ = 0;
+  obs::Set(m_staleness_, 0.0);
   last_report_ = SlotReport{};
   last_report_.slot = slot;
   last_report_.monitor = std::move(*report);

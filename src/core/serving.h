@@ -30,6 +30,8 @@
 
 #include "core/estimator.h"
 #include "core/monitor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace trendspeed {
@@ -60,6 +62,13 @@ struct ServingOptions {
   /// slot is refused with FailedPrecondition instead of re-serving an
   /// ever-staler estimate. 0 disables carry-forward entirely.
   uint32_t max_stale_slots = 12;
+  /// Observability sinks for this session: the trendspeed_serving_* series
+  /// (per-Ingest latency histogram, staleness gauge, slow-ingest counter,
+  /// registry mirrors of every ServingStats field) and the "serving/ingest"
+  /// span. `instrument_thread_pool` is ignored here — pool attachment is
+  /// the estimator's decision (see PipelineConfig::observability). Sinks
+  /// must outlive the session.
+  ObservabilityOptions observability;
 
   /// Full validation of every knob (including the wrapped MonitorOptions,
   /// so user-supplied options never trip the monitor's TS_CHECKs).
@@ -138,6 +147,14 @@ class ServingSession {
   /// explains why it cannot.
   Result<SlotReport> CarryForward(uint64_t slot, size_t dropped);
 
+  /// Increments a ServingStats field and its registry mirror together, so
+  /// the struct (the API snapshot view) and the exported counter can never
+  /// disagree — tests/obs_test.cc pins this equivalence.
+  void Count(uint64_t& field, obs::Counter* mirror) {
+    ++field;
+    obs::Add(mirror);
+  }
+
   const TrafficSpeedEstimator* estimator_;
   ServingOptions opts_;
   OnlineTrafficMonitor monitor_;
@@ -145,6 +162,18 @@ class ServingSession {
   bool has_report_ = false;
   SlotReport last_report_;
   uint32_t stale_streak_ = 0;
+
+  // Metric handles; all null when no registry is configured.
+  obs::Counter* m_slots_estimated_ = nullptr;
+  obs::Counter* m_slots_carried_forward_ = nullptr;
+  obs::Counter* m_duplicate_slots_ = nullptr;
+  obs::Counter* m_out_of_order_slots_ = nullptr;
+  obs::Counter* m_rejected_batches_ = nullptr;
+  obs::Counter* m_observations_dropped_ = nullptr;
+  obs::Counter* m_estimation_failures_ = nullptr;
+  obs::Counter* m_slow_ingests_ = nullptr;
+  obs::Histogram* m_ingest_latency_ = nullptr;
+  obs::Gauge* m_staleness_ = nullptr;
 };
 
 }  // namespace trendspeed

@@ -1,0 +1,181 @@
+#include "obs/catalog.h"
+
+namespace trendspeed {
+namespace obs {
+
+namespace {
+
+// Shared bucket layouts. Latencies are long-tailed, so bounds are roughly
+// geometric; BP residuals span decades, so decades it is.
+constexpr double kLatencyMsBounds[] = {0.05, 0.1,  0.25, 0.5, 1.0,  2.5, 5.0,
+                                       10.0, 25.0, 50.0, 100, 250,  1000};
+constexpr double kMicrosBounds[] = {1,    2,    5,     10,    25,    50,
+                                    100,  250,  1000,  5000,  25000, 100000};
+constexpr double kIterationBounds[] = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64};
+constexpr double kResidualBounds[] = {1e-6, 1e-5, 1e-4, 1e-3,
+                                      1e-2, 0.1,  0.5,  1.0};
+constexpr double kGainBounds[] = {0.01, 0.05, 0.1, 0.25, 0.5, 1,
+                                  2,    4,    8,   16,   32,  64};
+
+constexpr size_t N(auto& a) { return sizeof(a) / sizeof(a[0]); }
+
+}  // namespace
+
+// --- BP --------------------------------------------------------------------
+const MetricDef kBpRunsTotal = {
+    "trendspeed_bp_runs_total", MetricType::kCounter,
+    "Belief-propagation inference runs", "1"};
+const MetricDef kBpConvergedTotal = {
+    "trendspeed_bp_converged_total", MetricType::kCounter,
+    "BP runs whose max message change fell below tol", "1"};
+const MetricDef kBpSweepsTotal = {
+    "trendspeed_bp_sweeps_total", MetricType::kCounter,
+    "Jacobi message half-sweeps executed", "1"};
+const MetricDef kBpMessageUpdatesTotal = {
+    "trendspeed_bp_message_updates_total", MetricType::kCounter,
+    "Directed-edge message updates", "1"};
+const MetricDef kBpIterations = {
+    "trendspeed_bp_iterations", MetricType::kHistogram,
+    "Sweeps needed per BP run", "iterations", "",
+    kIterationBounds, N(kIterationBounds)};
+const MetricDef kBpResidual = {
+    "trendspeed_bp_residual", MetricType::kHistogram,
+    "Max message change per sweep (convergence residual)", "delta", "",
+    kResidualBounds, N(kResidualBounds)};
+
+// --- seed selection --------------------------------------------------------
+const MetricDef kSeedRunsGreedy = {
+    "trendspeed_seed_runs_total", MetricType::kCounter,
+    "Seed-selection invocations", "1", "algorithm=\"greedy\""};
+const MetricDef kSeedRunsLazyGreedy = {
+    "trendspeed_seed_runs_total", MetricType::kCounter,
+    "Seed-selection invocations", "1", "algorithm=\"lazy_greedy\""};
+const MetricDef kSeedRunsStochasticGreedy = {
+    "trendspeed_seed_runs_total", MetricType::kCounter,
+    "Seed-selection invocations", "1", "algorithm=\"stochastic_greedy\""};
+const MetricDef kSeedGainEvalsGreedy = {
+    "trendspeed_seed_gain_evaluations_total", MetricType::kCounter,
+    "Marginal-gain (GainOf) evaluations", "1", "algorithm=\"greedy\""};
+const MetricDef kSeedGainEvalsLazyGreedy = {
+    "trendspeed_seed_gain_evaluations_total", MetricType::kCounter,
+    "Marginal-gain (GainOf) evaluations", "1", "algorithm=\"lazy_greedy\""};
+const MetricDef kSeedGainEvalsStochasticGreedy = {
+    "trendspeed_seed_gain_evaluations_total", MetricType::kCounter,
+    "Marginal-gain (GainOf) evaluations", "1",
+    "algorithm=\"stochastic_greedy\""};
+const MetricDef kSeedRoundsTotal = {
+    "trendspeed_seed_rounds_total", MetricType::kCounter,
+    "Seeds committed across all greedy-family runs", "1"};
+const MetricDef kSeedLazyRepopsTotal = {
+    "trendspeed_seed_lazy_repops_total", MetricType::kCounter,
+    "Stale CELF heap entries re-popped for re-evaluation", "1"};
+const MetricDef kSeedMarginalGain = {
+    "trendspeed_seed_marginal_gain", MetricType::kHistogram,
+    "Marginal gain of each committed seed", "gain", "",
+    kGainBounds, N(kGainBounds)};
+
+// --- thread pool -----------------------------------------------------------
+const MetricDef kPoolTasksTotal = {
+    "trendspeed_pool_tasks_total", MetricType::kCounter,
+    "Tasks executed by pool workers", "1"};
+const MetricDef kPoolStealsTotal = {
+    "trendspeed_pool_steals_total", MetricType::kCounter,
+    "Tasks stolen from a sibling worker's queue", "1"};
+const MetricDef kPoolQueueDepth = {
+    "trendspeed_pool_queue_depth", MetricType::kGauge,
+    "Tasks queued but not yet started", "tasks"};
+const MetricDef kPoolWorkers = {
+    "trendspeed_pool_workers", MetricType::kGauge,
+    "Worker threads in the pool", "threads"};
+const MetricDef kPoolTaskWaitUs = {
+    "trendspeed_pool_task_wait_us", MetricType::kHistogram,
+    "Queue wait: task submit to execution start", "us", "",
+    kMicrosBounds, N(kMicrosBounds)};
+const MetricDef kPoolTaskRunUs = {
+    "trendspeed_pool_task_run_us", MetricType::kHistogram,
+    "Task execution time", "us", "",
+    kMicrosBounds, N(kMicrosBounds)};
+
+// --- estimator -------------------------------------------------------------
+const MetricDef kEstimatesTotal = {
+    "trendspeed_estimates_total", MetricType::kCounter,
+    "Full-network Estimate() calls", "1"};
+const MetricDef kEstimateLatencyMs = {
+    "trendspeed_estimate_latency_ms", MetricType::kHistogram,
+    "Wall time of one Estimate() call", "ms", "",
+    kLatencyMsBounds, N(kLatencyMsBounds)};
+
+// --- serving ---------------------------------------------------------------
+const MetricDef kServingIngestLatencyMs = {
+    "trendspeed_serving_ingest_latency_ms", MetricType::kHistogram,
+    "Wall time of one ServingSession::Ingest call", "ms", "",
+    kLatencyMsBounds, N(kLatencyMsBounds)};
+const MetricDef kServingStalenessSlots = {
+    "trendspeed_serving_staleness_slots", MetricType::kGauge,
+    "Current consecutive carried-forward slot streak", "slots"};
+const MetricDef kServingSlowIngestsTotal = {
+    "trendspeed_serving_slow_ingests_total", MetricType::kCounter,
+    "Ingest calls slower than ObservabilityOptions::slow_ingest_ms", "1"};
+const MetricDef kServingSlotsEstimatedTotal = {
+    "trendspeed_serving_slots_estimated_total", MetricType::kCounter,
+    "Fresh estimates served", "1"};
+const MetricDef kServingSlotsCarriedForwardTotal = {
+    "trendspeed_serving_slots_carried_forward_total", MetricType::kCounter,
+    "Stale re-serves of the last good estimate", "1"};
+const MetricDef kServingDuplicateSlotsTotal = {
+    "trendspeed_serving_duplicate_slots_total", MetricType::kCounter,
+    "Idempotent duplicate-slot re-deliveries", "1"};
+const MetricDef kServingOutOfOrderSlotsTotal = {
+    "trendspeed_serving_out_of_order_slots_total", MetricType::kCounter,
+    "Stale (out-of-order) slot arrivals rejected", "1"};
+const MetricDef kServingRejectedBatchesTotal = {
+    "trendspeed_serving_rejected_batches_total", MetricType::kCounter,
+    "Batches failed by validation or dedup policy", "1"};
+const MetricDef kServingObservationsDroppedTotal = {
+    "trendspeed_serving_observations_dropped_total", MetricType::kCounter,
+    "Observations filtered or deduplicated away", "1"};
+const MetricDef kServingEstimationFailuresTotal = {
+    "trendspeed_serving_estimation_failures_total", MetricType::kCounter,
+    "Estimator/monitor errors absorbed by carry-forward", "1"};
+
+const std::vector<const MetricDef*>& AllMetricDefs() {
+  static const std::vector<const MetricDef*> all = {
+      &kBpRunsTotal,
+      &kBpConvergedTotal,
+      &kBpSweepsTotal,
+      &kBpMessageUpdatesTotal,
+      &kBpIterations,
+      &kBpResidual,
+      &kSeedRunsGreedy,
+      &kSeedRunsLazyGreedy,
+      &kSeedRunsStochasticGreedy,
+      &kSeedGainEvalsGreedy,
+      &kSeedGainEvalsLazyGreedy,
+      &kSeedGainEvalsStochasticGreedy,
+      &kSeedRoundsTotal,
+      &kSeedLazyRepopsTotal,
+      &kSeedMarginalGain,
+      &kPoolTasksTotal,
+      &kPoolStealsTotal,
+      &kPoolQueueDepth,
+      &kPoolWorkers,
+      &kPoolTaskWaitUs,
+      &kPoolTaskRunUs,
+      &kEstimatesTotal,
+      &kEstimateLatencyMs,
+      &kServingIngestLatencyMs,
+      &kServingStalenessSlots,
+      &kServingSlowIngestsTotal,
+      &kServingSlotsEstimatedTotal,
+      &kServingSlotsCarriedForwardTotal,
+      &kServingDuplicateSlotsTotal,
+      &kServingOutOfOrderSlotsTotal,
+      &kServingRejectedBatchesTotal,
+      &kServingObservationsDroppedTotal,
+      &kServingEstimationFailuresTotal,
+  };
+  return all;
+}
+
+}  // namespace obs
+}  // namespace trendspeed

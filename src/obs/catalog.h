@@ -1,0 +1,78 @@
+// The metric catalog: every metric the pipeline can emit, declared in one
+// place.
+//
+// Instrumented code registers handles through these MetricDef constants —
+// never through ad-hoc string literals — so the full set of emittable
+// series is enumerable at compile time. AllMetricDefs() returns that set;
+// tests/metrics_docs_test.cc diffs it against docs/observability.md in both
+// directions, which is what keeps the documented catalog from rotting.
+//
+// Naming: Prometheus conventions — `trendspeed_<subsystem>_<what>[_total]`,
+// `_total` suffix for monotone counters, base unit in the name for
+// histograms (`_ms`, `_us`). Some names are registered under several fixed
+// label sets (e.g. `algorithm="greedy|lazy_greedy|stochastic_greedy"`);
+// each is one time series.
+
+#ifndef TRENDSPEED_OBS_CATALOG_H_
+#define TRENDSPEED_OBS_CATALOG_H_
+
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace trendspeed {
+namespace obs {
+
+// --- trend/belief_propagation.cc -------------------------------------------
+extern const MetricDef kBpRunsTotal;            ///< BP inference invocations
+extern const MetricDef kBpConvergedTotal;       ///< runs that met tol
+extern const MetricDef kBpSweepsTotal;          ///< message half-sweeps
+extern const MetricDef kBpMessageUpdatesTotal;  ///< directed-edge messages
+extern const MetricDef kBpIterations;           ///< histogram: iters per run
+extern const MetricDef kBpResidual;             ///< histogram: per-sweep max delta
+
+// --- seed/{greedy,lazy_greedy,stochastic_greedy}.cc ------------------------
+extern const MetricDef kSeedRunsGreedy;
+extern const MetricDef kSeedRunsLazyGreedy;
+extern const MetricDef kSeedRunsStochasticGreedy;
+extern const MetricDef kSeedGainEvalsGreedy;
+extern const MetricDef kSeedGainEvalsLazyGreedy;
+extern const MetricDef kSeedGainEvalsStochasticGreedy;
+extern const MetricDef kSeedRoundsTotal;      ///< committed seeds, all algos
+extern const MetricDef kSeedLazyRepopsTotal;  ///< stale CELF heap re-pops
+extern const MetricDef kSeedMarginalGain;     ///< histogram: committed gains
+
+// --- util/thread_pool.cc ---------------------------------------------------
+extern const MetricDef kPoolTasksTotal;   ///< tasks executed by workers
+extern const MetricDef kPoolStealsTotal;  ///< tasks taken from a sibling queue
+extern const MetricDef kPoolQueueDepth;   ///< gauge: queued-but-unstarted tasks
+extern const MetricDef kPoolWorkers;      ///< gauge: worker thread count
+extern const MetricDef kPoolTaskWaitUs;   ///< histogram: submit -> start
+extern const MetricDef kPoolTaskRunUs;    ///< histogram: task execution time
+
+// --- core/estimator.cc -----------------------------------------------------
+extern const MetricDef kEstimatesTotal;
+extern const MetricDef kEstimateLatencyMs;
+
+// --- core/serving.cc -------------------------------------------------------
+extern const MetricDef kServingIngestLatencyMs;
+extern const MetricDef kServingStalenessSlots;  ///< gauge: current streak
+extern const MetricDef kServingSlowIngestsTotal;
+// Registry mirrors of the ServingStats counters (same semantics, same
+// values; see the ServingStats <-> registry equivalence test).
+extern const MetricDef kServingSlotsEstimatedTotal;
+extern const MetricDef kServingSlotsCarriedForwardTotal;
+extern const MetricDef kServingDuplicateSlotsTotal;
+extern const MetricDef kServingOutOfOrderSlotsTotal;
+extern const MetricDef kServingRejectedBatchesTotal;
+extern const MetricDef kServingObservationsDroppedTotal;
+extern const MetricDef kServingEstimationFailuresTotal;
+
+/// Every catalog entry (one per (name, labels) series). Names may repeat
+/// across label sets.
+const std::vector<const MetricDef*>& AllMetricDefs();
+
+}  // namespace obs
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_OBS_CATALOG_H_

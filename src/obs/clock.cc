@@ -1,0 +1,37 @@
+#include "obs/clock.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace trendspeed {
+namespace obs {
+
+namespace {
+
+uint64_t SteadyNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<ClockFn> g_clock_override{nullptr};
+
+}  // namespace
+
+uint64_t MonotonicNanos() {
+  ClockFn fn = g_clock_override.load(std::memory_order_acquire);
+  return fn != nullptr ? fn() : SteadyNanos();
+}
+
+void SetMonotonicClockForTest(ClockFn fn) {
+  g_clock_override.store(fn, std::memory_order_release);
+}
+
+uint64_t ElapsedNanosSince(uint64_t start_ns) {
+  uint64_t now = MonotonicNanos();
+  return now >= start_ns ? now - start_ns : 0;
+}
+
+}  // namespace obs
+}  // namespace trendspeed

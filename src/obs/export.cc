@@ -1,0 +1,128 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace trendspeed {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void AppendIdFields(const MetricId& id, std::string* out) {
+  *out += "\"name\": \"" + JsonEscape(id.name) + "\"";
+  *out += ", \"labels\": \"" + JsonEscape(id.labels) + "\"";
+  *out += ", \"unit\": \"" + JsonEscape(id.unit) + "\"";
+}
+
+/// `name{labels}` or just `name`; extra ("le=...") is appended to the label
+/// set when non-empty.
+std::string Series(const std::string& name, const std::string& labels,
+                   const std::string& extra = "") {
+  std::string all = labels;
+  if (!extra.empty()) {
+    if (!all.empty()) all += ",";
+    all += extra;
+  }
+  return all.empty() ? name : name + "{" + all + "}";
+}
+
+void AppendHeader(const MetricId& id, const char* type, std::string* out,
+                  std::string* last_name) {
+  if (id.name == *last_name) return;  // one HELP/TYPE per name
+  *last_name = id.name;
+  *out += "# HELP " + id.name + " " + id.help;
+  if (!id.unit.empty() && id.unit != "1") *out += " (" + id.unit + ")";
+  *out += "\n# TYPE " + id.name + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string FormatMetricValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string ToJsonText(const RegistrySnapshot& snap) {
+  std::string out = "{\n  \"counters\": [";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    const CounterSnapshot& c = snap.counters[i];
+    out += i > 0 ? "," : "";
+    out += "\n    {";
+    AppendIdFields(c.id, &out);
+    out += ", \"value\": " + std::to_string(c.value) + "}";
+  }
+  out += snap.counters.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"gauges\": [";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    const GaugeSnapshot& g = snap.gauges[i];
+    out += i > 0 ? "," : "";
+    out += "\n    {";
+    AppendIdFields(g.id, &out);
+    out += ", \"value\": " + FormatMetricValue(g.value) + "}";
+  }
+  out += snap.gauges.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"histograms\": [";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snap.histograms[i];
+    out += i > 0 ? "," : "";
+    out += "\n    {";
+    AppendIdFields(h.id, &out);
+    out += ", \"buckets\": [";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      out += b > 0 ? ", " : "";
+      out += "{\"le\": \"";
+      out += b < h.bounds.size() ? FormatMetricValue(h.bounds[b]) : "inf";
+      out += "\", \"count\": " + std::to_string(cumulative) + "}";
+    }
+    out += "], \"sum\": " + FormatMetricValue(h.sum);
+    out += ", \"count\": " + std::to_string(h.count) + "}";
+  }
+  out += snap.histograms.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string ToPrometheusText(const RegistrySnapshot& snap) {
+  std::string out;
+  std::string last_name;
+  for (const CounterSnapshot& c : snap.counters) {
+    AppendHeader(c.id, "counter", &out, &last_name);
+    out += Series(c.id.name, c.id.labels) + " " + std::to_string(c.value) +
+           "\n";
+  }
+  for (const GaugeSnapshot& g : snap.gauges) {
+    AppendHeader(g.id, "gauge", &out, &last_name);
+    out += Series(g.id.name, g.id.labels) + " " + FormatMetricValue(g.value) +
+           "\n";
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    AppendHeader(h.id, "histogram", &out, &last_name);
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      std::string le = b < h.bounds.size() ? FormatMetricValue(h.bounds[b])
+                                           : "+Inf";
+      out += Series(h.id.name + "_bucket", h.id.labels, "le=\"" + le + "\"") +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    out += Series(h.id.name + "_sum", h.id.labels) + " " +
+           FormatMetricValue(h.sum) + "\n";
+    out += Series(h.id.name + "_count", h.id.labels) + " " +
+           std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace trendspeed

@@ -1,0 +1,36 @@
+// Exporters over RegistrySnapshot: JSON (benches, tests, log lines) and
+// Prometheus text exposition format (scraping).
+//
+// Both are deterministic for a given snapshot: series are pre-sorted by
+// (name, labels) in MetricsRegistry::Snapshot() and numbers are formatted
+// with a fixed shortest-round-trip format, so goldens in tests/obs_test.cc
+// stay stable across platforms.
+
+#ifndef TRENDSPEED_OBS_EXPORT_H_
+#define TRENDSPEED_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace trendspeed {
+namespace obs {
+
+/// One JSON object: {"counters": [...], "gauges": [...], "histograms":
+/// [...]}. Histogram buckets are cumulative with an explicit "inf" bucket,
+/// mirroring the Prometheus exposition so the two exports agree.
+std::string ToJsonText(const RegistrySnapshot& snap);
+
+/// Prometheus text exposition format (version 0.0.4): # HELP / # TYPE
+/// comments, one sample line per series, histograms expanded into
+/// `_bucket{le="..."}` / `_sum` / `_count`.
+std::string ToPrometheusText(const RegistrySnapshot& snap);
+
+/// Shortest %g-style rendering shared by both exporters ("5", "0.25",
+/// "1e+06"); exposed for golden tests.
+std::string FormatMetricValue(double v);
+
+}  // namespace obs
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_OBS_EXPORT_H_

@@ -1,0 +1,81 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/clock.h"
+
+namespace trendspeed {
+namespace obs {
+
+namespace {
+// Per-thread nesting depth; spans on different threads are independent
+// trees, which matches how the pool executes parallel regions.
+thread_local uint32_t tl_span_depth = 0;
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : ring_(std::max<size_t>(1, capacity)) {}
+
+void TraceRecorder::Record(const char* name, uint64_t start_ns,
+                           uint64_t duration_ns, uint32_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[head_] = TraceEvent{name, start_ns, duration_ns, depth, total_};
+  head_ = (head_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  size_t n = std::min<uint64_t>(total_, ring_.size());
+  out.reserve(n);
+  // Oldest retained event sits at head_ when the ring has wrapped.
+  size_t start = total_ > ring_.size() ? head_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::vector<TraceEvent> events = Events();
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"name\": \"";
+    out += e.name;
+    out += "\", \"start_ns\": " + std::to_string(e.start_ns);
+    out += ", \"duration_ns\": " + std::to_string(e.duration_ns);
+    out += ", \"depth\": " + std::to_string(e.depth);
+    out += ", \"seq\": " + std::to_string(e.seq) + "}";
+  }
+  out += events.empty() ? "]" : "\n]";
+  return out;
+}
+
+ScopedSpan::ScopedSpan(TraceRecorder* recorder, const char* name)
+    : recorder_(recorder), name_(name) {
+  if (recorder_ == nullptr) return;
+  depth_ = tl_span_depth++;
+  start_ns_ = MonotonicNanos();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (recorder_ == nullptr) return;
+  --tl_span_depth;
+  recorder_->Record(name_, start_ns_, ElapsedNanosSince(start_ns_), depth_);
+}
+
+}  // namespace obs
+}  // namespace trendspeed

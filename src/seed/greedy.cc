@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/catalog.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
 
@@ -18,6 +19,12 @@ Result<SeedSelectionResult> SelectSeedsGreedy(const InfluenceModel& model,
   SeedSelectionResult result;
   ObjectiveState state(&model);
   std::vector<bool> selected(n, false);
+
+  obs::ScopedSpan span(opts.trace, "seed/greedy");
+  obs::Counter* m_rounds = obs::GetCounter(opts.metrics, obs::kSeedRoundsTotal);
+  obs::Histogram* m_gain =
+      obs::GetHistogram(opts.metrics, obs::kSeedMarginalGain);
+  obs::Add(obs::GetCounter(opts.metrics, obs::kSeedRunsGreedy));
 
   size_t threads = std::min<size_t>(EffectiveThreads(opts.num_threads), n);
   bool parallel = threads > 1 && n >= opts.min_parallel_candidates;
@@ -70,9 +77,13 @@ Result<SeedSelectionResult> SelectSeedsGreedy(const InfluenceModel& model,
     if (best == kInvalidRoad) break;
     state.Add(best);
     selected[best] = true;
+    obs::Add(m_rounds);
+    obs::Observe(m_gain, best_gain);
   }
   result.seeds = state.seeds();
   result.objective = state.value();
+  obs::Add(obs::GetCounter(opts.metrics, obs::kSeedGainEvalsGreedy),
+           result.gain_evaluations);
   return result;
 }
 

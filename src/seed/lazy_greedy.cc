@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/catalog.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
 
@@ -17,6 +18,14 @@ Result<SeedSelectionResult> SelectSeedsLazyGreedy(
   }
   SeedSelectionResult result;
   ObjectiveState state(&model);
+
+  obs::ScopedSpan span(opts.trace, "seed/lazy_greedy");
+  obs::Counter* m_rounds = obs::GetCounter(opts.metrics, obs::kSeedRoundsTotal);
+  obs::Counter* m_repops =
+      obs::GetCounter(opts.metrics, obs::kSeedLazyRepopsTotal);
+  obs::Histogram* m_gain =
+      obs::GetHistogram(opts.metrics, obs::kSeedMarginalGain);
+  obs::Add(obs::GetCounter(opts.metrics, obs::kSeedRunsLazyGreedy));
 
   struct QEntry {
     double gain;
@@ -62,6 +71,8 @@ Result<SeedSelectionResult> SelectSeedsLazyGreedy(
       // Fresh for this round: submodularity guarantees no other candidate
       // can beat it, so commit.
       state.Add(top.road);
+      obs::Add(m_rounds);
+      obs::Observe(m_gain, top.gain);
       ++round;
       continue;
     }
@@ -95,10 +106,13 @@ Result<SeedSelectionResult> SelectSeedsLazyGreedy(
       stale[0].round = round;
     }
     result.gain_evaluations += stale.size();
+    obs::Add(m_repops, stale.size());
     for (const QEntry& e : stale) pq.push(e);
   }
   result.seeds = state.seeds();
   result.objective = state.value();
+  obs::Add(obs::GetCounter(opts.metrics, obs::kSeedGainEvalsLazyGreedy),
+           result.gain_evaluations);
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/catalog.h"
+
 namespace trendspeed {
 
 Result<SeedSelectionResult> SelectSeedsStochasticGreedy(
@@ -20,6 +22,12 @@ Result<SeedSelectionResult> SelectSeedsStochasticGreedy(
   SeedSelectionResult result;
   ObjectiveState state(&model);
   std::vector<bool> selected(n, false);
+
+  obs::ScopedSpan span(opts.trace, "seed/stochastic_greedy");
+  obs::Counter* m_rounds = obs::GetCounter(opts.metrics, obs::kSeedRoundsTotal);
+  obs::Histogram* m_gain =
+      obs::GetHistogram(opts.metrics, obs::kSeedMarginalGain);
+  obs::Add(obs::GetCounter(opts.metrics, obs::kSeedRunsStochasticGreedy));
 
   size_t sample_size = static_cast<size_t>(
       std::ceil(static_cast<double>(n) / static_cast<double>(k) *
@@ -50,9 +58,13 @@ Result<SeedSelectionResult> SelectSeedsStochasticGreedy(
     state.Add(best);
     selected[best] = true;
     pool.erase(std::find(pool.begin(), pool.end(), best));
+    obs::Add(m_rounds);
+    obs::Observe(m_gain, best_gain);
   }
   result.seeds = state.seeds();
   result.objective = state.value();
+  obs::Add(obs::GetCounter(opts.metrics, obs::kSeedGainEvalsStochasticGreedy),
+           result.gain_evaluations);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "obs/catalog.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
@@ -51,6 +52,22 @@ BpResult InferMarginalsBpFlat(const BpGraph& graph,
   size_t n = graph.num_vars;
   TS_CHECK_EQ(pot.size(), 2 * n);
   size_t dir_edges = graph.off[n];
+
+  // Handle registration is a shard-mutex lookup; done once per run, not per
+  // sweep. All handles are null when opts.metrics is null, making every
+  // record below a single predicted branch.
+  obs::ScopedSpan span(opts.trace, "bp/infer");
+  obs::Counter* m_runs = obs::GetCounter(opts.metrics, obs::kBpRunsTotal);
+  obs::Counter* m_converged =
+      obs::GetCounter(opts.metrics, obs::kBpConvergedTotal);
+  obs::Counter* m_sweeps = obs::GetCounter(opts.metrics, obs::kBpSweepsTotal);
+  obs::Counter* m_msg_updates =
+      obs::GetCounter(opts.metrics, obs::kBpMessageUpdatesTotal);
+  obs::Histogram* m_iterations =
+      obs::GetHistogram(opts.metrics, obs::kBpIterations);
+  obs::Histogram* m_residual =
+      obs::GetHistogram(opts.metrics, obs::kBpResidual);
+  obs::Add(m_runs);
 
   std::vector<double> msg(2 * dir_edges, 0.5);
   std::vector<double> next(2 * dir_edges, 0.5);
@@ -147,11 +164,16 @@ BpResult InferMarginalsBpFlat(const BpGraph& graph,
     }
     msg.swap(next);
     result.iterations = iter + 1;
+    obs::Add(m_sweeps);
+    obs::Add(m_msg_updates, static_cast<uint64_t>(dir_edges));
+    obs::Observe(m_residual, max_delta);
     if (max_delta < opts.tol) {
       result.converged = true;
       break;
     }
   }
+  obs::Observe(m_iterations, static_cast<double>(result.iterations));
+  if (result.converged) obs::Add(m_converged);
 
   // Beliefs. Hard 0/1 potentials (clamped evidence) stay hard because
   // the potential factor multiplies every belief.

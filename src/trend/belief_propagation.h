@@ -9,6 +9,8 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "trend/factor_graph.h"
 
 namespace trendspeed {
@@ -30,6 +32,14 @@ struct BpOptions {
   /// bitwise identical for every thread count, including 1; small graphs
   /// run serially regardless (see kMinParallelVars in the .cc).
   uint32_t num_threads = 0;
+  /// Observability hooks (docs/observability.md): when attached, each run
+  /// records the trendspeed_bp_* series (sweeps, message updates,
+  /// per-sweep convergence residual, iteration count) and a "bp/infer"
+  /// span. Null (default) disables recording at per-iteration branch cost;
+  /// results are identical either way. Set by the estimator from
+  /// PipelineConfig::observability; both must outlive the inference call.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct BpResult {

@@ -6,6 +6,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/catalog.h"
+#include "obs/clock.h"
 #include "util/parallel.h"
 
 namespace trendspeed {
@@ -95,7 +97,43 @@ ThreadPool& ThreadPool::Global() {
 
 bool ThreadPool::InWorker() const { return tl_worker_pool == this; }
 
+void ThreadPool::AttachMetrics(obs::MetricsRegistry* registry) {
+  // Null registry clears every handle via the null-safe Get* helpers.
+  if (registry != nullptr) {
+    obs::Set(registry->GetGauge(obs::kPoolWorkers),
+             static_cast<double>(workers_.size()));
+  }
+  m_tasks_.store(obs::GetCounter(registry, obs::kPoolTasksTotal),
+                 std::memory_order_release);
+  m_steals_.store(obs::GetCounter(registry, obs::kPoolStealsTotal),
+                  std::memory_order_release);
+  m_queue_depth_.store(obs::GetGauge(registry, obs::kPoolQueueDepth),
+                       std::memory_order_release);
+  m_task_wait_us_.store(obs::GetHistogram(registry, obs::kPoolTaskWaitUs),
+                        std::memory_order_release);
+  m_task_run_us_.store(obs::GetHistogram(registry, obs::kPoolTaskRunUs),
+                       std::memory_order_release);
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
+  // Instrumented only while a registry is attached: the wrapper allocation
+  // and clock reads never touch the detached path.
+  obs::Counter* tasks = m_tasks_.load(std::memory_order_relaxed);
+  obs::Histogram* wait_us = m_task_wait_us_.load(std::memory_order_relaxed);
+  obs::Histogram* run_us = m_task_run_us_.load(std::memory_order_relaxed);
+  if (tasks != nullptr || wait_us != nullptr || run_us != nullptr) {
+    uint64_t enqueue_ns = obs::MonotonicNanos();
+    task = [tasks, wait_us, run_us, enqueue_ns,
+            inner = std::move(task)] {
+      obs::Add(tasks);
+      obs::Observe(wait_us, static_cast<double>(obs::ElapsedNanosSince(
+                                enqueue_ns)) * 1e-3);
+      uint64_t start_ns = obs::MonotonicNanos();
+      inner();
+      obs::Observe(run_us, static_cast<double>(obs::ElapsedNanosSince(
+                               start_ns)) * 1e-3);
+    };
+  }
   if (workers_.empty()) {
     task();
     return;
@@ -111,10 +149,13 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(queues_[q]->mu);
     queues_[q]->tasks.push_back(std::move(task));
   }
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(sleep_mu_);
-    ++pending_;
+    depth = ++pending_;
   }
+  obs::Set(m_queue_depth_.load(std::memory_order_relaxed),
+           static_cast<double>(depth));
   sleep_cv_.notify_one();
 }
 
@@ -138,12 +179,16 @@ bool ThreadPool::TryRunOneTask(size_t self) {
         victim.tasks.pop_front();
       }
     }
+    if (task) obs::Add(m_steals_.load(std::memory_order_relaxed));
   }
   if (!task) return false;
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(sleep_mu_);
-    --pending_;
+    depth = --pending_;
   }
+  obs::Set(m_queue_depth_.load(std::memory_order_relaxed),
+           static_cast<double>(depth));
   task();
   return true;
 }

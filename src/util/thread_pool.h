@@ -40,6 +40,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace trendspeed {
 
 class ThreadPool {
@@ -85,6 +87,14 @@ class ThreadPool {
   /// True when called from one of this pool's worker threads.
   bool InWorker() const;
 
+  /// Attaches (or, with nullptr, detaches) a metrics registry. Registers the
+  /// trendspeed_pool_* series (obs/catalog.h) and starts recording task
+  /// counts, steals, queue depth, and task wait/run latency histograms.
+  /// Detached (the default) the hot paths pay one relaxed load + branch per
+  /// record site. Safe to call while tasks are in flight; the registry must
+  /// outlive the pool or a subsequent Detach.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct Queue {
     std::mutex mu;
@@ -105,6 +115,14 @@ class ThreadPool {
   size_t pending_ = 0;  // queued tasks, guarded by sleep_mu_
   bool stop_ = false;   // guarded by sleep_mu_
   std::atomic<size_t> next_queue_{0};
+
+  // Metric handles; all null while no registry is attached. Individually
+  // atomic so AttachMetrics is safe concurrently with running tasks.
+  std::atomic<obs::Counter*> m_tasks_{nullptr};
+  std::atomic<obs::Counter*> m_steals_{nullptr};
+  std::atomic<obs::Gauge*> m_queue_depth_{nullptr};
+  std::atomic<obs::Histogram*> m_task_wait_us_{nullptr};
+  std::atomic<obs::Histogram*> m_task_run_us_{nullptr};
 };
 
 }  // namespace trendspeed

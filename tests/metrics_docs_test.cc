@@ -1,0 +1,121 @@
+// Keeps docs/observability.md and the metric catalog (obs/catalog.h) in
+// lockstep, in both directions:
+//
+//   * every metric name in AllMetricDefs() must be documented, and
+//   * every `trendspeed_*` name the doc mentions must exist in the catalog
+//     (after stripping the _bucket/_sum/_count suffixes Prometheus
+//     histogram examples legitimately carry).
+//
+// The doc path comes from the TRENDSPEED_SOURCE_DIR compile definition set
+// in tests/CMakeLists.txt, so the test runs from any build directory.
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/catalog.h"
+
+namespace trendspeed {
+namespace {
+
+std::string ReadDoc() {
+  const std::string path =
+      std::string(TRENDSPEED_SOURCE_DIR) + "/docs/observability.md";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// All maximal [a-z0-9_] tokens starting with "trendspeed_". Tokens ending
+/// in '_' are wildcard shorthand ("the trendspeed_pool_* series"), not
+/// metric names, and are skipped.
+std::set<std::string> ExtractMetricTokens(const std::string& text) {
+  std::set<std::string> out;
+  const std::string prefix = "trendspeed_";
+  size_t pos = 0;
+  while ((pos = text.find(prefix, pos)) != std::string::npos) {
+    size_t end = pos;
+    while (end < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[end])) ||
+            std::isdigit(static_cast<unsigned char>(text[end])) ||
+            text[end] == '_')) {
+      ++end;
+    }
+    std::string token = text.substr(pos, end - pos);
+    if (!token.empty() && token.back() != '_') out.insert(token);
+    pos = end;
+  }
+  return out;
+}
+
+std::set<std::string> CatalogNames() {
+  std::set<std::string> out;
+  for (const obs::MetricDef* def : obs::AllMetricDefs()) {
+    out.insert(def->name);
+  }
+  return out;
+}
+
+bool StripSuffix(std::string* s, const std::string& suffix) {
+  if (s->size() > suffix.size() &&
+      s->compare(s->size() - suffix.size(), suffix.size(), suffix) == 0) {
+    s->resize(s->size() - suffix.size());
+    return true;
+  }
+  return false;
+}
+
+TEST(MetricsDocsTest, EveryCatalogMetricIsDocumented) {
+  const std::string doc = ReadDoc();
+  ASSERT_FALSE(doc.empty());
+  const std::set<std::string> documented = ExtractMetricTokens(doc);
+  for (const std::string& name : CatalogNames()) {
+    EXPECT_TRUE(documented.count(name))
+        << "metric " << name
+        << " is in obs/catalog.h but missing from docs/observability.md";
+  }
+}
+
+TEST(MetricsDocsTest, EveryDocumentedMetricExistsInCatalog) {
+  const std::set<std::string> catalog = CatalogNames();
+  for (std::string token : ExtractMetricTokens(ReadDoc())) {
+    if (catalog.count(token)) continue;
+    // Prometheus expansion suffixes in examples refer to a base histogram.
+    std::string base = token;
+    if (StripSuffix(&base, "_bucket") || StripSuffix(&base, "_sum") ||
+        StripSuffix(&base, "_count")) {
+      if (catalog.count(base)) continue;
+    }
+    ADD_FAILURE() << "docs/observability.md mentions " << token
+                  << " which is not in obs/catalog.h";
+  }
+}
+
+TEST(MetricsDocsTest, CatalogNamesFollowConventions) {
+  for (const obs::MetricDef* def : obs::AllMetricDefs()) {
+    const std::string name = def->name;
+    EXPECT_EQ(name.rfind("trendspeed_", 0), 0u) << name;
+    if (def->type == obs::MetricType::kCounter) {
+      EXPECT_EQ(name.substr(name.size() - 6), "_total")
+          << "counter " << name << " should end in _total";
+    } else {
+      EXPECT_EQ(name.find("_total"), std::string::npos)
+          << "non-counter " << name << " must not end in _total";
+    }
+    if (def->type == obs::MetricType::kHistogram) {
+      EXPECT_GT(def->num_buckets, 0u) << name;
+      for (size_t i = 1; i < def->num_buckets; ++i) {
+        EXPECT_LT(def->bucket_bounds[i - 1], def->bucket_bounds[i]) << name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trendspeed

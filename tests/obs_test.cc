@@ -1,0 +1,576 @@
+// Tests for the observability layer (src/obs/) and its pipeline wiring:
+// metric primitives, registry registration semantics, exporter goldens,
+// trace ring buffer, the injected-clock regression for util/timer.h, thread
+// pool instrumentation, and the ServingStats <-> registry equivalence
+// contract. Run under TRENDSPEED_SANITIZE=thread to validate the lock-free
+// recording paths.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/serving.h"
+#include "obs/catalog.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::SharedTinyDataset;
+
+// ---------------------------------------------------------------------------
+// Metric primitives.
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, AddsAccumulateAcrossCells) {
+  obs::Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  obs::Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(3.0);
+  g.Add(-0.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  constexpr double kBounds[] = {1.0, 2.0, 5.0};
+  obs::MetricDef def{"test_h", obs::MetricType::kHistogram, "h", "1", "",
+                     kBounds, 3};
+  obs::Histogram h(def);
+  // A value lands in the first bucket with v <= bound (Prometheus `le`
+  // semantics); above the last bound it lands in the +Inf overflow bucket.
+  h.Observe(0.5);   // bucket 0
+  h.Observe(1.0);   // bucket 0 (boundary is inclusive)
+  h.Observe(1.5);   // bucket 1
+  h.Observe(2.0);   // bucket 1
+  h.Observe(5.0);   // bucket 2
+  h.Observe(7.0);   // +Inf
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 17.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry semantics.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetOrRegisterReturnsStablePointers) {
+  obs::MetricsRegistry reg;
+  obs::Counter* a = reg.GetCounter(obs::kBpRunsTotal);
+  obs::Counter* b = reg.GetCounter(obs::kBpRunsTotal);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  // Same name under a different label set is a distinct series.
+  obs::Counter* greedy = reg.GetCounter(obs::kSeedRunsGreedy);
+  obs::Counter* lazy = reg.GetCounter(obs::kSeedRunsLazyGreedy);
+  ASSERT_NE(greedy, nullptr);
+  EXPECT_NE(greedy, lazy);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchReturnsNull) {
+  obs::MetricsRegistry reg;
+  ASSERT_NE(reg.GetCounter(obs::kBpRunsTotal), nullptr);
+  obs::MetricDef clash{obs::kBpRunsTotal.name, obs::MetricType::kGauge,
+                       "clash", "1"};
+  EXPECT_EQ(reg.GetGauge(clash), nullptr);
+}
+
+TEST(MetricsRegistryTest, NullSafeHelpersNoOpWithoutRegistry) {
+  EXPECT_EQ(obs::GetCounter(nullptr, obs::kBpRunsTotal), nullptr);
+  EXPECT_EQ(obs::GetGauge(nullptr, obs::kPoolWorkers), nullptr);
+  EXPECT_EQ(obs::GetHistogram(nullptr, obs::kBpIterations), nullptr);
+  // Recording against null handles must be a silent no-op.
+  obs::Add(static_cast<obs::Counter*>(nullptr));
+  obs::Set(static_cast<obs::Gauge*>(nullptr), 1.0);
+  obs::Observe(static_cast<obs::Histogram*>(nullptr), 1.0);
+}
+
+TEST(MetricsRegistryTest, EveryCatalogEntryRegistersUnderItsDeclaredType) {
+  obs::MetricsRegistry reg;
+  for (const obs::MetricDef* def : obs::AllMetricDefs()) {
+    switch (def->type) {
+      case obs::MetricType::kCounter:
+        EXPECT_NE(reg.GetCounter(*def), nullptr) << def->name;
+        break;
+      case obs::MetricType::kGauge:
+        EXPECT_NE(reg.GetGauge(*def), nullptr) << def->name;
+        break;
+      case obs::MetricType::kHistogram:
+        EXPECT_NE(reg.GetHistogram(*def), nullptr) << def->name;
+        break;
+    }
+  }
+  obs::RegistrySnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.size() + snap.gauges.size() +
+                snap.histograms.size(),
+            obs::AllMetricDefs().size());
+}
+
+// Registration and recording from many threads at once; the assertions prove
+// no update was lost, and a TRENDSPEED_SANITIZE=thread build proves the
+// paths race-free.
+TEST(MetricsRegistryTest, ConcurrentRegisterAndRecord) {
+  obs::MetricsRegistry reg;
+  ThreadPool pool(4);
+  pool.AttachMetrics(&reg);  // exercise instrumented Submit concurrently
+  constexpr size_t kIters = 4000;
+  pool.ParallelFor(kIters, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      // Re-register every time: get-or-register must be thread-safe and
+      // idempotent under contention.
+      obs::Counter* c = reg.GetCounter(obs::kBpRunsTotal);
+      obs::Gauge* g = reg.GetGauge(obs::kServingStalenessSlots);
+      obs::Histogram* h = reg.GetHistogram(obs::kBpResidual);
+      c->Add();
+      g->Set(static_cast<double>(i));
+      h->Observe(1e-5);
+    }
+  });
+  EXPECT_EQ(reg.GetCounter(obs::kBpRunsTotal)->Value(), kIters);
+  EXPECT_EQ(reg.GetHistogram(obs::kBpResidual)->count(), kIters);
+}
+
+// ---------------------------------------------------------------------------
+// Exporter goldens. Custom defs with known values so the full text output is
+// deterministic and asserted byte-for-byte.
+// ---------------------------------------------------------------------------
+
+constexpr double kGoldenBounds[] = {0.5, 2.0};
+const obs::MetricDef kGoldenRequests{"test_requests_total",
+                                     obs::MetricType::kCounter, "Requests",
+                                     "1"};
+const obs::MetricDef kGoldenRequests500{"test_requests_total",
+                                        obs::MetricType::kCounter, "Requests",
+                                        "1", "code=\"500\""};
+const obs::MetricDef kGoldenTemp{"test_temp", obs::MetricType::kGauge,
+                                 "Temperature", "celsius"};
+const obs::MetricDef kGoldenLatency{"test_latency",
+                                    obs::MetricType::kHistogram, "Latency",
+                                    "ms", "", kGoldenBounds, 2};
+
+void FillGoldenRegistry(obs::MetricsRegistry* reg) {
+  reg->GetCounter(kGoldenRequests)->Add(3);
+  reg->GetCounter(kGoldenRequests500)->Add(1);
+  reg->GetGauge(kGoldenTemp)->Set(-3.5);
+  obs::Histogram* h = reg->GetHistogram(kGoldenLatency);
+  h->Observe(0.25);  // bucket le=0.5
+  h->Observe(1.5);   // bucket le=2
+  h->Observe(10.0);  // +Inf
+}
+
+TEST(ExportTest, JsonGolden) {
+  obs::MetricsRegistry reg;
+  FillGoldenRegistry(&reg);
+  const std::string expected = R"({
+  "counters": [
+    {"name": "test_requests_total", "labels": "", "unit": "1", "value": 3},
+    {"name": "test_requests_total", "labels": "code=\"500\"", "unit": "1", "value": 1}
+  ],
+  "gauges": [
+    {"name": "test_temp", "labels": "", "unit": "celsius", "value": -3.5}
+  ],
+  "histograms": [
+    {"name": "test_latency", "labels": "", "unit": "ms", "buckets": [{"le": "0.5", "count": 1}, {"le": "2", "count": 2}, {"le": "inf", "count": 3}], "sum": 11.75, "count": 3}
+  ]
+}
+)";
+  EXPECT_EQ(reg.ToJson(), expected);
+}
+
+TEST(ExportTest, PrometheusGolden) {
+  obs::MetricsRegistry reg;
+  FillGoldenRegistry(&reg);
+  const std::string expected =
+      "# HELP test_requests_total Requests\n"
+      "# TYPE test_requests_total counter\n"
+      "test_requests_total 3\n"
+      "test_requests_total{code=\"500\"} 1\n"
+      "# HELP test_temp Temperature (celsius)\n"
+      "# TYPE test_temp gauge\n"
+      "test_temp -3.5\n"
+      "# HELP test_latency Latency (ms)\n"
+      "# TYPE test_latency histogram\n"
+      "test_latency_bucket{le=\"0.5\"} 1\n"
+      "test_latency_bucket{le=\"2\"} 2\n"
+      "test_latency_bucket{le=\"+Inf\"} 3\n"
+      "test_latency_sum 11.75\n"
+      "test_latency_count 3\n";
+  EXPECT_EQ(reg.ToPrometheus(), expected);
+}
+
+TEST(ExportTest, EmptyRegistryExportsAreWellFormed) {
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(reg.ToJson(),
+            "{\n  \"counters\": [],\n  \"gauges\": [],\n"
+            "  \"histograms\": []\n}\n");
+  EXPECT_EQ(reg.ToPrometheus(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Trace recorder and spans.
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, RingBufferKeepsMostRecentEvents) {
+  obs::TraceRecorder rec(4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    rec.Record("e", /*start_ns=*/i, /*duration_ns=*/1, /*depth=*/0);
+  }
+  EXPECT_EQ(rec.total_recorded(), 6u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  std::vector<obs::TraceEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained first: seq 2..5.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 2);
+  }
+}
+
+TEST(TraceTest, NullRecorderSpanIsNoOp) {
+  obs::ScopedSpan span(nullptr, "nothing");  // must not crash or record
+}
+
+TEST(TraceTest, NestedSpansRecordDepthAndCloseInnerFirst) {
+  obs::TraceRecorder rec(16);
+  {
+    obs::ScopedSpan outer(&rec, "outer");
+    obs::ScopedSpan inner(&rec, "inner");
+  }
+  std::vector<obs::TraceEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  // The outer span encloses the inner one on the same clock.
+  EXPECT_GE(events[1].duration_ns, events[0].duration_ns);
+  EXPECT_NE(rec.ToJson().find("\"name\": \"inner\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Monotonic clock + WallTimer regression (the injected-clock contract).
+// ---------------------------------------------------------------------------
+
+uint64_t g_fake_now = 0;
+uint64_t FakeClock() { return g_fake_now; }
+
+class InjectedClockTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_fake_now = 1'000'000;
+    obs::SetMonotonicClockForTest(&FakeClock);
+  }
+  void TearDown() override { obs::SetMonotonicClockForTest(nullptr); }
+};
+
+TEST_F(InjectedClockTest, WallTimerReadsInjectedClock) {
+  WallTimer timer;
+  g_fake_now += 2'500'000;  // +2.5 ms
+  EXPECT_DOUBLE_EQ(timer.ElapsedMillis(), 2.5);
+  EXPECT_DOUBLE_EQ(timer.ElapsedMicros(), 2500.0);
+  EXPECT_DOUBLE_EQ(timer.ElapsedSeconds(), 0.0025);
+  timer.Restart();
+  EXPECT_DOUBLE_EQ(timer.ElapsedMillis(), 0.0);
+}
+
+// The regression this layer exists to prevent: a clock stepping backwards
+// (NTP on a wall clock, or a misbehaving injected source) must clamp to a
+// zero duration, never go negative or wrap to a huge unsigned value.
+TEST_F(InjectedClockTest, BackwardsClockClampsToZero) {
+  WallTimer timer;          // starts at 1'000'000
+  g_fake_now = 400'000;     // clock steps BACKWARDS
+  EXPECT_DOUBLE_EQ(timer.ElapsedMillis(), 0.0);
+  EXPECT_DOUBLE_EQ(timer.ElapsedSeconds(), 0.0);
+  EXPECT_EQ(obs::ElapsedNanosSince(1'000'000), 0u);
+}
+
+TEST_F(InjectedClockTest, SpansUseTheInjectedClock) {
+  obs::TraceRecorder rec(4);
+  {
+    obs::ScopedSpan span(&rec, "fake");
+    g_fake_now += 7'000;
+  }
+  std::vector<obs::TraceEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start_ns, 1'000'000u);
+  EXPECT_EQ(events[0].duration_ns, 7'000u);
+}
+
+TEST(ClockTest, RealClockIsMonotone) {
+  uint64_t a = obs::MonotonicNanos();
+  uint64_t b = obs::MonotonicNanos();
+  EXPECT_GE(b, a);
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool instrumentation.
+// ---------------------------------------------------------------------------
+
+TEST(PoolMetricsTest, InlinePoolRecordsDeterministically) {
+  // A zero-worker pool runs every submitted task inline, so the recorded
+  // counts are exact, not racy.
+  obs::MetricsRegistry reg;
+  ThreadPool pool(0);
+  ASSERT_EQ(pool.num_workers(), 0u);
+  pool.AttachMetrics(&reg);
+  EXPECT_EQ(reg.GetGauge(obs::kPoolWorkers)->Value(), 0.0);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([&] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(reg.GetCounter(obs::kPoolTasksTotal)->Value(), 5u);
+  EXPECT_EQ(reg.GetHistogram(obs::kPoolTaskWaitUs)->count(), 5u);
+  EXPECT_EQ(reg.GetHistogram(obs::kPoolTaskRunUs)->count(), 5u);
+  // Detach: subsequent submissions must not record.
+  pool.AttachMetrics(nullptr);
+  pool.Submit([&] { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 6);
+  EXPECT_EQ(reg.GetCounter(obs::kPoolTasksTotal)->Value(), 5u);
+}
+
+TEST(PoolMetricsTest, WorkerPoolCountsEveryTask) {
+  obs::MetricsRegistry reg;
+  constexpr size_t kTasks = 64;
+  {
+    ThreadPool pool(2);
+    pool.AttachMetrics(&reg);
+    for (size_t i = 0; i < kTasks; ++i) {
+      pool.Submit([] {});
+    }
+    // Destructor joins after the queues drain, so by the end of this scope
+    // every task has executed and recorded.
+  }
+  EXPECT_EQ(reg.GetCounter(obs::kPoolTasksTotal)->Value(), kTasks);
+  EXPECT_EQ(reg.GetHistogram(obs::kPoolTaskRunUs)->count(), kTasks);
+  EXPECT_EQ(reg.GetGauge(obs::kPoolQueueDepth)->Value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Config validation of the observability knobs.
+// ---------------------------------------------------------------------------
+
+TEST(ObservabilityConfigTest, ValidatesSlowIngestAndPoolFlag) {
+  PipelineConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.observability.slow_ingest_ms = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.observability.slow_ingest_ms =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(config.Validate().ok());
+  config.observability.slow_ingest_ms =
+      std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(config.Validate().ok());
+  config.observability.slow_ingest_ms = 250.0;
+  config.observability.instrument_thread_pool = true;  // without a registry
+  EXPECT_FALSE(config.Validate().ok());
+  obs::MetricsRegistry reg;
+  config.observability.metrics = &reg;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end pipeline + serving instrumentation (shared trained estimator).
+// ---------------------------------------------------------------------------
+
+class ObsPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Dataset& ds = SharedTinyDataset();
+    registry_ = new obs::MetricsRegistry();
+    trace_ = new obs::TraceRecorder(256);
+    PipelineConfig config;
+    config.corr.min_co_observed = 8;
+    config.observability.metrics = registry_;
+    config.observability.trace = trace_;
+    auto est = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+    TS_CHECK(est.ok()) << est.status().ToString();
+    estimator_ = new TrafficSpeedEstimator(std::move(est).value());
+    auto seeds = estimator_->SelectSeeds(6, SeedStrategy::kLazyGreedy);
+    TS_CHECK(seeds.ok());
+    seeds_ = new std::vector<RoadId>(seeds->seeds);
+  }
+
+  const Dataset& ds() { return SharedTinyDataset(); }
+
+  std::vector<SeedSpeed> CleanObs(uint64_t slot) {
+    std::vector<SeedSpeed> out;
+    for (RoadId r : *seeds_) {
+      out.push_back({r, std::max(1.0, ds().truth.at(slot, r))});
+    }
+    return out;
+  }
+
+  uint64_t CounterValue(const obs::MetricDef& def) {
+    return registry_->GetCounter(def)->Value();
+  }
+
+  static obs::MetricsRegistry* registry_;
+  static obs::TraceRecorder* trace_;
+  static TrafficSpeedEstimator* estimator_;
+  static std::vector<RoadId>* seeds_;
+};
+
+obs::MetricsRegistry* ObsPipelineTest::registry_ = nullptr;
+obs::TraceRecorder* ObsPipelineTest::trace_ = nullptr;
+TrafficSpeedEstimator* ObsPipelineTest::estimator_ = nullptr;
+std::vector<RoadId>* ObsPipelineTest::seeds_ = nullptr;
+
+TEST_F(ObsPipelineTest, EstimateRecordsBpAndEstimatorSeries) {
+  uint64_t runs_before = CounterValue(obs::kBpRunsTotal);
+  uint64_t estimates_before = CounterValue(obs::kEstimatesTotal);
+  auto out = estimator_->Estimate(0, CleanObs(0));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(CounterValue(obs::kEstimatesTotal), estimates_before + 1);
+  EXPECT_GT(CounterValue(obs::kBpRunsTotal), runs_before);
+  EXPECT_GT(CounterValue(obs::kBpSweepsTotal), runs_before);
+  EXPECT_GT(registry_->GetHistogram(obs::kEstimateLatencyMs)->count(), 0u);
+  EXPECT_GT(registry_->GetHistogram(obs::kBpIterations)->count(), 0u);
+  // Spans from both layers appear in the trace.
+  std::string trace_json = trace_->ToJson();
+  EXPECT_NE(trace_json.find("estimator/estimate"), std::string::npos);
+  EXPECT_NE(trace_json.find("bp/infer"), std::string::npos);
+}
+
+TEST_F(ObsPipelineTest, SeedSelectionRecordsPerAlgorithmSeries) {
+  uint64_t lazy_runs = CounterValue(obs::kSeedRunsLazyGreedy);
+  uint64_t lazy_evals = CounterValue(obs::kSeedGainEvalsLazyGreedy);
+  uint64_t rounds = CounterValue(obs::kSeedRoundsTotal);
+  auto result = estimator_->SelectSeeds(4, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(CounterValue(obs::kSeedRunsLazyGreedy), lazy_runs + 1);
+  EXPECT_EQ(CounterValue(obs::kSeedGainEvalsLazyGreedy),
+            lazy_evals + result->gain_evaluations);
+  EXPECT_EQ(CounterValue(obs::kSeedRoundsTotal),
+            rounds + result->seeds.size());
+  EXPECT_GE(registry_->GetHistogram(obs::kSeedMarginalGain)->count(),
+            result->seeds.size());
+
+  uint64_t sg_runs = CounterValue(obs::kSeedRunsStochasticGreedy);
+  auto sg = estimator_->SelectSeeds(4, SeedStrategy::kStochasticGreedy);
+  ASSERT_TRUE(sg.ok());
+  EXPECT_EQ(CounterValue(obs::kSeedRunsStochasticGreedy), sg_runs + 1);
+
+  uint64_t greedy_runs = CounterValue(obs::kSeedRunsGreedy);
+  auto greedy = estimator_->SelectSeeds(4, SeedStrategy::kGreedy);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_EQ(CounterValue(obs::kSeedRunsGreedy), greedy_runs + 1);
+}
+
+TEST_F(ObsPipelineTest, MetricsDoNotChangeResults) {
+  // The null-handle contract, end to end: identical estimator trained
+  // without observability must select the same seeds and produce the same
+  // speeds.
+  const Dataset& d = SharedTinyDataset();
+  PipelineConfig config;
+  config.corr.min_co_observed = 8;
+  auto plain = TrafficSpeedEstimator::Train(&d.net, &d.history, config);
+  ASSERT_TRUE(plain.ok());
+  auto plain_seeds = plain->SelectSeeds(6, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(plain_seeds.ok());
+  EXPECT_EQ(plain_seeds->seeds, *seeds_);
+  auto instrumented = estimator_->Estimate(2, CleanObs(2));
+  auto uninstrumented = plain->Estimate(2, CleanObs(2));
+  ASSERT_TRUE(instrumented.ok());
+  ASSERT_TRUE(uninstrumented.ok());
+  EXPECT_EQ(instrumented->speeds.speed_kmh, uninstrumented->speeds.speed_kmh);
+}
+
+TEST_F(ObsPipelineTest, ServingStatsMatchRegistryMirrors) {
+  obs::MetricsRegistry reg;  // session-local registry, clean counters
+  ServingOptions opts;
+  opts.validation = ValidationPolicy::kFilter;
+  opts.dedup = DedupPolicy::kReject;
+  opts.observability.metrics = &reg;
+  auto session = ServingSession::Create(estimator_, opts);
+  ASSERT_TRUE(session.ok());
+
+  ASSERT_TRUE(session->Ingest(0, CleanObs(0)).ok());  // fresh estimate
+  ASSERT_TRUE(session->Ingest(0, CleanObs(0)).ok());  // duplicate slot
+  ASSERT_TRUE(session->Ingest(1, {}).ok());           // carry-forward
+  // Malformed observation under kFilter: dropped + counted, slot estimated.
+  std::vector<SeedSpeed> bad = CleanObs(2);
+  bad.push_back({bad[0].road, -5.0});
+  ASSERT_TRUE(session->Ingest(2, bad).ok());
+  EXPECT_FALSE(session->Ingest(1, CleanObs(1)).ok());  // out-of-order
+  // Duplicate roads under kReject fail the whole batch.
+  std::vector<SeedSpeed> dupes = CleanObs(3);
+  dupes.push_back(dupes[0]);
+  EXPECT_FALSE(session->Ingest(3, dupes).ok());
+
+  const ServingStats& s = session->stats();
+  EXPECT_GT(s.slots_estimated, 0u);
+  EXPECT_GT(s.duplicate_slots, 0u);
+  EXPECT_GT(s.slots_carried_forward, 0u);
+  EXPECT_GT(s.observations_dropped, 0u);
+  EXPECT_GT(s.out_of_order_slots, 0u);
+  EXPECT_GT(s.rejected_batches, 0u);
+
+  auto value = [&](const obs::MetricDef& def) {
+    return reg.GetCounter(def)->Value();
+  };
+  EXPECT_EQ(value(obs::kServingSlotsEstimatedTotal), s.slots_estimated);
+  EXPECT_EQ(value(obs::kServingSlotsCarriedForwardTotal),
+            s.slots_carried_forward);
+  EXPECT_EQ(value(obs::kServingDuplicateSlotsTotal), s.duplicate_slots);
+  EXPECT_EQ(value(obs::kServingOutOfOrderSlotsTotal), s.out_of_order_slots);
+  EXPECT_EQ(value(obs::kServingRejectedBatchesTotal), s.rejected_batches);
+  EXPECT_EQ(value(obs::kServingObservationsDroppedTotal),
+            s.observations_dropped);
+  EXPECT_EQ(value(obs::kServingEstimationFailuresTotal),
+            s.estimation_failures);
+  EXPECT_EQ(reg.GetHistogram(obs::kServingIngestLatencyMs)->count(),
+            s.slots_estimated + s.slots_carried_forward + s.duplicate_slots +
+                s.out_of_order_slots + s.rejected_batches);
+  // Staleness gauge reflects the current streak (reset by slot 2's fresh
+  // estimate).
+  EXPECT_EQ(reg.GetGauge(obs::kServingStalenessSlots)->Value(), 0.0);
+}
+
+TEST_F(ObsPipelineTest, ServingValidatesSlowIngestThreshold) {
+  ServingOptions opts;
+  opts.observability.slow_ingest_ms = -1.0;
+  EXPECT_FALSE(ServingSession::Create(estimator_, opts).ok());
+}
+
+TEST_F(ObsPipelineTest, SlowIngestCounterUsesInjectedClock) {
+  obs::MetricsRegistry reg;
+  ServingOptions opts;
+  opts.observability.metrics = &reg;
+  opts.observability.slow_ingest_ms = 1.0;
+  auto session = ServingSession::Create(estimator_, opts);
+  ASSERT_TRUE(session.ok());
+  // Fake clock: Ingest appears to take 5 ms, above the 1 ms threshold. The
+  // injected clock advances on every read, which also keeps the estimator's
+  // internal timers sane.
+  g_fake_now = 0;
+  obs::SetMonotonicClockForTest(+[]() -> uint64_t {
+    g_fake_now += 2'500'000;  // each read advances 2.5 ms
+    return g_fake_now;
+  });
+  auto report = session->Ingest(0, CleanObs(0));
+  obs::SetMonotonicClockForTest(nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(reg.GetCounter(obs::kServingSlowIngestsTotal)->Value(), 1u);
+}
+
+}  // namespace
+}  // namespace trendspeed
