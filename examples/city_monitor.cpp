@@ -133,10 +133,11 @@ int main() {
   }
   const ServingStats& stats = session->stats();
   std::printf("\nslots served: %llu fresh, %llu carried forward, "
-              "%llu observations dropped\n",
+              "%llu observations filtered, %llu deduplicated\n",
               static_cast<unsigned long long>(stats.slots_estimated),
               static_cast<unsigned long long>(stats.slots_carried_forward),
-              static_cast<unsigned long long>(stats.observations_dropped));
+              static_cast<unsigned long long>(stats.observations_filtered),
+              static_cast<unsigned long long>(stats.observations_deduplicated));
   std::printf("crowd answers purchased: %llu\n",
               static_cast<unsigned long long>(campaign.answers_spent()));
   std::printf("roads that truly dropped >35%% below norm today: %zu\n",

@@ -32,6 +32,21 @@ Status PipelineConfig::Validate() const {
   if (!(trend.bp.tol >= 0.0)) {  // also rejects NaN
     return Status::InvalidArgument("trend.bp.tol must be >= 0");
   }
+  if (!(trend.bp.warm_threshold >= 0.0)) {  // also rejects NaN
+    return Status::InvalidArgument("trend.bp.warm_threshold must be >= 0");
+  }
+  // Backfill knobs: a hop count beyond any plausible network diameter is a
+  // units mistake, and `!(a > b)` style keeps NaN-poisoned damping invalid.
+  constexpr uint32_t kMaxBackfillHops = 64;
+  if (evidence_backfill_hops > kMaxBackfillHops) {
+    return Status::InvalidArgument(
+        "evidence_backfill_hops implausibly large");
+  }
+  if (!(evidence_backfill_damping > 0.0) ||
+      !(evidence_backfill_damping <= 1.0)) {
+    return Status::InvalidArgument(
+        "evidence_backfill_damping must be in (0, 1]");
+  }
   // Parallel knobs: 0 means "auto"; explicit values beyond any plausible
   // machine are almost certainly a units mistake, not a 5000-core box.
   constexpr uint32_t kMaxThreads = 4096;

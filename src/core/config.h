@@ -46,6 +46,15 @@ struct PipelineConfig {
   /// Feed the calibrated logistic of the influence-weighted seed deviation
   /// into the trend MRF as soft node evidence (magnitude-aware Step 1).
   bool use_trend_evidence = true;
+  /// Spatial evidence backfill: roads outside every seed's influence
+  /// neighbourhood inherit damped evidence from physically adjacent covered
+  /// roads, expanded breadth-first for this many hops (0 disables the
+  /// backfill; roads outside all influence then carry prior-only
+  /// potentials).
+  uint32_t evidence_backfill_hops = 3;
+  /// Factor applied to the neighbour-mean evidence at each backfill hop,
+  /// in (0, 1]: inherited signal decays with distance from real coverage.
+  double evidence_backfill_damping = 0.6;
   /// Metrics/tracing sinks; propagated into the BP and seed-selection
   /// options by TrafficSpeedEstimator::FromComponents (per-stage pointers
   /// set explicitly here take precedence — FromComponents only fills the

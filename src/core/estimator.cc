@@ -1,5 +1,7 @@
 #include "core/estimator.h"
 
+#include <cmath>
+
 #include "obs/catalog.h"
 #include "seed/exact.h"
 #include "seed/greedy.h"
@@ -126,6 +128,12 @@ Result<SeedSelectionResult> TrafficSpeedEstimator::SelectSeeds(
 
 Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
     uint64_t slot, const std::vector<SeedSpeed>& seeds) const {
+  return Estimate(slot, seeds, nullptr);
+}
+
+Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
+    uint64_t slot, const std::vector<SeedSpeed>& seeds,
+    TrendInferenceState* state) const {
   const ObservabilityOptions& o = config_.observability;
   obs::ScopedSpan span(o.trace, "estimator/estimate");
   WallTimer timer;
@@ -136,6 +144,11 @@ Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
   for (const SeedSpeed& s : seeds) {
     if (s.road >= net_->num_roads()) {
       return Status::InvalidArgument("seed road out of range");
+    }
+    if (!std::isfinite(s.speed_kmh) || s.speed_kmh <= 0.0) {
+      // A NaN here would otherwise poison TrendOf and the influence
+      // aggregate for every road the seed covers.
+      return Status::InvalidArgument("seed speed must be positive and finite");
     }
     SeedTrend t;
     t.road = s.road;
@@ -168,7 +181,8 @@ Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
     for (RoadId v = 0; v < n; ++v) {
       if (assigned[v]) frontier.push_back(v);
     }
-    for (int step = 0; step < 3 && !frontier.empty(); ++step) {
+    for (uint32_t step = 0;
+         step < config_.evidence_backfill_hops && !frontier.empty(); ++step) {
       std::vector<RoadId> next;
       std::vector<bool> pending(n, false);
       for (RoadId u : frontier) {
@@ -196,15 +210,19 @@ Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
         for (RoadId u : net_->RoadPredecessors(v)) take(u);
         RoadId twin = net_->ReverseTwin(v);
         if (twin != kInvalidRoad) take(twin);
-        if (cnt > 0) evidence[v] = 0.6 * sum / static_cast<double>(cnt);
+        if (cnt > 0) {
+          evidence[v] =
+              config_.evidence_backfill_damping * sum / static_cast<double>(cnt);
+        }
       }
       for (RoadId v : next) assigned[v] = true;
       frontier = std::move(next);
     }
-    TS_ASSIGN_OR_RETURN(out.trends,
-                        trend_model_->Infer(slot, seed_trends, &evidence));
+    TS_ASSIGN_OR_RETURN(
+        out.trends, trend_model_->Infer(slot, seed_trends, &evidence, state));
   } else {
-    TS_ASSIGN_OR_RETURN(out.trends, trend_model_->Infer(slot, seed_trends));
+    TS_ASSIGN_OR_RETURN(
+        out.trends, trend_model_->Infer(slot, seed_trends, nullptr, state));
   }
 
   // Step 2: speeds.

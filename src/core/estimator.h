@@ -68,6 +68,15 @@ class TrafficSpeedEstimator {
   Result<Output> Estimate(uint64_t slot,
                           const std::vector<SeedSpeed>& seeds) const;
 
+  /// Stateful variant for serving loops: `state` (caller-owned, see
+  /// TrendInferenceState) lets Step 1 warm-start from the previous slot's
+  /// converged BP messages. Passing null is the one-shot cold path above,
+  /// bit for bit. The caller is responsible for Invalidate()-ing the state
+  /// whenever slot continuity breaks (ServingSession does this on
+  /// creation, carry-forward, and out-of-order rejection).
+  Result<Output> Estimate(uint64_t slot, const std::vector<SeedSpeed>& seeds,
+                          TrendInferenceState* state) const;
+
   const CorrelationGraph& correlation_graph() const { return *graph_; }
   const InfluenceModel& influence() const { return *influence_; }
   const HierarchicalSpeedModel& speed_model() const { return *speed_model_; }

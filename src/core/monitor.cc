@@ -20,12 +20,19 @@ OnlineTrafficMonitor::OnlineTrafficMonitor(
 
 Result<OnlineTrafficMonitor::SlotReport> OnlineTrafficMonitor::Process(
     uint64_t slot, const std::vector<SeedSpeed>& observations) {
+  return Process(slot, observations, nullptr);
+}
+
+Result<OnlineTrafficMonitor::SlotReport> OnlineTrafficMonitor::Process(
+    uint64_t slot, const std::vector<SeedSpeed>& observations,
+    TrendInferenceState* state) {
   if (slots_processed_ > 0 && slot <= last_slot_) {
     return Status::InvalidArgument(
         "slots must be processed in strictly increasing order");
   }
   SlotReport report;
-  TS_ASSIGN_OR_RETURN(report.estimate, estimator_->Estimate(slot, observations));
+  TS_ASSIGN_OR_RETURN(report.estimate,
+                      estimator_->Estimate(slot, observations, state));
   const RoadNetwork& net = estimator_->network();
   double speed_sum = 0.0;
   for (RoadId r = 0; r < net.num_roads(); ++r) {

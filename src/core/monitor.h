@@ -59,6 +59,14 @@ class OnlineTrafficMonitor {
   Result<SlotReport> Process(uint64_t slot,
                              const std::vector<SeedSpeed>& observations);
 
+  /// Stateful variant: forwards `state` to the estimator so Step 1 can
+  /// warm-start across consecutive slots. Null behaves exactly like the
+  /// overload above; lifecycle rules are the caller's (see
+  /// TrafficSpeedEstimator::Estimate).
+  Result<SlotReport> Process(uint64_t slot,
+                             const std::vector<SeedSpeed>& observations,
+                             TrendInferenceState* state);
+
   /// Roads currently under an active alert.
   std::vector<RoadId> ActiveAlerts() const;
 

@@ -73,8 +73,10 @@ ServingSession::ServingSession(const TrafficSpeedEstimator* estimator,
   m_out_of_order_slots_ =
       obs::GetCounter(reg, obs::kServingOutOfOrderSlotsTotal);
   m_rejected_batches_ = obs::GetCounter(reg, obs::kServingRejectedBatchesTotal);
-  m_observations_dropped_ =
-      obs::GetCounter(reg, obs::kServingObservationsDroppedTotal);
+  m_observations_filtered_ =
+      obs::GetCounter(reg, obs::kServingObservationsFilteredTotal);
+  m_observations_deduplicated_ =
+      obs::GetCounter(reg, obs::kServingObservationsDeduplicatedTotal);
   m_estimation_failures_ =
       obs::GetCounter(reg, obs::kServingEstimationFailuresTotal);
   m_slow_ingests_ = obs::GetCounter(reg, obs::kServingSlowIngestsTotal);
@@ -92,7 +94,8 @@ Result<ServingSession> ServingSession::Create(
 }
 
 Result<std::vector<SeedSpeed>> ServingSession::Sanitize(
-    const std::vector<SeedSpeed>& observations, size_t* dropped) const {
+    const std::vector<SeedSpeed>& observations, size_t* filtered,
+    size_t* deduplicated) const {
   const size_t num_roads = estimator_->network().num_roads();
   std::vector<SeedSpeed> out;
   out.reserve(observations.size());
@@ -116,7 +119,7 @@ Result<std::vector<SeedSpeed>> ServingSession::Sanitize(
                                        std::to_string(s.road) + ": " +
                                        problem);
       }
-      ++*dropped;
+      ++*filtered;
       continue;
     }
     if (pos[s.road] != SIZE_MAX) {
@@ -134,7 +137,7 @@ Result<std::vector<SeedSpeed>> ServingSession::Sanitize(
           ++merged[pos[s.road]];
           break;
       }
-      ++*dropped;
+      ++*deduplicated;
       continue;
     }
     pos[s.road] = out.size();
@@ -151,6 +154,10 @@ Result<std::vector<SeedSpeed>> ServingSession::Sanitize(
 
 Result<ServingSession::SlotReport> ServingSession::CarryForward(uint64_t slot,
                                                                 size_t dropped) {
+  // Whether the carry-forward succeeds or is refused, no inference ran for
+  // this slot, so the stored fixed point no longer matches the stream: the
+  // next estimated slot must start cold.
+  trend_state_.Invalidate();
   if (!has_report_) {
     return Status::FailedPrecondition(
         "no estimate available to carry forward");
@@ -190,25 +197,32 @@ Result<ServingSession::SlotReport> ServingSession::Ingest(
     }
     if (slot < last_report_.slot) {
       Count(stats_.out_of_order_slots, m_out_of_order_slots_);
+      // Slot continuity is broken; the next accepted slot must start cold.
+      trend_state_.Invalidate();
       return Status::FailedPrecondition(
           "stale slot " + std::to_string(slot) + " arrived after slot " +
           std::to_string(last_report_.slot) + " was served");
     }
   }
 
-  size_t dropped = 0;
-  Result<std::vector<SeedSpeed>> sanitized = Sanitize(observations, &dropped);
+  size_t filtered = 0;
+  size_t deduplicated = 0;
+  Result<std::vector<SeedSpeed>> sanitized =
+      Sanitize(observations, &filtered, &deduplicated);
   if (!sanitized.ok()) {
     // The slot is not consumed: a corrected batch may be re-sent.
     Count(stats_.rejected_batches, m_rejected_batches_);
     return sanitized.status();
   }
-  stats_.observations_dropped += dropped;
-  obs::Add(m_observations_dropped_, dropped);
+  stats_.observations_filtered += filtered;
+  obs::Add(m_observations_filtered_, filtered);
+  stats_.observations_deduplicated += deduplicated;
+  obs::Add(m_observations_deduplicated_, deduplicated);
+  const size_t dropped = filtered + deduplicated;
   if (sanitized->empty()) return CarryForward(slot, dropped);
 
-  Result<OnlineTrafficMonitor::SlotReport> report =
-      monitor_.Process(slot, *sanitized);
+  Result<OnlineTrafficMonitor::SlotReport> report = monitor_.Process(
+      slot, *sanitized, opts_.warm_start ? &trend_state_ : nullptr);
   bool healthy = report.ok();
   if (healthy) {
     // Never serve a non-finite or negative speed, whatever the estimator

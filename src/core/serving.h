@@ -62,6 +62,16 @@ struct ServingOptions {
   /// slot is refused with FailedPrecondition instead of re-serving an
   /// ever-staler estimate. 0 disables carry-forward entirely.
   uint32_t max_stale_slots = 12;
+  /// Cross-slot warm-start for Step 1's belief propagation: the session
+  /// owns a TrendInferenceState, seeds each slot's inference from the
+  /// previous fixed point, and invalidates it whenever slot continuity
+  /// breaks (creation, carry-forward, out-of-order rejection). Warm
+  /// marginals track the cold ones within a few multiples of
+  /// BpOptions::tol. Off by default: replays then stay bitwise
+  /// reproducible slot by slot; turn it on for latency-sensitive
+  /// production streams. Tune the activation threshold via
+  /// PipelineConfig::trend.bp.warm_threshold (validated there).
+  bool warm_start = false;
   /// Observability sinks for this session: the trendspeed_serving_* series
   /// (per-Ingest latency histogram, staleness gauge, slow-ingest counter,
   /// registry mirrors of every ServingStats field) and the "serving/ingest"
@@ -83,7 +93,14 @@ struct ServingStats {
   uint64_t duplicate_slots = 0;        ///< idempotent re-deliveries
   uint64_t out_of_order_slots = 0;     ///< stale arrivals rejected
   uint64_t rejected_batches = 0;       ///< batches failed by validation/dedup
-  uint64_t observations_dropped = 0;   ///< filtered or deduplicated away
+  /// Malformed observations dropped under ValidationPolicy::kFilter. A
+  /// rising rate means upstream data quality is degrading — unlike
+  /// observations_deduplicated, which is normal retry/multi-worker noise;
+  /// the two were one conflated counter before and alerting on it was
+  /// impossible.
+  uint64_t observations_filtered = 0;
+  /// Well-formed duplicate road observations resolved by the DedupPolicy.
+  uint64_t observations_deduplicated = 0;
   uint64_t estimation_failures = 0;    ///< estimator/monitor errors absorbed
 };
 
@@ -103,7 +120,9 @@ class ServingSession {
     /// already served.
     bool duplicate = false;
     size_t observations_used = 0;
-    size_t observations_dropped = 0;  ///< this batch only
+    /// Observations removed from this batch (validation-filtered plus
+    /// deduplicated; the cumulative ServingStats keep the two apart).
+    size_t observations_dropped = 0;
   };
 
   /// The estimator must outlive the session.
@@ -139,9 +158,11 @@ class ServingSession {
                  const ServingOptions& opts);
 
   /// Validates + deduplicates one batch. On success returns the sanitized
-  /// observations and sets *dropped to the number removed.
+  /// observations and sets *filtered / *deduplicated to the number removed
+  /// by validation and by dedup respectively.
   Result<std::vector<SeedSpeed>> Sanitize(
-      const std::vector<SeedSpeed>& observations, size_t* dropped) const;
+      const std::vector<SeedSpeed>& observations, size_t* filtered,
+      size_t* deduplicated) const;
 
   /// Serves the last good estimate for `slot` with the staleness flag, or
   /// explains why it cannot.
@@ -162,6 +183,9 @@ class ServingSession {
   bool has_report_ = false;
   SlotReport last_report_;
   uint32_t stale_streak_ = 0;
+  /// Cross-slot BP warm-start state (used only when opts_.warm_start);
+  /// invalidated whenever slot continuity breaks.
+  TrendInferenceState trend_state_;
 
   // Metric handles; all null when no registry is configured.
   obs::Counter* m_slots_estimated_ = nullptr;
@@ -169,7 +193,8 @@ class ServingSession {
   obs::Counter* m_duplicate_slots_ = nullptr;
   obs::Counter* m_out_of_order_slots_ = nullptr;
   obs::Counter* m_rejected_batches_ = nullptr;
-  obs::Counter* m_observations_dropped_ = nullptr;
+  obs::Counter* m_observations_filtered_ = nullptr;
+  obs::Counter* m_observations_deduplicated_ = nullptr;
   obs::Counter* m_estimation_failures_ = nullptr;
   obs::Counter* m_slow_ingests_ = nullptr;
   obs::Histogram* m_ingest_latency_ = nullptr;

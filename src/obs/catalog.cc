@@ -16,6 +16,8 @@ constexpr double kResidualBounds[] = {1e-6, 1e-5, 1e-4, 1e-3,
                                       1e-2, 0.1,  0.5,  1.0};
 constexpr double kGainBounds[] = {0.01, 0.05, 0.1, 0.25, 0.5, 1,
                                   2,    4,    8,   16,   32,  64};
+constexpr double kActiveVarBounds[] = {1,    4,    16,    64,    256,
+                                       1024, 4096, 16384, 65536, 262144};
 
 constexpr size_t N(auto& a) { return sizeof(a) / sizeof(a[0]); }
 
@@ -42,6 +44,17 @@ const MetricDef kBpResidual = {
     "trendspeed_bp_residual", MetricType::kHistogram,
     "Max message change per sweep (convergence residual)", "delta", "",
     kResidualBounds, N(kResidualBounds)};
+const MetricDef kBpWarmStartsTotal = {
+    "trendspeed_bp_warm_starts_total", MetricType::kCounter,
+    "BP runs seeded from a previous slot's fixed point", "1"};
+const MetricDef kBpActiveVars = {
+    "trendspeed_bp_active_vars", MetricType::kHistogram,
+    "Variables in the initial warm-start active set", "variables", "",
+    kActiveVarBounds, N(kActiveVarBounds)};
+const MetricDef kBpSweepsSaved = {
+    "trendspeed_bp_sweeps_saved", MetricType::kHistogram,
+    "Sweeps avoided vs the max_iters budget on a warm run", "sweeps", "",
+    kIterationBounds, N(kIterationBounds)};
 
 // --- seed selection --------------------------------------------------------
 const MetricDef kSeedRunsGreedy = {
@@ -131,9 +144,12 @@ const MetricDef kServingOutOfOrderSlotsTotal = {
 const MetricDef kServingRejectedBatchesTotal = {
     "trendspeed_serving_rejected_batches_total", MetricType::kCounter,
     "Batches failed by validation or dedup policy", "1"};
-const MetricDef kServingObservationsDroppedTotal = {
-    "trendspeed_serving_observations_dropped_total", MetricType::kCounter,
-    "Observations filtered or deduplicated away", "1"};
+const MetricDef kServingObservationsFilteredTotal = {
+    "trendspeed_serving_observations_filtered_total", MetricType::kCounter,
+    "Malformed observations dropped under ValidationPolicy::kFilter", "1"};
+const MetricDef kServingObservationsDeduplicatedTotal = {
+    "trendspeed_serving_observations_deduplicated_total", MetricType::kCounter,
+    "Duplicate road observations resolved by the DedupPolicy", "1"};
 const MetricDef kServingEstimationFailuresTotal = {
     "trendspeed_serving_estimation_failures_total", MetricType::kCounter,
     "Estimator/monitor errors absorbed by carry-forward", "1"};
@@ -146,6 +162,9 @@ const std::vector<const MetricDef*>& AllMetricDefs() {
       &kBpMessageUpdatesTotal,
       &kBpIterations,
       &kBpResidual,
+      &kBpWarmStartsTotal,
+      &kBpActiveVars,
+      &kBpSweepsSaved,
       &kSeedRunsGreedy,
       &kSeedRunsLazyGreedy,
       &kSeedRunsStochasticGreedy,
@@ -171,7 +190,8 @@ const std::vector<const MetricDef*>& AllMetricDefs() {
       &kServingDuplicateSlotsTotal,
       &kServingOutOfOrderSlotsTotal,
       &kServingRejectedBatchesTotal,
-      &kServingObservationsDroppedTotal,
+      &kServingObservationsFilteredTotal,
+      &kServingObservationsDeduplicatedTotal,
       &kServingEstimationFailuresTotal,
   };
   return all;

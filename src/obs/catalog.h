@@ -30,6 +30,9 @@ extern const MetricDef kBpSweepsTotal;          ///< message half-sweeps
 extern const MetricDef kBpMessageUpdatesTotal;  ///< directed-edge messages
 extern const MetricDef kBpIterations;           ///< histogram: iters per run
 extern const MetricDef kBpResidual;             ///< histogram: per-sweep max delta
+extern const MetricDef kBpWarmStartsTotal;      ///< runs seeded from a BpState
+extern const MetricDef kBpActiveVars;           ///< histogram: warm active set
+extern const MetricDef kBpSweepsSaved;          ///< histogram: max_iters - iters
 
 // --- seed/{greedy,lazy_greedy,stochastic_greedy}.cc ------------------------
 extern const MetricDef kSeedRunsGreedy;
@@ -65,7 +68,8 @@ extern const MetricDef kServingSlotsCarriedForwardTotal;
 extern const MetricDef kServingDuplicateSlotsTotal;
 extern const MetricDef kServingOutOfOrderSlotsTotal;
 extern const MetricDef kServingRejectedBatchesTotal;
-extern const MetricDef kServingObservationsDroppedTotal;
+extern const MetricDef kServingObservationsFilteredTotal;
+extern const MetricDef kServingObservationsDeduplicatedTotal;
 extern const MetricDef kServingEstimationFailuresTotal;
 
 /// Every catalog entry (one per (name, labels) series). Names may repeat

@@ -28,12 +28,14 @@ BpGraph BpGraph::FromMrf(const PairwiseMrf& mrf) {
   }
   size_t dir_edges = g.off[g.num_vars];
   g.rev_slot.resize(dir_edges);
+  g.to.resize(dir_edges);
   g.compat.resize(4 * dir_edges);
   size_t slot = 0;
   for (size_t v = 0; v < g.num_vars; ++v) {
     g.max_degree = std::max(g.max_degree, mrf.Neighbors(v).size());
     for (const MrfEdge& e : mrf.Neighbors(v)) {
       g.rev_slot[slot] = static_cast<uint32_t>(g.off[e.to] + e.rev);
+      g.to[slot] = static_cast<uint32_t>(e.to);
       g.compat[4 * slot + 0] = e.compat[0][0];
       g.compat[4 * slot + 1] = e.compat[0][1];
       g.compat[4 * slot + 2] = e.compat[1][0];
@@ -44,9 +46,14 @@ BpGraph BpGraph::FromMrf(const PairwiseMrf& mrf) {
   return g;
 }
 
-BpResult InferMarginalsBpFlat(const BpGraph& graph,
-                              const std::vector<double>& pot,
-                              const BpOptions& opts) {
+namespace {
+
+/// Full cold schedule: damped Jacobi sweeps over every variable. This is
+/// the pre-warm-start inference path, bit for bit; when `final_msg` is
+/// non-null it receives the message vector the reported beliefs were
+/// computed from (the warm-start seed for the next slot).
+BpResult RunColdBp(const BpGraph& graph, const std::vector<double>& pot,
+                   const BpOptions& opts, std::vector<double>* final_msg) {
   TS_CHECK_GE(opts.damping, 0.0);
   TS_CHECK_LT(opts.damping, 1.0);
   size_t n = graph.num_vars;
@@ -74,7 +81,11 @@ BpResult InferMarginalsBpFlat(const BpGraph& graph,
 
   BpResult result;
   result.p_up.assign(n, 0.5);
-  if (n == 0) return result;
+  result.active_vars = n;
+  if (n == 0) {
+    if (final_msg != nullptr) final_msg->clear();
+    return result;
+  }
 
   // One Jacobi half-sweep over the outgoing messages of variables in
   // [begin, end): reads `msg`, writes `next` (slots of these variables
@@ -164,6 +175,7 @@ BpResult InferMarginalsBpFlat(const BpGraph& graph,
     }
     msg.swap(next);
     result.iterations = iter + 1;
+    result.message_updates += static_cast<uint64_t>(dir_edges);
     obs::Add(m_sweeps);
     obs::Add(m_msg_updates, static_cast<uint64_t>(dir_edges));
     obs::Observe(m_residual, max_delta);
@@ -197,6 +209,216 @@ BpResult InferMarginalsBpFlat(const BpGraph& graph,
         n, threads,
         [&](size_t, size_t begin, size_t end) { beliefs(begin, end); });
   }
+  if (final_msg != nullptr) *final_msg = std::move(msg);
+  return result;
+}
+
+/// Warm schedule: messages start at the previous fixed point and only an
+/// active set of variables is swept, highest residual first. Serial and
+/// in-place (Gauss-Seidel order): the win is touching few variables, not
+/// fanning a full sweep out over threads, and in-place propagation of
+/// fresh messages converges in fewer passes than the two-phase schedule.
+BpResult RunWarmBp(const BpGraph& graph, const std::vector<double>& pot,
+                   const BpOptions& opts, BpState* state) {
+  TS_CHECK_GE(opts.damping, 0.0);
+  TS_CHECK_LT(opts.damping, 1.0);
+  size_t n = graph.num_vars;
+  TS_CHECK_EQ(pot.size(), 2 * n);
+
+  obs::ScopedSpan span(opts.trace, "bp/infer");
+  obs::Counter* m_runs = obs::GetCounter(opts.metrics, obs::kBpRunsTotal);
+  obs::Counter* m_converged =
+      obs::GetCounter(opts.metrics, obs::kBpConvergedTotal);
+  obs::Counter* m_sweeps = obs::GetCounter(opts.metrics, obs::kBpSweepsTotal);
+  obs::Counter* m_msg_updates =
+      obs::GetCounter(opts.metrics, obs::kBpMessageUpdatesTotal);
+  obs::Counter* m_warm_starts =
+      obs::GetCounter(opts.metrics, obs::kBpWarmStartsTotal);
+  obs::Histogram* m_iterations =
+      obs::GetHistogram(opts.metrics, obs::kBpIterations);
+  obs::Histogram* m_residual =
+      obs::GetHistogram(opts.metrics, obs::kBpResidual);
+  obs::Histogram* m_active_vars =
+      obs::GetHistogram(opts.metrics, obs::kBpActiveVars);
+  obs::Histogram* m_sweeps_saved =
+      obs::GetHistogram(opts.metrics, obs::kBpSweepsSaved);
+  obs::Add(m_runs);
+  obs::Add(m_warm_starts);
+
+  std::vector<double>& msg = state->msg;
+  BpResult result;
+  result.warm = true;
+  result.p_up.assign(n, 0.5);
+
+  // Initial active set: variables whose effective potentials moved beyond
+  // the warm threshold since their messages were last refreshed.
+  // `residual` carries the sweep priority; `pending` accumulates the next
+  // sweep's activations.
+  std::vector<double> residual(n, 0.0);
+  std::vector<double> pending(n, 0.0);
+  std::vector<uint32_t> active;
+  for (size_t v = 0; v < n; ++v) {
+    double d = std::max(std::fabs(pot[2 * v] - state->last_pot[2 * v]),
+                        std::fabs(pot[2 * v + 1] - state->last_pot[2 * v + 1]));
+    if (d > opts.warm_threshold) {
+      residual[v] = d;
+      active.push_back(static_cast<uint32_t>(v));
+    }
+  }
+  result.active_vars = active.size();
+  obs::Observe(m_active_vars, static_cast<double>(active.size()));
+
+  std::vector<double> in0(graph.max_degree), in1(graph.max_degree);
+  std::vector<char> touched(n, 0);
+  std::vector<uint32_t> next_active;
+
+  // Retire/expand at a fraction of tol: the cold schedule already stops
+  // within ~tol of the fixed point, and warm message errors stack on top of
+  // that slack across neighbours and slots. Driving the active set a notch
+  // further keeps the combined warm-vs-cold gap inside the documented
+  // 10x-tol bound at the cost of roughly one extra (cheap) sweep.
+  const double act_tol = 0.5 * opts.tol;
+
+  for (uint32_t iter = 0; iter < opts.max_iters && !active.empty(); ++iter) {
+    // Residual-prioritized, deterministic: largest pending change first,
+    // index tiebreak. In-place updates let high-residual information flow
+    // through the rest of the active set within the same sweep.
+    std::sort(active.begin(), active.end(),
+              [&](uint32_t a, uint32_t b) {
+                if (residual[a] != residual[b]) {
+                  return residual[a] > residual[b];
+                }
+                return a < b;
+              });
+    next_active.clear();
+    double sweep_max = 0.0;
+    for (uint32_t v : active) {
+      touched[v] = 1;
+      size_t off = graph.off[v];
+      size_t deg = graph.off[v + 1] - off;
+      if (deg == 0) continue;
+      double in_prod[2] = {pot[2 * v], pot[2 * v + 1]};
+      for (size_t k = 0; k < deg; ++k) {
+        size_t rs = graph.rev_slot[off + k];
+        in0[k] = msg[2 * rs];
+        in1[k] = msg[2 * rs + 1];
+        in_prod[0] *= in0[k];
+        in_prod[1] *= in1[k];
+      }
+      double self_max = 0.0;
+      for (size_t k = 0; k < deg; ++k) {
+        size_t slot = off + k;
+        double cav0, cav1;
+        if (in0[k] > 1e-30 && in1[k] > 1e-30) {
+          cav0 = in_prod[0] / in0[k];
+          cav1 = in_prod[1] / in1[k];
+        } else {
+          cav0 = pot[2 * v];
+          cav1 = pot[2 * v + 1];
+          for (size_t k2 = 0; k2 < deg; ++k2) {
+            if (k2 == k) continue;
+            cav0 *= in0[k2];
+            cav1 *= in1[k2];
+          }
+        }
+        const float* c = &graph.compat[4 * slot];
+        double out0 = cav0 * c[0] + cav1 * c[2];
+        double out1 = cav0 * c[1] + cav1 * c[3];
+        double z = out0 + out1;
+        if (z <= 0.0 || !std::isfinite(z)) {
+          out0 = out1 = 0.5;
+        } else {
+          out0 /= z;
+          out1 /= z;
+        }
+        double old0 = msg[2 * slot];
+        double new0 = opts.damping * old0 + (1.0 - opts.damping) * out0;
+        double new1 =
+            opts.damping * msg[2 * slot + 1] + (1.0 - opts.damping) * out1;
+        msg[2 * slot] = new0;
+        msg[2 * slot + 1] = new1;
+        double delta = std::fabs(new0 - old0);
+        if (delta > self_max) self_max = delta;
+        if (delta > act_tol) {
+          // The receiver's belief moved: it must re-send next sweep.
+          uint32_t t = graph.to[slot];
+          if (pending[t] == 0.0) next_active.push_back(t);
+          if (delta > pending[t]) pending[t] = delta;
+        }
+      }
+      result.message_updates += static_cast<uint64_t>(deg);
+      if (self_max > act_tol) {
+        // Damping leaves a geometric residue on v's own outgoing messages;
+        // keep v active until that residue decays below tol.
+        if (pending[v] == 0.0) next_active.push_back(v);
+        if (self_max > pending[v]) pending[v] = self_max;
+      }
+      if (self_max > sweep_max) sweep_max = self_max;
+    }
+    active.clear();
+    for (uint32_t v : next_active) {
+      residual[v] = pending[v];
+      pending[v] = 0.0;
+      active.push_back(v);
+    }
+    result.iterations = iter + 1;
+    obs::Add(m_sweeps);
+    obs::Observe(m_residual, sweep_max);
+  }
+  obs::Add(m_msg_updates, result.message_updates);
+  obs::Observe(m_iterations, static_cast<double>(result.iterations));
+  obs::Observe(m_sweeps_saved,
+               static_cast<double>(opts.max_iters - result.iterations));
+  result.converged = active.empty();
+  if (result.converged) obs::Add(m_converged);
+
+  for (size_t v = 0; v < n; ++v) {
+    double b0 = pot[2 * v];
+    double b1 = pot[2 * v + 1];
+    for (size_t k = graph.off[v]; k < graph.off[v + 1]; ++k) {
+      size_t rs = graph.rev_slot[k];
+      b0 *= msg[2 * rs];
+      b1 *= msg[2 * rs + 1];
+    }
+    double z = b0 + b1;
+    result.p_up[v] = (z > 0.0 && std::isfinite(z)) ? b1 / z : 0.5;
+  }
+
+  // Refresh the stored potentials only where messages were recomputed:
+  // untouched variables keep accumulating their sub-threshold drift, which
+  // is what bounds the steady-state approximation error.
+  for (size_t v = 0; v < n; ++v) {
+    if (touched[v]) {
+      state->last_pot[2 * v] = pot[2 * v];
+      state->last_pot[2 * v + 1] = pot[2 * v + 1];
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+BpResult InferMarginalsBpFlat(const BpGraph& graph,
+                              const std::vector<double>& pot,
+                              const BpOptions& opts) {
+  return RunColdBp(graph, pot, opts, nullptr);
+}
+
+BpResult InferMarginalsBpFlat(const BpGraph& graph,
+                              const std::vector<double>& pot,
+                              const BpOptions& opts, BpState* state) {
+  if (state == nullptr) return RunColdBp(graph, pot, opts, nullptr);
+  TS_CHECK_GE(opts.warm_threshold, 0.0);
+  size_t n = graph.num_vars;
+  size_t dir_edges = graph.off[n];
+  bool warm = state->valid && state->msg.size() == 2 * dir_edges &&
+              state->last_pot.size() == 2 * n;
+  if (warm) return RunWarmBp(graph, pot, opts, state);
+  // Cold start that seeds the state: identical schedule and marginals to
+  // the stateless call, plus capturing the fixed point for the next slot.
+  BpResult result = RunColdBp(graph, pot, opts, &state->msg);
+  state->last_pot = pot;
+  state->valid = true;
   return result;
 }
 

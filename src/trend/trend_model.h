@@ -46,6 +46,21 @@ struct TrendModelOptions {
   double edge_compat_power = 0.25;
   /// Pseudo-counts for the historical trend prior.
   double prior_pseudo_count = 3.0;
+  /// Cross-slot warm start (BP engine only): when the caller passes a
+  /// TrendInferenceState to Infer, seed BP from the previous slot's fixed
+  /// point and sweep only the changed neighbourhoods. False forces the
+  /// cold schedule even with a state — the escape hatch when bitwise slot
+  /// independence matters more than latency. Stateless Infer calls are
+  /// always cold regardless.
+  bool warm_start = true;
+};
+
+/// Caller-owned cross-slot inference state for the stateful Infer overload.
+/// One per serving stream; Invalidate() whenever slot continuity breaks.
+struct TrendInferenceState {
+  BpState bp;
+
+  void Invalidate() { bp.Invalidate(); }
 };
 
 /// A seed's crowdsourced observation, reduced to its trend.
@@ -75,6 +90,19 @@ class TrendModel {
   Result<TrendEstimate> Infer(
       uint64_t slot, const std::vector<SeedTrend>& seeds,
       const std::vector<double>* evidence_log_odds = nullptr) const;
+
+  /// Stateful variant: with a non-null `state` (and warm_start enabled, BP
+  /// engine selected) the per-slot potential vector is diffed against the
+  /// state's and inference warm-starts from the previous fixed point —
+  /// steady-state slots touch a fraction of the graph. A null/invalid
+  /// state runs the identical cold schedule and seeds the state. Marginals
+  /// of a warm run agree with a cold run's within a few multiples of
+  /// BpOptions::tol; everything else (engines other than BP included)
+  /// behaves exactly like the stateless overload.
+  Result<TrendEstimate> Infer(uint64_t slot,
+                              const std::vector<SeedTrend>& seeds,
+                              const std::vector<double>* evidence_log_odds,
+                              TrendInferenceState* state) const;
 
   const TrendModelOptions& options() const { return opts_; }
 

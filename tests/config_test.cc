@@ -72,6 +72,39 @@ TEST(ConfigTest, RejectsBadBpKnobs) {
   EXPECT_TRUE(config.Validate().ok());
 }
 
+// Regression: the 3-hop backfill cap and 0.6 damping used to be magic
+// numbers inside the estimator; now they are validated config fields.
+TEST(ConfigTest, RejectsBadEvidenceBackfillKnobs) {
+  PipelineConfig config;
+  config.evidence_backfill_hops = 1000;  // beyond any plausible diameter
+  EXPECT_FALSE(config.Validate().ok());
+  config = PipelineConfig{};
+  config.evidence_backfill_hops = 0;  // disables backfill: valid
+  EXPECT_TRUE(config.Validate().ok());
+  config = PipelineConfig{};
+  config.evidence_backfill_damping = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = PipelineConfig{};
+  config.evidence_backfill_damping = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = PipelineConfig{};
+  config.evidence_backfill_damping = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(config.Validate().ok());
+  config = PipelineConfig{};
+  config.evidence_backfill_damping = 1.0;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadWarmThreshold) {
+  PipelineConfig config;
+  config.trend.bp.warm_threshold = -1e-6;
+  EXPECT_FALSE(config.Validate().ok());
+  config.trend.bp.warm_threshold = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(config.Validate().ok());
+  config.trend.bp.warm_threshold = 0.0;  // always re-activate: valid
+  EXPECT_TRUE(config.Validate().ok());
+}
+
 TEST(ConfigTest, RejectsBadSeedSelectionKnobs) {
   PipelineConfig config;
   config.seed_selection.num_threads = 100000;

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -93,6 +94,22 @@ TEST_F(CoreTest, EstimateProducesFullCoverage) {
 
 TEST_F(CoreTest, EstimateRejectsBadSeeds) {
   EXPECT_FALSE(est().Estimate(0, {{99999, 30.0}}).ok());
+}
+
+// Regression: Estimate used to accept NaN/inf/non-positive seed speeds and
+// silently poison every interpolated road (log of a non-positive speed, NaN
+// spreading through the propagation weights). They must be rejected at the
+// API boundary instead.
+TEST_F(CoreTest, EstimateRejectsNonFiniteAndNonPositiveSeedSpeeds) {
+  const RoadId road = 0;
+  for (double bad : {std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity(), 0.0, -12.5}) {
+    auto out = est().Estimate(0, {{road, bad}});
+    EXPECT_FALSE(out.ok()) << "speed " << bad << " was accepted";
+  }
+  // A plausible speed on the same road still works.
+  EXPECT_TRUE(est().Estimate(0, {{road, 30.0}}).ok());
 }
 
 TEST_F(CoreTest, EvaluatorTestSlotsHonourStride) {

@@ -520,7 +520,7 @@ TEST_F(ObsPipelineTest, ServingStatsMatchRegistryMirrors) {
   EXPECT_GT(s.slots_estimated, 0u);
   EXPECT_GT(s.duplicate_slots, 0u);
   EXPECT_GT(s.slots_carried_forward, 0u);
-  EXPECT_GT(s.observations_dropped, 0u);
+  EXPECT_GT(s.observations_filtered, 0u);
   EXPECT_GT(s.out_of_order_slots, 0u);
   EXPECT_GT(s.rejected_batches, 0u);
 
@@ -533,8 +533,10 @@ TEST_F(ObsPipelineTest, ServingStatsMatchRegistryMirrors) {
   EXPECT_EQ(value(obs::kServingDuplicateSlotsTotal), s.duplicate_slots);
   EXPECT_EQ(value(obs::kServingOutOfOrderSlotsTotal), s.out_of_order_slots);
   EXPECT_EQ(value(obs::kServingRejectedBatchesTotal), s.rejected_batches);
-  EXPECT_EQ(value(obs::kServingObservationsDroppedTotal),
-            s.observations_dropped);
+  EXPECT_EQ(value(obs::kServingObservationsFilteredTotal),
+            s.observations_filtered);
+  EXPECT_EQ(value(obs::kServingObservationsDeduplicatedTotal),
+            s.observations_deduplicated);
   EXPECT_EQ(value(obs::kServingEstimationFailuresTotal),
             s.estimation_failures);
   EXPECT_EQ(reg.GetHistogram(obs::kServingIngestLatencyMs)->count(),

@@ -129,7 +129,29 @@ TEST_F(ServingTest, FilterValidationDropsAndCounts) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->observations_used, obs.size() - 2);
   EXPECT_EQ(report->observations_dropped, 2u);
-  EXPECT_EQ(session.stats().observations_dropped, 2u);
+  EXPECT_EQ(session.stats().observations_filtered, 2u);
+  EXPECT_EQ(session.stats().observations_deduplicated, 0u);
+}
+
+// Regression: filtered and deduplicated observations used to share one
+// conflated `observations_dropped` counter, making data-quality alerting
+// impossible. Each kind must land in its own ServingStats field.
+TEST_F(ServingTest, FilteredAndDeduplicatedCountedSeparately) {
+  ServingOptions opts;
+  opts.validation = ValidationPolicy::kFilter;
+  opts.dedup = DedupPolicy::kMean;
+  ServingSession session = Session(opts);
+  uint64_t slot = ds().first_test_slot();
+
+  auto obs = CleanObs(slot);
+  obs.push_back({obs[0].road, obs[0].speed_kmh});  // duplicate road
+  obs.push_back({obs[1].road, -3.0});              // malformed -> filtered
+  auto report = session.Ingest(slot, obs);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(session.stats().observations_filtered, 1u);
+  EXPECT_EQ(session.stats().observations_deduplicated, 1u);
+  // The per-slot report still shows the combined removals.
+  EXPECT_EQ(report->observations_dropped, 2u);
 }
 
 TEST_F(ServingTest, DedupPoliciesResolveDuplicateRoads) {
@@ -159,6 +181,15 @@ TEST_F(ServingTest, DedupPoliciesResolveDuplicateRoads) {
   EXPECT_EQ(mean->observations_used, 1u);
   EXPECT_EQ(mean->observations_dropped, 1u);
   EXPECT_EQ(mean->monitor.estimate.speeds.speed_kmh, ref_mean);
+  {
+    ServingOptions o;
+    o.dedup = DedupPolicy::kMean;
+    ServingSession s = Session(o);
+    auto r = s.Ingest(slot, {{road, 30.0}, {road, 50.0}});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(s.stats().observations_deduplicated, 1u);
+    EXPECT_EQ(s.stats().observations_filtered, 0u);
+  }
 
   auto first = dup(DedupPolicy::kKeepFirst);
   ASSERT_TRUE(first.ok());
