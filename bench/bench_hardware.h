@@ -1,0 +1,69 @@
+// Hardware stamp for the machine-readable BENCH_*.json emitters.
+//
+// Committed bench JSONs accumulate across machines and revisions, so every
+// number needs enough provenance to be interpretable later: the thread-count
+// rows of a scaling bench mean nothing without knowing how many CPUs the
+// run actually had, and kernel-throughput rows mean nothing without the ISA
+// and compiler. PrintHardwareStamp() emits one uniform "hardware" object:
+//
+//   "hardware": {
+//     "hardware_concurrency": 8,
+//     "arch": "x86_64",
+//     "simd_kernel": "avx2",
+//     "simd_available": true,
+//     "compiler": "gcc 11.4.0",
+//     "scaling_valid": true
+//   }
+//
+// scaling_valid is false when the run saw <= 2 CPUs: with one or two cores
+// the multi-thread rows measure scheduler time-slicing, not scaling, and
+// downstream tooling must not read speedup_vs_1 from such a file.
+
+#ifndef TRENDSPEED_BENCH_BENCH_HARDWARE_H_
+#define TRENDSPEED_BENCH_BENCH_HARDWARE_H_
+
+#include <cstdio>
+#include <thread>
+
+#include "trend/bp_kernel.h"
+
+namespace trendspeed {
+
+inline const char* BenchArchName() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return "x86_64";
+#elif defined(__aarch64__) || defined(_M_ARM64)
+  return "aarch64";
+#else
+  return "unknown";
+#endif
+}
+
+inline const char* BenchCompilerName() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// Emits the `"hardware": {...}` stamp at two-space indent, followed by a
+/// comma and newline — callers drop it right after their opening brace.
+inline void PrintHardwareStamp() {
+  unsigned cpus = std::thread::hardware_concurrency();
+  std::printf("  \"hardware\": {\n");
+  std::printf("    \"hardware_concurrency\": %u,\n", cpus);
+  std::printf("    \"arch\": \"%s\",\n", BenchArchName());
+  std::printf("    \"simd_kernel\": \"%s\",\n", BpSimdArchName());
+  std::printf("    \"simd_available\": %s,\n",
+              BpSimdKernelAvailable() ? "true" : "false");
+  std::printf("    \"compiler\": \"%s\",\n", BenchCompilerName());
+  std::printf("    \"scaling_valid\": %s\n", cpus > 2 ? "true" : "false");
+  std::printf("  },\n");
+}
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_BENCH_BENCH_HARDWARE_H_

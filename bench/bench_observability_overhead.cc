@@ -25,6 +25,7 @@
 #include <cstring>
 #include <vector>
 
+#include "bench_hardware.h"
 #include "core/serving.h"
 #include "io/dataset.h"
 #include "obs/catalog.h"
@@ -105,6 +106,7 @@ double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
 int Run(const OverheadConfig& cfg) {
   std::printf("{\n");
   std::printf("  \"bench\": \"observability_overhead\",\n");
+  PrintHardwareStamp();
   std::printf("  \"hardware_concurrency\": %zu,\n", EffectiveThreads(0));
 
   // --- primitive op costs -------------------------------------------------

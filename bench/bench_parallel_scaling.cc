@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_hardware.h"
 #include "seed/greedy.h"
 #include "seed/lazy_greedy.h"
 #include "seed/objective.h"
@@ -123,6 +124,7 @@ int Run(const ScalingConfig& cfg) {
 
   std::printf("{\n");
   std::printf("  \"bench\": \"parallel_scaling\",\n");
+  PrintHardwareStamp();
   std::printf("  \"hardware_concurrency\": %zu,\n", EffectiveThreads(0));
   std::printf("  \"segments\": %zu,\n", n);
 

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <vector>
 
+#include "bench_hardware.h"
 #include "trend/belief_propagation.h"
 #include "trend/factor_graph.h"
 #include "util/logging.h"
@@ -139,6 +140,7 @@ int Run(const WarmBenchConfig& cfg) {
 
   std::printf("{\n");
   std::printf("  \"bench\": \"warm_start\",\n");
+  PrintHardwareStamp();
   std::printf("  \"segments\": %zu,\n", n);
   std::printf("  \"slots\": %zu,\n", cfg.slots);
   std::printf("  \"changed_per_slot\": %zu,\n", changed_per_slot);

@@ -35,6 +35,14 @@ Status PipelineConfig::Validate() const {
   if (!(trend.bp.warm_threshold >= 0.0)) {  // also rejects NaN
     return Status::InvalidArgument("trend.bp.warm_threshold must be >= 0");
   }
+  // Guards configs assembled from raw ints (deserialization, FFI): the
+  // kernel knob must be one of the declared enumerators.
+  if (trend.bp.kernel != BpKernel::kScalar &&
+      trend.bp.kernel != BpKernel::kSimd &&
+      trend.bp.kernel != BpKernel::kAuto) {
+    return Status::InvalidArgument(
+        "trend.bp.kernel must be scalar, simd, or auto");
+  }
   // Backfill knobs: a hop count beyond any plausible network diameter is a
   // units mistake, and `!(a > b)` style keeps NaN-poisoned damping invalid.
   constexpr uint32_t kMaxBackfillHops = 64;

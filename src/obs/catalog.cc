@@ -55,6 +55,20 @@ const MetricDef kBpSweepsSaved = {
     "trendspeed_bp_sweeps_saved", MetricType::kHistogram,
     "Sweeps avoided vs the max_iters budget on a warm run", "sweeps", "",
     kIterationBounds, N(kIterationBounds)};
+const MetricDef kBpKernelRunsScalar = {
+    "trendspeed_bp_kernel_runs_total", MetricType::kCounter,
+    "BP runs by executing message-update kernel", "1", "kernel=\"scalar\""};
+const MetricDef kBpKernelRunsSimd = {
+    "trendspeed_bp_kernel_runs_total", MetricType::kCounter,
+    "BP runs by executing message-update kernel", "1", "kernel=\"simd\""};
+const MetricDef kBpKernelSimdFallbacksTotal = {
+    "trendspeed_bp_kernel_simd_fallbacks_total", MetricType::kCounter,
+    "Runs that requested the SIMD kernel but executed scalar (kernel not "
+    "compiled in, or CPU lacks the ISA)", "1"};
+const MetricDef kBpKernelWarmDenseTotal = {
+    "trendspeed_bp_kernel_warm_dense_total", MetricType::kCounter,
+    "Warm runs routed to dense vectorized sweeps by the active-set density "
+    "crossover", "1"};
 
 // --- seed selection --------------------------------------------------------
 const MetricDef kSeedRunsGreedy = {
@@ -165,6 +179,10 @@ const std::vector<const MetricDef*>& AllMetricDefs() {
       &kBpWarmStartsTotal,
       &kBpActiveVars,
       &kBpSweepsSaved,
+      &kBpKernelRunsScalar,
+      &kBpKernelRunsSimd,
+      &kBpKernelSimdFallbacksTotal,
+      &kBpKernelWarmDenseTotal,
       &kSeedRunsGreedy,
       &kSeedRunsLazyGreedy,
       &kSeedRunsStochasticGreedy,

@@ -33,6 +33,10 @@ extern const MetricDef kBpResidual;             ///< histogram: per-sweep max de
 extern const MetricDef kBpWarmStartsTotal;      ///< runs seeded from a BpState
 extern const MetricDef kBpActiveVars;           ///< histogram: warm active set
 extern const MetricDef kBpSweepsSaved;          ///< histogram: max_iters - iters
+extern const MetricDef kBpKernelRunsScalar;     ///< runs on the scalar kernel
+extern const MetricDef kBpKernelRunsSimd;       ///< runs on the SIMD kernel
+extern const MetricDef kBpKernelSimdFallbacksTotal;  ///< simd asked, scalar ran
+extern const MetricDef kBpKernelWarmDenseTotal;      ///< dense-crossover warms
 
 // --- seed/{greedy,lazy_greedy,stochastic_greedy}.cc ------------------------
 extern const MetricDef kSeedRunsGreedy;

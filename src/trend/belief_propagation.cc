@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 
 #include "obs/catalog.h"
+#include "trend/bp_kernel.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
@@ -16,6 +18,33 @@ namespace {
 /// Below this variable count a sweep is a few hundred microseconds at most
 /// and pool handoff overhead outweighs the parallel win; run serially.
 constexpr size_t kMinParallelVars = 4096;
+
+/// The division fast path for cavity beliefs is only numerically valid
+/// while the running in_prod is a normal double: gradual underflow zeroes
+/// or denormalizes the product even when every individual message passes
+/// the per-edge 1e-30 check, and dividing a flushed product yields a cavity
+/// with the wrong ratio. (An in_prod that is exactly zero because some
+/// factor is exactly zero is fine — 0 / in = 0 IS the cavity.)
+constexpr double kMinNormal = std::numeric_limits<double>::min();
+
+/// Power-of-two rescale for the fallback prefix/suffix products and the
+/// belief products: exact in binary floating point, applied to both planes
+/// together so every ratio — and therefore every normalized message and
+/// marginal — is unchanged. The window keeps any prefix x suffix product of
+/// in-range values normal.
+constexpr double kRescaleLo = 0x1p-256;
+constexpr double kRescaleUp = 0x1p+256;
+
+/// Per-variable scratch for one sweep chunk. pre/suf hold the
+/// prefix/suffix cavity products of the underflow fallback; they are only
+/// filled for variables whose fast path is invalid, so the common case
+/// costs nothing beyond the allocation.
+struct SweepScratch {
+  std::vector<double> in0, in1, pre0, pre1, suf0, suf1;
+  explicit SweepScratch(size_t max_degree)
+      : in0(max_degree), in1(max_degree), pre0(max_degree), pre1(max_degree),
+        suf0(max_degree), suf1(max_degree) {}
+};
 
 }  // namespace
 
@@ -43,7 +72,35 @@ BpGraph BpGraph::FromMrf(const PairwiseMrf& mrf) {
       ++slot;
     }
   }
+#if TRENDSPEED_SIMD_ENABLED
+  g.soa = std::make_shared<const BpGraphSoa>(BpGraphSoa::Build(g));
+#endif
   return g;
+}
+
+const char* BpKernelName(BpKernel kernel) {
+  switch (kernel) {
+    case BpKernel::kScalar:
+      return "scalar";
+    case BpKernel::kSimd:
+      return "simd";
+    case BpKernel::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+bool ParseBpKernel(const std::string& name, BpKernel* out) {
+  if (name == "scalar") {
+    *out = BpKernel::kScalar;
+  } else if (name == "simd") {
+    *out = BpKernel::kSimd;
+  } else if (name == "auto") {
+    *out = BpKernel::kAuto;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace {
@@ -75,6 +132,7 @@ BpResult RunColdBp(const BpGraph& graph, const std::vector<double>& pot,
   obs::Histogram* m_residual =
       obs::GetHistogram(opts.metrics, obs::kBpResidual);
   obs::Add(m_runs);
+  obs::Add(obs::GetCounter(opts.metrics, obs::kBpKernelRunsScalar));
 
   std::vector<double> msg(2 * dir_edges, 0.5);
   std::vector<double> next(2 * dir_edges, 0.5);
@@ -92,8 +150,9 @@ BpResult RunColdBp(const BpGraph& graph, const std::vector<double>& pot,
   // only — disjoint across chunks), returns the local max message change.
   // Per-variable arithmetic is independent of the chunking, so serial and
   // parallel sweeps are bitwise identical.
-  auto sweep = [&](size_t begin, size_t end, std::vector<double>& in0,
-                   std::vector<double>& in1) -> double {
+  auto sweep = [&](size_t begin, size_t end, SweepScratch& s) -> double {
+    std::vector<double>& in0 = s.in0;
+    std::vector<double>& in1 = s.in1;
     double local_max = 0.0;
     for (size_t v = begin; v < end; ++v) {
       size_t off = graph.off[v];
@@ -101,29 +160,70 @@ BpResult RunColdBp(const BpGraph& graph, const std::vector<double>& pot,
       if (deg == 0) continue;
       // Belief factors: phi_v(x) * prod of incoming messages.
       double in_prod[2] = {pot[2 * v], pot[2 * v + 1]};
+      bool zero0 = pot[2 * v] == 0.0, zero1 = pot[2 * v + 1] == 0.0;
+      bool any_small = false;
       for (size_t k = 0; k < deg; ++k) {
         size_t rs = graph.rev_slot[off + k];
         in0[k] = msg[2 * rs];
         in1[k] = msg[2 * rs + 1];
         in_prod[0] *= in0[k];
         in_prod[1] *= in1[k];
+        zero0 = zero0 || in0[k] == 0.0;
+        zero1 = zero1 || in1[k] == 0.0;
+        any_small = any_small || in0[k] <= 1e-30 || in1[k] <= 1e-30;
+      }
+      // See kMinNormal: a zero in_prod is trustworthy only when some factor
+      // is exactly zero; a subnormal one never is.
+      bool prod_ok = (in_prod[0] >= kMinNormal || zero0) &&
+                     (in_prod[1] >= kMinNormal || zero1);
+      if (!prod_ok || any_small) {
+        // Underflow fallback, hoisted: one prefix/suffix pass per variable
+        // (cav[k] = pre[k] * suf[k]) replaces the per-edge O(deg)
+        // recomputation — O(deg) total instead of O(deg^2) — and the
+        // rescale keeps the running products away from the subnormal range
+        // the fast path just tripped on. Both planes share each rescale
+        // factor, so normalized messages are unaffected by it. The seed
+        // needs the same treatment: a potential pair already below the
+        // window would otherwise be stored as pre[0] unrescaled and flush
+        // the k = 0 cavity to zero.
+        double p0 = pot[2 * v], p1 = pot[2 * v + 1];
+        while (std::max(p0, p1) < kRescaleLo && std::max(p0, p1) > 0.0) {
+          p0 *= kRescaleUp;
+          p1 *= kRescaleUp;
+        }
+        for (size_t k = 0; k < deg; ++k) {
+          s.pre0[k] = p0;
+          s.pre1[k] = p1;
+          p0 *= in0[k];
+          p1 *= in1[k];
+          while (std::max(p0, p1) < kRescaleLo && std::max(p0, p1) > 0.0) {
+            p0 *= kRescaleUp;
+            p1 *= kRescaleUp;
+          }
+        }
+        double q0 = 1.0, q1 = 1.0;
+        for (size_t k = deg; k-- > 0;) {
+          s.suf0[k] = q0;
+          s.suf1[k] = q1;
+          q0 *= in0[k];
+          q1 *= in1[k];
+          while (std::max(q0, q1) < kRescaleLo && std::max(q0, q1) > 0.0) {
+            q0 *= kRescaleUp;
+            q1 *= kRescaleUp;
+          }
+        }
       }
       for (size_t k = 0; k < deg; ++k) {
         size_t slot = off + k;
-        // Cavity belief of v excluding neighbour k (division fast path,
-        // re-multiplication fallback when a message underflowed).
+        // Cavity belief of v excluding neighbour k: division fast path
+        // when it is exact-safe, prefix x suffix otherwise.
         double cav0, cav1;
-        if (in0[k] > 1e-30 && in1[k] > 1e-30) {
+        if (prod_ok && in0[k] > 1e-30 && in1[k] > 1e-30) {
           cav0 = in_prod[0] / in0[k];
           cav1 = in_prod[1] / in1[k];
         } else {
-          cav0 = pot[2 * v];
-          cav1 = pot[2 * v + 1];
-          for (size_t k2 = 0; k2 < deg; ++k2) {
-            if (k2 == k) continue;
-            cav0 *= in0[k2];
-            cav1 *= in1[k2];
-          }
+          cav0 = s.pre0[k] * s.suf0[k];
+          cav1 = s.pre1[k] * s.suf1[k];
         }
         // Message v -> to: m(x_to) = sum_xv cav(xv) * psi(xv, x_to).
         const float* c = &graph.compat[4 * slot];
@@ -151,12 +251,12 @@ BpResult RunColdBp(const BpGraph& graph, const std::vector<double>& pot,
 
   size_t threads = std::min<size_t>(EffectiveThreads(opts.num_threads), n);
   bool parallel = threads > 1 && n >= kMinParallelVars;
-  std::vector<double> in0(graph.max_degree), in1(graph.max_degree);
+  SweepScratch scratch(graph.max_degree);
 
   double max_delta = 0.0;
   for (uint32_t iter = 0; iter < opts.max_iters; ++iter) {
     if (!parallel) {
-      max_delta = sweep(0, n, in0, in1);
+      max_delta = sweep(0, n, scratch);
     } else {
       // max() is order-independent, so a CAS-max reduction keeps the
       // convergence decision — hence the iteration count and the final
@@ -164,8 +264,8 @@ BpResult RunColdBp(const BpGraph& graph, const std::vector<double>& pot,
       std::atomic<double> shared_max{0.0};
       ThreadPool::Global().ParallelForChunked(
           n, threads, [&](size_t, size_t begin, size_t end) {
-            std::vector<double> t0(graph.max_degree), t1(graph.max_degree);
-            double local = sweep(begin, end, t0, t1);
+            SweepScratch t(graph.max_degree);
+            double local = sweep(begin, end, t);
             double cur = shared_max.load(std::memory_order_relaxed);
             while (local > cur &&
                    !shared_max.compare_exchange_weak(cur, local)) {
@@ -197,6 +297,13 @@ BpResult RunColdBp(const BpGraph& graph, const std::vector<double>& pot,
         size_t rs = graph.rev_slot[k];
         b0 *= msg[2 * rs];
         b1 *= msg[2 * rs + 1];
+        // Same exact rescale as the cavity fallback: keeps near-zero
+        // potentials from flushing both belief factors to zero (which
+        // would erase the marginal into the z <= 0 0.5 guard).
+        if (std::max(b0, b1) < kRescaleLo && std::max(b0, b1) > 0.0) {
+          b0 *= kRescaleUp;
+          b1 *= kRescaleUp;
+        }
       }
       double z = b0 + b1;
       result.p_up[v] = (z > 0.0 && std::isfinite(z)) ? b1 / z : 0.5;
@@ -244,6 +351,7 @@ BpResult RunWarmBp(const BpGraph& graph, const std::vector<double>& pot,
       obs::GetHistogram(opts.metrics, obs::kBpSweepsSaved);
   obs::Add(m_runs);
   obs::Add(m_warm_starts);
+  obs::Add(obs::GetCounter(opts.metrics, obs::kBpKernelRunsScalar));
 
   std::vector<double>& msg = state->msg;
   BpResult result;
@@ -268,7 +376,9 @@ BpResult RunWarmBp(const BpGraph& graph, const std::vector<double>& pot,
   result.active_vars = active.size();
   obs::Observe(m_active_vars, static_cast<double>(active.size()));
 
-  std::vector<double> in0(graph.max_degree), in1(graph.max_degree);
+  SweepScratch s(graph.max_degree);
+  std::vector<double>& in0 = s.in0;
+  std::vector<double>& in1 = s.in1;
   std::vector<char> touched(n, 0);
   std::vector<uint32_t> next_active;
 
@@ -298,28 +408,61 @@ BpResult RunWarmBp(const BpGraph& graph, const std::vector<double>& pot,
       size_t deg = graph.off[v + 1] - off;
       if (deg == 0) continue;
       double in_prod[2] = {pot[2 * v], pot[2 * v + 1]};
+      bool zero0 = pot[2 * v] == 0.0, zero1 = pot[2 * v + 1] == 0.0;
+      bool any_small = false;
       for (size_t k = 0; k < deg; ++k) {
         size_t rs = graph.rev_slot[off + k];
         in0[k] = msg[2 * rs];
         in1[k] = msg[2 * rs + 1];
         in_prod[0] *= in0[k];
         in_prod[1] *= in1[k];
+        zero0 = zero0 || in0[k] == 0.0;
+        zero1 = zero1 || in1[k] == 0.0;
+        any_small = any_small || in0[k] <= 1e-30 || in1[k] <= 1e-30;
+      }
+      // Same underflow-hardened cavity scheme as the cold sweep (see the
+      // comments there): trustworthy-product check, then a hoisted
+      // prefix/suffix fallback instead of the old O(deg^2) recomputation.
+      bool prod_ok = (in_prod[0] >= kMinNormal || zero0) &&
+                     (in_prod[1] >= kMinNormal || zero1);
+      if (!prod_ok || any_small) {
+        double p0 = pot[2 * v], p1 = pot[2 * v + 1];
+        while (std::max(p0, p1) < kRescaleLo && std::max(p0, p1) > 0.0) {
+          p0 *= kRescaleUp;
+          p1 *= kRescaleUp;
+        }
+        for (size_t k = 0; k < deg; ++k) {
+          s.pre0[k] = p0;
+          s.pre1[k] = p1;
+          p0 *= in0[k];
+          p1 *= in1[k];
+          while (std::max(p0, p1) < kRescaleLo && std::max(p0, p1) > 0.0) {
+            p0 *= kRescaleUp;
+            p1 *= kRescaleUp;
+          }
+        }
+        double q0 = 1.0, q1 = 1.0;
+        for (size_t k = deg; k-- > 0;) {
+          s.suf0[k] = q0;
+          s.suf1[k] = q1;
+          q0 *= in0[k];
+          q1 *= in1[k];
+          while (std::max(q0, q1) < kRescaleLo && std::max(q0, q1) > 0.0) {
+            q0 *= kRescaleUp;
+            q1 *= kRescaleUp;
+          }
+        }
       }
       double self_max = 0.0;
       for (size_t k = 0; k < deg; ++k) {
         size_t slot = off + k;
         double cav0, cav1;
-        if (in0[k] > 1e-30 && in1[k] > 1e-30) {
+        if (prod_ok && in0[k] > 1e-30 && in1[k] > 1e-30) {
           cav0 = in_prod[0] / in0[k];
           cav1 = in_prod[1] / in1[k];
         } else {
-          cav0 = pot[2 * v];
-          cav1 = pot[2 * v + 1];
-          for (size_t k2 = 0; k2 < deg; ++k2) {
-            if (k2 == k) continue;
-            cav0 *= in0[k2];
-            cav1 *= in1[k2];
-          }
+          cav0 = s.pre0[k] * s.suf0[k];
+          cav1 = s.pre1[k] * s.suf1[k];
         }
         const float* c = &graph.compat[4 * slot];
         double out0 = cav0 * c[0] + cav1 * c[2];
@@ -379,6 +522,10 @@ BpResult RunWarmBp(const BpGraph& graph, const std::vector<double>& pot,
       size_t rs = graph.rev_slot[k];
       b0 *= msg[2 * rs];
       b1 *= msg[2 * rs + 1];
+      if (std::max(b0, b1) < kRescaleLo && std::max(b0, b1) > 0.0) {
+        b0 *= kRescaleUp;
+        b1 *= kRescaleUp;
+      }
     }
     double z = b0 + b1;
     result.p_up[v] = (z > 0.0 && std::isfinite(z)) ? b1 / z : 0.5;
@@ -396,27 +543,177 @@ BpResult RunWarmBp(const BpGraph& graph, const std::vector<double>& pot,
   return result;
 }
 
+/// Cold schedule on the vectorized SoA kernel: same Jacobi sweep structure
+/// and convergence rule as RunColdBp, executed by trend/bp_kernel_simd.cc.
+/// Records the same metric series (per-sweep residuals are replayed from
+/// the kernel so the kernel TU stays free of the obs dependency).
+BpResult RunColdSimd(const BpGraph& graph, const std::vector<double>& pot,
+                     const BpOptions& opts, std::vector<double>* final_msg) {
+  TS_CHECK_GE(opts.damping, 0.0);
+  TS_CHECK_LT(opts.damping, 1.0);
+  size_t n = graph.num_vars;
+  TS_CHECK_EQ(pot.size(), 2 * n);
+
+  obs::ScopedSpan span(opts.trace, "bp/infer");
+  obs::Counter* m_runs = obs::GetCounter(opts.metrics, obs::kBpRunsTotal);
+  obs::Counter* m_converged =
+      obs::GetCounter(opts.metrics, obs::kBpConvergedTotal);
+  obs::Counter* m_sweeps = obs::GetCounter(opts.metrics, obs::kBpSweepsTotal);
+  obs::Counter* m_msg_updates =
+      obs::GetCounter(opts.metrics, obs::kBpMessageUpdatesTotal);
+  obs::Histogram* m_iterations =
+      obs::GetHistogram(opts.metrics, obs::kBpIterations);
+  obs::Histogram* m_residual =
+      obs::GetHistogram(opts.metrics, obs::kBpResidual);
+  obs::Add(m_runs);
+  obs::Add(obs::GetCounter(opts.metrics, obs::kBpKernelRunsSimd));
+
+  BpResult result;
+  result.active_vars = n;
+  std::vector<double> sweep_residuals;
+  BpSimdRun run;
+  run.soa = graph.soa.get();
+  run.pot = pot.data();
+  run.opts = &opts;
+  run.final_msg = final_msg;
+  run.result = &result;
+  run.sweep_residuals = opts.metrics != nullptr ? &sweep_residuals : nullptr;
+  RunBpSweepsSimd(run);
+
+  for (double r : sweep_residuals) {
+    obs::Add(m_sweeps);
+    obs::Observe(m_residual, r);
+  }
+  obs::Add(m_msg_updates, result.message_updates);
+  obs::Observe(m_iterations, static_cast<double>(result.iterations));
+  if (result.converged) obs::Add(m_converged);
+  return result;
+}
+
+/// Warm run above the density crossover: the active set is already most of
+/// the graph, so residual-prioritized scalar sweeps would touch nearly
+/// every edge anyway — dense vectorized Jacobi sweeps seeded from the
+/// stored fixed point are faster. Every message is recomputed, so the
+/// stored state refreshes wholesale.
+BpResult RunWarmDenseSimd(const BpGraph& graph, const std::vector<double>& pot,
+                          const BpOptions& opts, BpState* state,
+                          size_t active_count) {
+  obs::ScopedSpan span(opts.trace, "bp/infer");
+  obs::Counter* m_runs = obs::GetCounter(opts.metrics, obs::kBpRunsTotal);
+  obs::Counter* m_converged =
+      obs::GetCounter(opts.metrics, obs::kBpConvergedTotal);
+  obs::Counter* m_sweeps = obs::GetCounter(opts.metrics, obs::kBpSweepsTotal);
+  obs::Counter* m_msg_updates =
+      obs::GetCounter(opts.metrics, obs::kBpMessageUpdatesTotal);
+  obs::Counter* m_warm_starts =
+      obs::GetCounter(opts.metrics, obs::kBpWarmStartsTotal);
+  obs::Histogram* m_iterations =
+      obs::GetHistogram(opts.metrics, obs::kBpIterations);
+  obs::Histogram* m_residual =
+      obs::GetHistogram(opts.metrics, obs::kBpResidual);
+  obs::Histogram* m_active_vars =
+      obs::GetHistogram(opts.metrics, obs::kBpActiveVars);
+  obs::Histogram* m_sweeps_saved =
+      obs::GetHistogram(opts.metrics, obs::kBpSweepsSaved);
+  obs::Add(m_runs);
+  obs::Add(m_warm_starts);
+  obs::Add(obs::GetCounter(opts.metrics, obs::kBpKernelRunsSimd));
+  obs::Add(obs::GetCounter(opts.metrics, obs::kBpKernelWarmDenseTotal));
+  obs::Observe(m_active_vars, static_cast<double>(active_count));
+
+  BpResult result;
+  result.warm = true;
+  result.active_vars = active_count;
+  std::vector<double> sweep_residuals;
+  std::vector<double> new_msg;
+  BpSimdRun run;
+  run.soa = graph.soa.get();
+  run.pot = pot.data();
+  run.opts = &opts;
+  run.seed_msg = state->msg.data();
+  run.final_msg = &new_msg;
+  run.result = &result;
+  run.sweep_residuals = opts.metrics != nullptr ? &sweep_residuals : nullptr;
+  RunBpSweepsSimd(run);
+  state->msg = std::move(new_msg);
+  state->last_pot = pot;
+
+  for (double r : sweep_residuals) {
+    obs::Add(m_sweeps);
+    obs::Observe(m_residual, r);
+  }
+  obs::Add(m_msg_updates, result.message_updates);
+  obs::Observe(m_iterations, static_cast<double>(result.iterations));
+  obs::Observe(m_sweeps_saved,
+               static_cast<double>(opts.max_iters - result.iterations));
+  if (result.converged) obs::Add(m_converged);
+  return result;
+}
+
+/// True when this run should execute the vectorized kernel. A kSimd/kAuto
+/// request falls back to scalar — and bumps the fallback counter — when
+/// the kernel is not compiled in (TRENDSPEED_SIMD=OFF leaves graph.soa
+/// null) or the CPU cannot run it. The warm-path density crossover is NOT
+/// a fallback and is decided by the caller.
+bool UseSimdKernel(const BpGraph& graph, const BpOptions& opts) {
+  if (opts.kernel == BpKernel::kScalar) return false;
+  if (ResolveBpKernel(opts.kernel) == BpKernel::kSimd &&
+      graph.soa != nullptr) {
+    return true;
+  }
+  obs::Add(
+      obs::GetCounter(opts.metrics, obs::kBpKernelSimdFallbacksTotal));
+  return false;
+}
+
 }  // namespace
 
 BpResult InferMarginalsBpFlat(const BpGraph& graph,
                               const std::vector<double>& pot,
                               const BpOptions& opts) {
+  if (UseSimdKernel(graph, opts)) {
+    return RunColdSimd(graph, pot, opts, nullptr);
+  }
   return RunColdBp(graph, pot, opts, nullptr);
 }
 
 BpResult InferMarginalsBpFlat(const BpGraph& graph,
                               const std::vector<double>& pot,
                               const BpOptions& opts, BpState* state) {
-  if (state == nullptr) return RunColdBp(graph, pot, opts, nullptr);
+  if (state == nullptr) return InferMarginalsBpFlat(graph, pot, opts);
   TS_CHECK_GE(opts.warm_threshold, 0.0);
   size_t n = graph.num_vars;
   size_t dir_edges = graph.off[n];
   bool warm = state->valid && state->msg.size() == 2 * dir_edges &&
               state->last_pot.size() == 2 * n;
-  if (warm) return RunWarmBp(graph, pot, opts, state);
+  bool use_simd = UseSimdKernel(graph, opts);
+  if (warm) {
+    if (use_simd) {
+      // Density crossover (bp_kernel.h): count the variables the scalar
+      // warm schedule would activate; when they exceed the crossover
+      // fraction, the active-set sweeps would touch most of the graph
+      // anyway and dense vectorized sweeps win. Below it, the sparse
+      // scalar schedule stays faster than even a much faster dense sweep.
+      size_t active = 0;
+      for (size_t v = 0; v < n; ++v) {
+        double d =
+            std::max(std::fabs(pot[2 * v] - state->last_pot[2 * v]),
+                     std::fabs(pot[2 * v + 1] - state->last_pot[2 * v + 1]));
+        if (d > opts.warm_threshold) ++active;
+      }
+      if (static_cast<double>(active) >
+          kBpWarmDenseCrossover * static_cast<double>(n)) {
+        return RunWarmDenseSimd(graph, pot, opts, state, active);
+      }
+    }
+    return RunWarmBp(graph, pot, opts, state);
+  }
   // Cold start that seeds the state: identical schedule and marginals to
   // the stateless call, plus capturing the fixed point for the next slot.
-  BpResult result = RunColdBp(graph, pot, opts, &state->msg);
+  // The seeded message blob is in the kernel-independent interchange
+  // format, so later runs may switch kernels freely.
+  BpResult result = use_simd ? RunColdSimd(graph, pot, opts, &state->msg)
+                             : RunColdBp(graph, pot, opts, &state->msg);
   state->last_pot = pot;
   state->valid = true;
   return result;

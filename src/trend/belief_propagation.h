@@ -7,6 +7,8 @@
 #ifndef TRENDSPEED_TREND_BELIEF_PROPAGATION_H_
 #define TRENDSPEED_TREND_BELIEF_PROPAGATION_H_
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -14,6 +16,30 @@
 #include "trend/factor_graph.h"
 
 namespace trendspeed {
+
+/// Which message-update kernel a run executes (docs/performance.md).
+enum class BpKernel {
+  /// The original double-precision scalar path. Bitwise identical to the
+  /// pre-kernel-knob behaviour on cold runs and the reference oracle the
+  /// SIMD kernel is tested against.
+  kScalar,
+  /// The vectorized structure-of-arrays kernel (trend/bp_kernel.h):
+  /// single-precision lockstep batches, AVX2/NEON via util/simd.h with a
+  /// portable fallback. Marginals agree with kScalar within a small
+  /// multiple of tol but are NOT bitwise equal: the kernel reassociates
+  /// the incoming-message products (prefix/suffix cavities), contracts in
+  /// float, and max-reduces residuals per lane. Falls back to kScalar at
+  /// runtime when the binary or CPU lacks the kernel
+  /// (trendspeed_bp_kernel_simd_fallbacks_total counts those).
+  kSimd,
+  /// kSimd whenever available, else kScalar — the deployment default for
+  /// serving configs that prefer throughput over bitwise replays.
+  kAuto,
+};
+
+const char* BpKernelName(BpKernel kernel);
+/// Parses "scalar" / "simd" / "auto"; returns false on anything else.
+bool ParseBpKernel(const std::string& name, BpKernel* out);
 
 struct BpOptions {
   /// Truncated BP: on the associative, loopy graphs correlation mining
@@ -39,6 +65,13 @@ struct BpOptions {
   /// bitwise identical for every thread count, including 1; small graphs
   /// run serially regardless (see kMinParallelVars in the .cc).
   uint32_t num_threads = 0;
+  /// Message-update kernel. kScalar (default) keeps cold runs bitwise
+  /// identical to the pre-knob code; kSimd/kAuto select the vectorized SoA
+  /// kernel (tolerance contract above). Warm runs under a SIMD-resolved
+  /// kernel keep the scalar active-set schedule while the active set is
+  /// sparse and switch to dense vectorized sweeps above the density
+  /// crossover (bp_kernel.h kBpWarmDenseCrossover).
+  BpKernel kernel = BpKernel::kScalar;
   /// Observability hooks (docs/observability.md): when attached, each run
   /// records the trendspeed_bp_* series (sweeps, message updates,
   /// per-sweep convergence residual, iteration count) and a "bp/infer"
@@ -65,6 +98,8 @@ struct BpResult {
   uint64_t message_updates = 0;
 };
 
+struct BpGraphSoa;
+
 /// Flattened, immutable BP message-passing structure. Building it is O(E);
 /// callers that infer repeatedly over the same graph (one per time slot)
 /// should build once and reuse.
@@ -75,6 +110,12 @@ struct BpGraph {
   std::vector<uint32_t> to;       ///< target variable per directed edge
   std::vector<float> compat;      ///< 4 entries per directed edge
   size_t max_degree = 0;
+  /// Degree-bucketed structure-of-arrays mirror for the vectorized kernel
+  /// (trend/bp_kernel.h), built alongside the flat arrays when the build
+  /// compiles the kernel in (TRENDSPEED_SIMD=ON; null otherwise — SIMD
+  /// kernel requests then fall back to scalar). Shared so copies of the
+  /// graph stay cheap; the mirror is immutable like the rest.
+  std::shared_ptr<const BpGraphSoa> soa;
 
   static BpGraph FromMrf(const PairwiseMrf& mrf);
 };

@@ -1,0 +1,181 @@
+// Structure-of-arrays BP message layout and the vectorized sweep kernel.
+//
+// The scalar path in belief_propagation.cc stores messages interleaved
+// (msg[2*slot], msg[2*slot+1]) in build order, which makes every vector
+// load a stride-2 shuffle and every variable a variable-length serial loop.
+// BpGraphSoa rearranges the same directed-edge structure for lockstep
+// batches:
+//
+//   * split message planes: msg0[] and msg1[] are separate 64-byte-aligned
+//     float arrays (util/aligned.h), so a batch touches two contiguous
+//     cache streams instead of one strided one;
+//   * degree-bucketed variable order: variables are grouped by degree and
+//     packed into batches of kLanes (8) same-degree variables that update
+//     in lockstep, one SIMD lane each;
+//   * k-major batch slots: the k-th edge of all 8 batch variables is
+//     contiguous (slot_base + k*8 + lane), so the incoming-message gather
+//     indices, the compat planes, and the outgoing-message stores of one
+//     k-step are all single aligned vector accesses;
+//   * single message plane: messages are normalized per edge, so only the
+//     plane-0 component is stored (msg1 == 1 - msg0 by construction) —
+//     this halves the kernel's message traffic, which matters because the
+//     sweep is memory-bandwidth-bound at scale (docs/performance.md);
+//   * three compat planes instead of four: each 2x2 table is divided by
+//     its row-0 sum R0 = c00 + c01 (an exact scalar reparameterization —
+//     BP messages are normalized per edge, so any positive per-edge scale
+//     cancels), leaving cA = c00/R0, cB = c10/R0, cC = R1/R0 with the
+//     contraction out0 = cav0*cA + cav1*cB, z = cav0 + cav1*cC and
+//     r0 = out0/z identical to the 4-plane form in exact arithmetic;
+//   * spill list: per-degree remainders (< 8 variables), zero-degree
+//     variables, degree > kMaxBatchDegree outliers, and variables whose
+//     compat tables are too ill-conditioned for the 3-plane form (row-sum
+//     ratio R1/R0 above kMaxCompatRowRatio, which would overflow cB/cC in
+//     float) run through a scalar single-precision loop that keeps the
+//     raw 4-entry tables.
+//
+// The kernel itself (bp_kernel_simd.cc, behind the TRENDSPEED_SIMD build
+// option) computes cavity beliefs with prefix/suffix products instead of
+// the scalar path's divide-and-fall-back, contracts the compat planes
+// with FMAs, interleaves two same-degree batches per inner loop to hide
+// the 4-cycle multiply latency of the running-product chains, and reduces
+// the convergence residual with a lane max. It is selected per run by
+// BpOptions::kernel, with runtime ISA dispatch — see BpSimdKernelAvailable
+// below and docs/performance.md.
+
+#ifndef TRENDSPEED_TREND_BP_KERNEL_H_
+#define TRENDSPEED_TREND_BP_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trend/belief_propagation.h"
+#include "util/aligned.h"
+
+namespace trendspeed {
+
+struct BpGraphSoa {
+  /// Lanes per lockstep batch. Fixed at 8 across architectures (AVX2 and
+  /// the generic fallback use one 8-wide batch, NEON a pair of 4-wide
+  /// halves) so the layout — and therefore the arithmetic and its rounding
+  /// — does not depend on the host ISA.
+  static constexpr uint32_t kLanes = 8;
+  /// Variables above this degree spill to the scalar list: the kernel's
+  /// per-batch scratch is sized by the largest batched degree, and a
+  /// handful of hub variables is not worth a cache-hostile scratch plane.
+  static constexpr uint32_t kMaxBatchDegree = 64;
+  /// Maximum compat row-sum ratio R1/R0 (with R0 = c00 + c01 and
+  /// R1 = c10 + c11) for a variable to be batch-eligible: the 3-plane form
+  /// stores cB = c10/R0 and cC = R1/R0, both bounded by R1/R0, and keeping
+  /// the ratio at or below 2^98 keeps them — and the runtime normalizer
+  /// z = cav0 + cav1*cC with rescale-bounded cavities — far below FLT_MAX.
+  /// The condition is scale-invariant, matching the BP semantics (a
+  /// per-edge scale on the table cancels in the message normalization).
+  /// Tables past the bound (a >1e29 ratio between the two rows of one 2x2
+  /// — not produced by any real correlation model) and tables whose row 0
+  /// flushed to zero in BpGraph's float storage keep their raw 4-entry
+  /// form on the spill path.
+  static constexpr double kMaxCompatRowRatio = 0x1p+98;
+
+  size_t num_vars = 0;
+  size_t num_slots = 0;  ///< directed edges, == BpGraph::off.back()
+
+  /// One entry per full lockstep batch; batch b owns the kLanes variables
+  /// batch_var[b*kLanes ...] and the slot range [slot_base,
+  /// slot_base + deg*kLanes) laid out k-major.
+  struct Batch {
+    uint32_t deg = 0;
+    size_t slot_base = 0;
+  };
+  std::vector<Batch> batches;
+  AlignedVector<uint32_t> batch_var;
+  size_t num_batch_vars = 0;  ///< == batch_var.size(); num_vars - spill.size()
+
+  /// Scalar-path variables: bucket remainders, zero-degree variables,
+  /// degree > kMaxBatchDegree outliers, and ill-conditioned-compat
+  /// variables. Slots are var-major ([slot0, slot0 + deg)).
+  struct SpillVar {
+    uint32_t var = 0;
+    uint32_t deg = 0;
+    size_t slot0 = 0;
+  };
+  std::vector<SpillVar> spill;
+  /// First spill slot; batch slots occupy [0, spill_slot_base).
+  size_t spill_slot_base = 0;
+
+  AlignedVector<uint32_t> rev;        ///< SoA slot of the reverse edge
+  AlignedVector<uint32_t> orig_slot;  ///< SoA slot -> BpGraph slot
+  /// Row-0-normalized compat planes for the batched slots (see file
+  /// comment): cA = c00/R0, cB = c10/R0, cC = (c10+c11)/R0. Sized
+  /// num_slots; entries in the spill region are filled but unused by the
+  /// batch kernel.
+  AlignedVector<float> cA, cB, cC;
+  /// Raw 2x2 compat for the spill region only, indexed by
+  /// slot - spill_slot_base. The spill loop is scalar, so it affords the
+  /// unnormalized 4-entry form that has no conditioning precondition.
+  AlignedVector<float> spill_c00, spill_c01, spill_c10, spill_c11;
+
+  /// Rearranges a flattened BpGraph. Called from BpGraph::FromMrf (the
+  /// single build point) when the build compiles the SIMD kernel in.
+  static BpGraphSoa Build(const BpGraph& graph);
+};
+
+/// One vectorized inference run over a BpGraphSoa. Inputs mirror the scalar
+/// path; messages cross the API boundary in the scalar interchange format
+/// (interleaved doubles in BpGraph slot order) so BpState warm-start blobs
+/// are interoperable between kernels in both directions.
+struct BpSimdRun {
+  const BpGraphSoa* soa = nullptr;
+  const double* pot = nullptr;       ///< 2 * num_vars, interleaved
+  const BpOptions* opts = nullptr;
+  /// Null: cold start (all messages 0.5). Non-null: 2 * num_slots doubles
+  /// in BpGraph slot order — the dense warm schedule seeds from them.
+  const double* seed_msg = nullptr;
+  /// When non-null, receives the final messages in BpGraph slot order (the
+  /// BpState seed for the next slot).
+  std::vector<double>* final_msg = nullptr;
+  /// Receives iterations/converged/message_updates/p_up. active_vars and
+  /// warm are the dispatcher's business.
+  BpResult* result = nullptr;
+  /// When non-null, receives one max-delta entry per executed sweep so the
+  /// caller can replay them into the trendspeed_bp_residual histogram (the
+  /// kernel TU stays free of the obs dependency).
+  std::vector<double>* sweep_residuals = nullptr;
+};
+
+/// True when this binary contains the vectorized kernel (TRENDSPEED_SIMD=ON
+/// at configure time).
+bool BpSimdKernelCompiled();
+
+/// True when the kernel is compiled in AND the running CPU can execute it:
+/// on x86-64 the AVX2 variant additionally requires
+/// __builtin_cpu_supports("avx2") at runtime; the NEON and generic variants
+/// are always executable. Resolved once and cached.
+bool BpSimdKernelAvailable();
+
+/// The ISA variant compiled into this binary: "avx2", "neon", or "generic"
+/// ("none" when TRENDSPEED_SIMD=OFF). Hardware-stamped into bench JSONs.
+const char* BpSimdArchName();
+
+/// Maps the requested kernel to the one that will actually run: kAuto and
+/// kSimd resolve to kSimd when BpSimdKernelAvailable(), else kScalar.
+BpKernel ResolveBpKernel(BpKernel requested);
+
+/// Warm-start density crossover (docs/performance.md): a warm run under a
+/// SIMD-resolved kernel switches from the scalar residual-prioritized
+/// active-set schedule to dense vectorized sweeps (seeded from the stored
+/// fixed point) when the initial active set exceeds this fraction of the
+/// variables. Below it, sweeping only the active neighbourhoods beats even
+/// a 10x-faster dense sweep; above it, the dense kernel wins because warm
+/// sweeps touch most of the graph anyway.
+inline constexpr double kBpWarmDenseCrossover = 0.10;
+
+/// Executes the vectorized sweep schedule. Precondition:
+/// BpSimdKernelAvailable() — dispatch through ResolveBpKernel; the
+/// TRENDSPEED_SIMD=OFF stub aborts via TS_CHECK. Defined in
+/// bp_kernel_simd.cc (stubbed in bp_kernel.cc when the kernel is not
+/// compiled).
+void RunBpSweepsSimd(const BpSimdRun& run);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_TREND_BP_KERNEL_H_

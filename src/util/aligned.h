@@ -1,0 +1,59 @@
+// Cache-line / SIMD-register aligned storage.
+//
+// The SoA belief-propagation kernel (trend/bp_kernel.h) keeps its message
+// planes in 64-byte-aligned vectors so every batch load/store is an aligned
+// vector access and no plane ever straddles a cache line it did not have to.
+// std::vector's default allocator only guarantees alignof(std::max_align_t)
+// (16 on common ABIs), hence this allocator.
+
+#ifndef TRENDSPEED_UTIL_ALIGNED_H_
+#define TRENDSPEED_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace trendspeed {
+
+/// Minimal C++17 aligned allocator. Alignment must be a power of two and at
+/// least alignof(T); 64 covers a cache line and every vector width up to
+/// AVX-512.
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// 64-byte-aligned vector: the storage type of every SoA kernel plane.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_UTIL_ALIGNED_H_

@@ -1,0 +1,501 @@
+// Scalar-oracle equivalence and structure tests for the vectorized BP
+// kernel (trend/bp_kernel.h).
+//
+// The SIMD kernel's contract is NOT bitwise equality with the scalar path
+// (it runs in single precision, reassociates the incoming-message products
+// into prefix/suffix cavities, and contracts with FMAs) — it is marginal
+// agreement within a small multiple of tol plus identical convergence
+// decisions. The property tests here pin that contract over a few hundred
+// seeded random graphs spanning the shapes the SoA layout special-cases:
+// mixed degree distributions (full lockstep batches + bucket remainders),
+// zero-degree variables, hubs past kMaxBatchDegree, clamped evidence, and
+// underflow-range potentials.
+//
+// Convergence decisions: the max-residual is compared against tol in float
+// (SIMD) vs double (scalar), so a residual landing within float noise
+// (~1e-7) of tol could flip the decision. The tests use tol = 1e-3: the
+// residual decays geometrically, so the probability that any sweep of any
+// seeded graph lands inside the ~1e-7-wide ambiguity window is negligible,
+// and the fixed seeds make every run reproducible either way.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/catalog.h"
+#include "obs/metrics.h"
+#include "trend/belief_propagation.h"
+#include "trend/bp_kernel.h"
+#include "trend/factor_graph.h"
+#include "util/random.h"
+
+namespace trendspeed {
+namespace {
+
+// Uniform in [lo, hi).
+double U(Rng& rng, double lo, double hi) {
+  return lo + (hi - lo) * rng.NextDouble();
+}
+
+struct RandomCase {
+  BpGraph graph;
+  std::vector<double> pot;
+};
+
+/// One random MRF + effective-potential vector. `shape` cycles through
+/// edge models: 0 = sparse random, 1 = dense random, 2 = hub (variable 0
+/// connected to everything — degree can exceed kMaxBatchDegree, exercising
+/// the spill path). Potentials are supplied as the raw double vector the
+/// flat API takes, so clamped (hard 0/1) pairs and subnormal-range values
+/// are expressible without the MRF's float storage narrowing them.
+RandomCase MakeRandomCase(Rng& rng, int shape) {
+  size_t n = 1 + rng.NextBounded(120);
+  PairwiseMrf mrf(n);
+  size_t edges = 0;
+  switch (shape % 3) {
+    case 0:
+      edges = rng.NextBounded(static_cast<uint32_t>(n) + 1);
+      break;
+    case 1:
+      edges = 2 * n + rng.NextBounded(static_cast<uint32_t>(n) + 1);
+      break;
+    default:
+      edges = rng.NextBounded(static_cast<uint32_t>(n) + 1) / 2;
+      break;
+  }
+  for (size_t e = 0; e < edges; ++e) {
+    size_t u = rng.NextBounded(static_cast<uint32_t>(n));
+    size_t v = rng.NextBounded(static_cast<uint32_t>(n));
+    if (u == v) continue;
+    double compat[2][2];
+    for (auto& row : compat) {
+      for (double& c : row) c = std::exp(U(rng, -2.5, 2.5));
+    }
+    mrf.AddEdge(u, v, compat);
+  }
+  if (shape % 3 == 2 && n >= 70) {
+    // Hub: drives variable 0 past kMaxBatchDegree into the spill list.
+    for (size_t v = 1; v < n; ++v) {
+      double compat[2][2] = {{1.2, 0.4}, {0.4, 1.2}};
+      mrf.AddEdge(0, v, compat);
+    }
+  }
+
+  RandomCase c;
+  c.graph = BpGraph::FromMrf(mrf);
+  c.pot.resize(2 * n);
+  for (size_t v = 0; v < n; ++v) {
+    uint32_t kind = rng.NextBounded(10);
+    if (kind == 0) {
+      // Hard evidence, both polarities.
+      bool up = rng.NextBounded(2) == 1;
+      c.pot[2 * v] = up ? 0.0 : 1.0;
+      c.pot[2 * v + 1] = up ? 1.0 : 0.0;
+    } else if (kind == 1) {
+      // Deep under double's comfortable range; the kernel's potential
+      // normalization and the scalar path's rescaled fallback must both
+      // keep the 1:r ratio alive.
+      double scale = std::pow(10.0, U(rng, -300.0, -250.0));
+      double r = std::exp(U(rng, -2.0, 2.0));
+      c.pot[2 * v] = scale;
+      c.pot[2 * v + 1] = scale * r;
+    } else {
+      c.pot[2 * v] = std::exp(U(rng, -4.0, 4.0));
+      c.pot[2 * v + 1] = std::exp(U(rng, -4.0, 4.0));
+    }
+  }
+  return c;
+}
+
+TEST(BpKernelNameTest, RoundTrips) {
+  for (BpKernel k : {BpKernel::kScalar, BpKernel::kSimd, BpKernel::kAuto}) {
+    BpKernel parsed;
+    ASSERT_TRUE(ParseBpKernel(BpKernelName(k), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  BpKernel out;
+  EXPECT_FALSE(ParseBpKernel("avx2", &out));
+  EXPECT_FALSE(ParseBpKernel("", &out));
+  EXPECT_FALSE(ParseBpKernel("Scalar", &out));
+}
+
+TEST(BpGraphSoaTest, BuildPartitionsEveryVariableAndEdge) {
+  Rng rng(7);
+  for (int shape = 0; shape < 6; ++shape) {
+    RandomCase c = MakeRandomCase(rng, shape);
+    BpGraphSoa soa = BpGraphSoa::Build(c.graph);
+    EXPECT_EQ(soa.num_vars, c.graph.num_vars);
+    EXPECT_EQ(soa.num_slots, c.graph.off[c.graph.num_vars]);
+    EXPECT_EQ(soa.num_batch_vars, soa.batches.size() * BpGraphSoa::kLanes);
+    EXPECT_EQ(soa.num_batch_vars + soa.spill.size(), soa.num_vars);
+
+    // Every batch is kLanes same-degree variables on an aligned slot base.
+    std::vector<char> seen(soa.num_vars, 0);
+    for (size_t b = 0; b < soa.batches.size(); ++b) {
+      EXPECT_EQ(soa.batches[b].slot_base % BpGraphSoa::kLanes, 0u);
+      EXPECT_GE(soa.batches[b].deg, 1u);
+      EXPECT_LE(soa.batches[b].deg, BpGraphSoa::kMaxBatchDegree);
+      for (uint32_t lane = 0; lane < BpGraphSoa::kLanes; ++lane) {
+        uint32_t v = soa.batch_var[b * BpGraphSoa::kLanes + lane];
+        EXPECT_EQ(c.graph.off[v + 1] - c.graph.off[v], soa.batches[b].deg);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = 1;
+      }
+    }
+    for (const BpGraphSoa::SpillVar& sv : soa.spill) {
+      EXPECT_EQ(c.graph.off[sv.var + 1] - c.graph.off[sv.var], sv.deg);
+      EXPECT_FALSE(seen[sv.var]);
+      seen[sv.var] = 1;
+    }
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), 1),
+              static_cast<long>(soa.num_vars));
+
+    // Batches precede the spill region.
+    EXPECT_EQ(soa.spill_slot_base,
+              soa.batches.empty()
+                  ? 0u
+                  : soa.batches.back().slot_base +
+                        static_cast<size_t>(soa.batches.back().deg) *
+                            BpGraphSoa::kLanes);
+    for (const BpGraphSoa::SpillVar& sv : soa.spill) {
+      EXPECT_GE(sv.slot0, soa.spill_slot_base);
+    }
+
+    // orig_slot is a bijection, rev commutes with it, and the compat
+    // planes hold the row-0-normalized 3-plane form (plus the raw table
+    // for the spill region) — computed in double, rounded once to float.
+    std::vector<char> slot_seen(soa.num_slots, 0);
+    for (size_t s = 0; s < soa.num_slots; ++s) {
+      uint32_t orig = soa.orig_slot[s];
+      ASSERT_LT(orig, soa.num_slots);
+      EXPECT_FALSE(slot_seen[orig]);
+      slot_seen[orig] = 1;
+      EXPECT_EQ(soa.orig_slot[soa.rev[s]], c.graph.rev_slot[orig]);
+      double c00 = c.graph.compat[4 * orig + 0];
+      double c01 = c.graph.compat[4 * orig + 1];
+      double c10 = c.graph.compat[4 * orig + 2];
+      double c11 = c.graph.compat[4 * orig + 3];
+      double r0 = c00 + c01;
+      double r1 = c10 + c11;
+      if (r0 > 0.0 && r1 <= r0 * BpGraphSoa::kMaxCompatRowRatio) {
+        EXPECT_EQ(soa.cA[s], static_cast<float>(c00 / r0));
+        EXPECT_EQ(soa.cB[s], static_cast<float>(c10 / r0));
+        EXPECT_EQ(soa.cC[s], static_cast<float>((c10 + c11) / r0));
+      } else {
+        // Ill-conditioned tables only ever reach the spill path.
+        EXPECT_GE(s, soa.spill_slot_base);
+      }
+      if (s >= soa.spill_slot_base) {
+        size_t ci = s - soa.spill_slot_base;
+        EXPECT_EQ(soa.spill_c00[ci], c.graph.compat[4 * orig + 0]);
+        EXPECT_EQ(soa.spill_c01[ci], c.graph.compat[4 * orig + 1]);
+        EXPECT_EQ(soa.spill_c10[ci], c.graph.compat[4 * orig + 2]);
+        EXPECT_EQ(soa.spill_c11[ci], c.graph.compat[4 * orig + 3]);
+      }
+    }
+  }
+}
+
+// A compat table whose row sums differ by more than kMaxCompatRowRatio is
+// batch-ineligible (cB/cC would overflow float in the 3-plane form): both
+// endpoints must land on the spill path, which keeps the raw 4-entry
+// table, and SIMD inference must still track the scalar oracle.
+TEST(BpGraphSoaTest, IllConditionedCompatRoutesToSpill) {
+  const size_t n = 24;
+  PairwiseMrf mrf(n);
+  for (size_t v = 0; v < n; ++v) {
+    double compat[2][2] = {{1.1, 0.9}, {0.9, 1.1}};
+    mrf.AddEdge(v, (v + 1) % n, compat);
+  }
+  // Ill-conditioned in both directions (the reverse slot stores the
+  // transpose, so the table must violate the bound row-wise AND
+  // column-wise for both endpoints to spill).
+  double skewed[2][2] = {{1e-35, 1e-35}, {1e-35, 1.0}};
+  mrf.AddEdge(0, n / 2, skewed);
+  BpGraph graph = BpGraph::FromMrf(mrf);
+  BpGraphSoa soa = BpGraphSoa::Build(graph);
+  bool spilled_lo = false, spilled_hi = false;
+  for (const BpGraphSoa::SpillVar& sv : soa.spill) {
+    spilled_lo |= sv.var == 0;
+    spilled_hi |= sv.var == n / 2;
+  }
+  EXPECT_TRUE(spilled_lo);
+  EXPECT_TRUE(spilled_hi);
+  // The 22 remaining degree-2 ring variables still form two full batches.
+  EXPECT_EQ(soa.num_batch_vars, 16u);
+
+  if (!BpSimdKernelAvailable()) return;
+  Rng rng(99);
+  std::vector<double> pot(2 * n);
+  for (size_t v = 0; v < n; ++v) {
+    pot[2 * v] = U(rng, 0.2, 1.0);
+    pot[2 * v + 1] = U(rng, 0.2, 1.0);
+  }
+  BpOptions opts;
+  opts.max_iters = 25;
+  opts.tol = 1e-6;
+  opts.kernel = BpKernel::kScalar;
+  BpResult scalar = InferMarginalsBpFlat(graph, pot, opts);
+  opts.kernel = BpKernel::kSimd;
+  BpResult simd = InferMarginalsBpFlat(graph, pot, opts);
+  ASSERT_EQ(scalar.p_up.size(), simd.p_up.size());
+  for (size_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(scalar.p_up[v], simd.p_up[v], 1e-3) << "var " << v;
+  }
+}
+
+TEST(BpKernelDispatchTest, ScalarRequestNeverRunsSimd) {
+  obs::MetricsRegistry reg;
+  Rng rng(11);
+  RandomCase c = MakeRandomCase(rng, 1);
+  BpOptions opts;
+  opts.kernel = BpKernel::kScalar;
+  opts.metrics = &reg;
+  InferMarginalsBpFlat(c.graph, c.pot, opts);
+  EXPECT_EQ(reg.GetCounter(obs::kBpKernelRunsScalar)->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter(obs::kBpKernelRunsSimd)->Value(), 0u);
+  EXPECT_EQ(reg.GetCounter(obs::kBpKernelSimdFallbacksTotal)->Value(), 0u);
+}
+
+TEST(BpKernelDispatchTest, AutoResolvesToAvailableKernel) {
+  obs::MetricsRegistry reg;
+  Rng rng(13);
+  RandomCase c = MakeRandomCase(rng, 0);
+  BpOptions opts;
+  opts.kernel = BpKernel::kAuto;
+  opts.metrics = &reg;
+  InferMarginalsBpFlat(c.graph, c.pot, opts);
+  if (BpSimdKernelAvailable()) {
+    EXPECT_EQ(ResolveBpKernel(BpKernel::kAuto), BpKernel::kSimd);
+    EXPECT_EQ(reg.GetCounter(obs::kBpKernelRunsSimd)->Value(), 1u);
+    EXPECT_EQ(reg.GetCounter(obs::kBpKernelSimdFallbacksTotal)->Value(), 0u);
+  } else {
+    EXPECT_EQ(ResolveBpKernel(BpKernel::kAuto), BpKernel::kScalar);
+    EXPECT_EQ(reg.GetCounter(obs::kBpKernelRunsScalar)->Value(), 1u);
+    EXPECT_EQ(reg.GetCounter(obs::kBpKernelSimdFallbacksTotal)->Value(), 1u);
+  }
+}
+
+// Satellite regression for the scalar cavity/belief underflow fix: a
+// degree-60 star whose center potential pair sits so low that the belief
+// product (pot x 0.5^60) flushes to zero in double. Pre-fix, both belief
+// factors flushed, the z <= 0 guard fired, and the center marginal came
+// back 0.5; the rescaled products keep the 1:3 ratio alive. Uniform
+// compatibilities keep every message at exactly (0.5, 0.5), so the true
+// marginal is pot1 / (pot0 + pot1) = 0.75 — and the fallback cavity path
+// (in_prod underflows with every factor comfortably above the old 1e-30
+// per-message check) must not disturb the messages on the way.
+TEST(BpScalarUnderflowTest, NearZeroPotentialsKeepTheirRatio) {
+  const size_t kDeg = 60;
+  PairwiseMrf mrf(kDeg + 1);
+  for (size_t v = 1; v <= kDeg; ++v) {
+    double compat[2][2] = {{1.0, 1.0}, {1.0, 1.0}};
+    mrf.AddEdge(0, v, compat);
+  }
+  BpGraph graph = BpGraph::FromMrf(mrf);
+  std::vector<double> pot(2 * (kDeg + 1), 1.0);
+  pot[0] = 1e-310;
+  pot[1] = 3e-310;
+
+  BpOptions opts;
+  opts.kernel = BpKernel::kScalar;
+  opts.max_iters = 4;
+  BpResult r = InferMarginalsBpFlat(graph, pot, opts);
+  EXPECT_NEAR(r.p_up[0], 0.75, 1e-9);
+  // Leaves (degree 1, cavity = the center's near-zero potential alone)
+  // see a symmetric 1:3 belief weighting through the uniform edges, which
+  // normalizes away: their marginal stays 0.5.
+  EXPECT_NEAR(r.p_up[1], 0.5, 1e-9);
+
+  // The same case through the SIMD kernel, whose potential normalization
+  // sidesteps the underflow entirely.
+  if (BpSimdKernelAvailable()) {
+    opts.kernel = BpKernel::kSimd;
+    BpResult rs = InferMarginalsBpFlat(graph, pot, opts);
+    EXPECT_NEAR(rs.p_up[0], 0.75, 1e-5);
+  }
+}
+
+TEST(BpKernelPropertyTest, SimdMatchesScalarOnRandomGraphs) {
+  if (!BpSimdKernelAvailable()) {
+    GTEST_SKIP() << "SIMD kernel not compiled in or not runnable here";
+  }
+  Rng rng(20260808);
+  const int kGraphs = 220;
+  int converged_runs = 0;
+  for (int g = 0; g < kGraphs; ++g) {
+    RandomCase c = MakeRandomCase(rng, g);
+    BpOptions opts;
+    opts.max_iters = 1 + rng.NextBounded(12);
+    opts.tol = 1e-3;  // see file comment on decision robustness
+    opts.damping = 0.15 * rng.NextBounded(3);
+    opts.num_threads = 1;
+
+    opts.kernel = BpKernel::kScalar;
+    BpResult scalar = InferMarginalsBpFlat(c.graph, c.pot, opts);
+    opts.kernel = BpKernel::kSimd;
+    BpResult simd = InferMarginalsBpFlat(c.graph, c.pot, opts);
+
+    ASSERT_EQ(scalar.p_up.size(), simd.p_up.size());
+    EXPECT_EQ(scalar.converged, simd.converged) << "graph " << g;
+    EXPECT_EQ(scalar.iterations, simd.iterations) << "graph " << g;
+    converged_runs += scalar.converged ? 1 : 0;
+    for (size_t v = 0; v < scalar.p_up.size(); ++v) {
+      EXPECT_NEAR(scalar.p_up[v], simd.p_up[v], 1e-3)
+          << "graph " << g << " var " << v;
+    }
+  }
+  // The sweep must exercise both outcomes or the decision check is vacuous.
+  EXPECT_GT(converged_runs, 10);
+  EXPECT_LT(converged_runs, kGraphs - 10);
+}
+
+/// Warm-start interchange: a BpState seeded by one kernel must be
+/// continuable by the other, in both directions, with marginals agreeing
+/// with a from-scratch cold run on the new potentials.
+TEST(BpKernelWarmTest, WarmStateInteroperatesAcrossKernels) {
+  if (!BpSimdKernelAvailable()) {
+    GTEST_SKIP() << "SIMD kernel not compiled in or not runnable here";
+  }
+  Rng rng(424242);
+  size_t n = 400;
+  PairwiseMrf mrf(n);
+  for (size_t v = 0; v + 1 < n; ++v) {
+    double compat[2][2] = {{1.4, 0.6}, {0.6, 1.4}};
+    mrf.AddEdge(v, v + 1, compat);
+  }
+  for (size_t e = 0; e < n; ++e) {
+    size_t u = rng.NextBounded(static_cast<uint32_t>(n));
+    size_t v = rng.NextBounded(static_cast<uint32_t>(n));
+    if (u == v) continue;
+    double compat[2][2] = {{1.2, 0.8}, {0.8, 1.2}};
+    mrf.AddEdge(u, v, compat);
+  }
+  BpGraph graph = BpGraph::FromMrf(mrf);
+  std::vector<double> pot(2 * n);
+  for (size_t v = 0; v < n; ++v) {
+    pot[2 * v] = std::exp(U(rng, -1.0, 1.0));
+    pot[2 * v + 1] = std::exp(U(rng, -1.0, 1.0));
+  }
+  // Drift 30% of the variables — above the 10% dense crossover, so the
+  // simd-continued warm run takes the dense vectorized schedule.
+  std::vector<double> pot2 = pot;
+  for (size_t v = 0; v < n; ++v) {
+    if (rng.NextBounded(10) < 3) {
+      pot2[2 * v] *= std::exp(U(rng, -0.5, 0.5));
+      pot2[2 * v + 1] *= std::exp(U(rng, -0.5, 0.5));
+    }
+  }
+
+  // Tight tol: the per-sweep residual understates the remaining distance
+  // to the fixed point by the contraction factor, so stopping at 1e-5
+  // keeps every run (cold ref, dense warm, active-set warm) within ~1e-4
+  // of the true fixed point and the cross-run comparison meaningful.
+  BpOptions opts;
+  opts.max_iters = 60;
+  opts.tol = 1e-5;
+
+  opts.kernel = BpKernel::kScalar;
+  BpResult cold_ref = InferMarginalsBpFlat(graph, pot2, opts);
+
+  // Direction 1: scalar cold seeds the state, SIMD continues warm.
+  {
+    obs::MetricsRegistry reg;
+    BpState state;
+    opts.kernel = BpKernel::kScalar;
+    opts.metrics = nullptr;
+    InferMarginalsBpFlat(graph, pot, opts, &state);
+    opts.kernel = BpKernel::kSimd;
+    opts.metrics = &reg;
+    BpResult warm = InferMarginalsBpFlat(graph, pot2, opts, &state);
+    EXPECT_TRUE(warm.warm);
+    EXPECT_EQ(reg.GetCounter(obs::kBpKernelWarmDenseTotal)->Value(), 1u);
+    for (size_t v = 0; v < n; ++v) {
+      EXPECT_NEAR(warm.p_up[v], cold_ref.p_up[v], 1e-3) << "var " << v;
+    }
+  }
+
+  // Direction 2: SIMD cold seeds the state, scalar continues warm.
+  {
+    obs::MetricsRegistry reg;
+    BpState state;
+    opts.kernel = BpKernel::kSimd;
+    opts.metrics = nullptr;
+    InferMarginalsBpFlat(graph, pot, opts, &state);
+    opts.kernel = BpKernel::kScalar;
+    opts.metrics = &reg;
+    BpResult warm = InferMarginalsBpFlat(graph, pot2, opts, &state);
+    EXPECT_TRUE(warm.warm);
+    EXPECT_EQ(reg.GetCounter(obs::kBpKernelWarmDenseTotal)->Value(), 0u);
+    // Looser than direction 1: the scalar warm path truncates by active
+    // set (contract: a few multiples of tol from the cold fixed point —
+    // observed ~12x here) on top of the float-precision seed.
+    for (size_t v = 0; v < n; ++v) {
+      EXPECT_NEAR(warm.p_up[v], cold_ref.p_up[v], 5e-3) << "var " << v;
+    }
+  }
+}
+
+/// Below the density crossover a SIMD-kernel warm run must keep the sparse
+/// scalar active-set schedule (sweeping the whole graph densely for a
+/// 2-variable drift would throw away the warm-start win).
+TEST(BpKernelWarmTest, SparseWarmRunStaysOnActiveSetSchedule) {
+  if (!BpSimdKernelAvailable()) {
+    GTEST_SKIP() << "SIMD kernel not compiled in or not runnable here";
+  }
+  size_t n = 300;
+  PairwiseMrf mrf(n);
+  for (size_t v = 0; v + 1 < n; ++v) {
+    double compat[2][2] = {{1.3, 0.7}, {0.7, 1.3}};
+    mrf.AddEdge(v, v + 1, compat);
+  }
+  BpGraph graph = BpGraph::FromMrf(mrf);
+  std::vector<double> pot(2 * n, 1.0);
+
+  obs::MetricsRegistry reg;
+  BpOptions opts;
+  opts.kernel = BpKernel::kSimd;
+  opts.metrics = &reg;
+  BpState state;
+  InferMarginalsBpFlat(graph, pot, opts, &state);
+
+  std::vector<double> pot2 = pot;
+  pot2[2 * 150] = 3.0;  // one drifted variable out of 300
+  BpResult warm = InferMarginalsBpFlat(graph, pot2, opts, &state);
+  EXPECT_TRUE(warm.warm);
+  EXPECT_EQ(warm.active_vars, 1u);
+  EXPECT_EQ(reg.GetCounter(obs::kBpKernelWarmDenseTotal)->Value(), 0u);
+  // The dense schedule would have recomputed every directed edge each
+  // sweep; the active-set schedule touches a neighbourhood.
+  EXPECT_LT(warm.message_updates,
+            static_cast<uint64_t>(graph.off[n]));
+}
+
+TEST(BpKernelEdgeCaseTest, EmptyAndIsolatedGraphs) {
+  // Zero variables.
+  PairwiseMrf empty(0);
+  BpGraph g0 = BpGraph::FromMrf(empty);
+  BpOptions opts;
+  opts.kernel = BpKernel::kAuto;
+  BpResult r0 = InferMarginalsBpFlat(g0, {}, opts);
+  EXPECT_TRUE(r0.p_up.empty());
+
+  // All variables isolated (every one lands in the spill list with
+  // degree 0): marginals are the normalized potentials.
+  PairwiseMrf iso(5);
+  BpGraph g5 = BpGraph::FromMrf(iso);
+  std::vector<double> pot = {1.0, 3.0, 1.0, 1.0, 0.0, 1.0, 2.0, 2.0,
+                             5.0, 1.0};
+  BpResult r5 = InferMarginalsBpFlat(g5, pot, opts);
+  ASSERT_EQ(r5.p_up.size(), 5u);
+  EXPECT_NEAR(r5.p_up[0], 0.75, 1e-6);
+  EXPECT_NEAR(r5.p_up[1], 0.5, 1e-6);
+  EXPECT_NEAR(r5.p_up[2], 1.0, 1e-6);  // hard up-evidence stays hard
+  EXPECT_NEAR(r5.p_up[3], 0.5, 1e-6);
+  EXPECT_NEAR(r5.p_up[4], 1.0 / 6.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace trendspeed

@@ -221,7 +221,9 @@ TEST_F(InfluenceAggregationTest, InfluenceEstimationCoversEveryRoad) {
   EXPECT_EQ(est->layer[0], 0u);
   // Covered roads are layer 1.
   for (RoadId r = 1; r < net_.num_roads(); ++r) {
-    if (agg.weight[r] > 0.0) EXPECT_EQ(est->layer[r], 1u);
+    if (agg.weight[r] > 0.0) {
+      EXPECT_EQ(est->layer[r], 1u);
+    }
   }
 }
 
