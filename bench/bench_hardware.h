@@ -8,6 +8,7 @@
 //
 //   "hardware": {
 //     "hardware_concurrency": 8,
+//     "usable_cpus": 4,
 //     "arch": "x86_64",
 //     "simd_kernel": "avx2",
 //     "simd_available": true,
@@ -15,15 +16,26 @@
 //     "scaling_valid": true
 //   }
 //
-// scaling_valid is false when the run saw <= 2 CPUs: with one or two cores
-// the multi-thread rows measure scheduler time-slicing, not scaling, and
-// downstream tooling must not read speedup_vs_1 from such a file.
+// hardware_concurrency is what the standard library reports for the whole
+// machine; usable_cpus is the CPUs this process may actually run on (its
+// affinity mask, which is how cgroup cpusets in CI runners and containers
+// constrain a run). They differ exactly when the bench is boxed in, so both
+// are stamped. scaling_valid is computed from usable_cpus and is false when
+// the run had <= 2 of them: with one or two cores the multi-thread rows
+// measure scheduler time-slicing, not scaling, and downstream tooling must
+// not read speedup_vs_1 from such a file. (Before usable_cpus existed, a
+// 64-core host pinned to 2 CPUs stamped scaling_valid=true — the bug
+// bench_hardware_test.cc pins itself down to reproduce.)
 
 #ifndef TRENDSPEED_BENCH_BENCH_HARDWARE_H_
 #define TRENDSPEED_BENCH_BENCH_HARDWARE_H_
 
 #include <cstdio>
 #include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "trend/bp_kernel.h"
 
@@ -49,18 +61,44 @@ inline const char* BenchCompilerName() {
 #endif
 }
 
+/// CPUs this process may run on right now: the scheduling affinity mask,
+/// which reflects cgroup cpuset limits, taskset pinning, and container CPU
+/// boxes that std::thread::hardware_concurrency() (whole-machine) does not.
+/// Falls back to hardware_concurrency where affinity is unavailable; never
+/// returns 0.
+inline unsigned BenchUsableCpus() {
+  unsigned fallback = std::thread::hardware_concurrency();
+  if (fallback == 0) fallback = 1;
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    int n = CPU_COUNT(&mask);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+#endif
+  return fallback;
+}
+
+/// The rule downstream tooling relies on: speedup_vs_1 rows are only
+/// meaningful when the run could actually run threads in parallel.
+inline bool BenchScalingValid(unsigned usable_cpus) { return usable_cpus > 2; }
+
 /// Emits the `"hardware": {...}` stamp at two-space indent, followed by a
 /// comma and newline — callers drop it right after their opening brace.
 inline void PrintHardwareStamp() {
   unsigned cpus = std::thread::hardware_concurrency();
+  unsigned usable = BenchUsableCpus();
   std::printf("  \"hardware\": {\n");
   std::printf("    \"hardware_concurrency\": %u,\n", cpus);
+  std::printf("    \"usable_cpus\": %u,\n", usable);
   std::printf("    \"arch\": \"%s\",\n", BenchArchName());
   std::printf("    \"simd_kernel\": \"%s\",\n", BpSimdArchName());
   std::printf("    \"simd_available\": %s,\n",
               BpSimdKernelAvailable() ? "true" : "false");
   std::printf("    \"compiler\": \"%s\",\n", BenchCompilerName());
-  std::printf("    \"scaling_valid\": %s\n", cpus > 2 ? "true" : "false");
+  std::printf("    \"scaling_valid\": %s\n",
+              BenchScalingValid(usable) ? "true" : "false");
   std::printf("  },\n");
 }
 

@@ -8,6 +8,11 @@
 //   ServingSession               — hardened ingestion: validation, dedup,
 //                                  carry-forward, hysteresis alerts
 //                                  (docs/serving.md)
+//   IngestFrontEnd               — the lock-free MPSC write path: crowd
+//                                  answers are Offer()ed one by one (as a
+//                                  fleet of reporter threads would) and
+//                                  Flush() hands the slot batch to the
+//                                  session at the slot boundary
 //   MetricsRegistry/TraceRecorder — every stage records into one registry
 //                                  (docs/observability.md)
 //
@@ -20,6 +25,7 @@
 #include <cstdio>
 #include <set>
 
+#include "core/ingest.h"
 #include "core/serving.h"
 #include "crowd/campaign.h"
 #include "io/dataset.h"
@@ -77,9 +83,17 @@ int main() {
   serving_opts.validation = ValidationPolicy::kFilter;
   serving_opts.observability.metrics = &registry;
   serving_opts.observability.trace = &trace;
+  // Observations reach the session through the bounded lock-free queue, the
+  // same write path a many-reporter deployment uses (core/ingest.h).
+  serving_opts.ingest_queue.capacity = 1024;
   auto session = ServingSession::Create(&*estimator, serving_opts);
   if (!session.ok()) {
     std::fprintf(stderr, "serving: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  auto frontend = IngestFrontEnd::Create(&*session);
+  if (!frontend.ok()) {
+    std::fprintf(stderr, "ingest: %s\n", frontend.status().ToString().c_str());
     return 1;
   }
 
@@ -95,7 +109,12 @@ int main() {
   for (uint64_t slot = start; slot < dataset->num_slots(); slot += 2) {
     auto answers = campaign.Collect(seeds->seeds, dataset->truth.speeds[slot]);
     if (!answers.ok()) return 1;
-    auto report = session->Ingest(slot, *answers);
+    // Reporters push one observation at a time; a full queue is drained
+    // inline (a deployment's consumer thread does this continuously).
+    for (const SeedSpeed& obs : *answers) {
+      while (!(*frontend)->Offer(slot, obs)) (*frontend)->Drain();
+    }
+    auto report = (*frontend)->Flush();
     if (!report.ok()) {
       // Graceful degradation: the session stays usable; skip this slot.
       std::fprintf(stderr, "slot %llu not served: %s\n",
@@ -140,6 +159,13 @@ int main() {
               static_cast<unsigned long long>(stats.observations_deduplicated));
   std::printf("crowd answers purchased: %llu\n",
               static_cast<unsigned long long>(campaign.answers_spent()));
+  IngestStats ingest = (*frontend)->stats();
+  std::printf("ingest queue: %llu observations enqueued, %llu slot batches "
+              "flushed, %llu backpressure drops, %llu stragglers\n",
+              static_cast<unsigned long long>(ingest.enqueued),
+              static_cast<unsigned long long>(ingest.flushed_slots),
+              static_cast<unsigned long long>(ingest.rejected_backpressure),
+              static_cast<unsigned long long>(ingest.stragglers));
   std::printf("roads that truly dropped >35%% below norm today: %zu\n",
               truly_congested.size());
   std::printf("monitor flagged %zu roads, %zu correctly"

@@ -9,6 +9,12 @@
 // true speeds. The estimated navigator should recover most of the oracle's
 // advantage over the static one.
 //
+// The estimated navigator consumes speeds the way a real routing tier
+// would: observations go into a ServingSession, and the router reads the
+// served field back through the session's seqlock SpeedSnapshot — the
+// non-blocking read path a navigation service polls without ever stalling
+// ingestion (docs/serving.md).
+//
 // Build & run:  ./build/examples/navigator
 
 #include <cstdio>
@@ -16,6 +22,8 @@
 #include "core/estimator.h"
 #include "core/evaluator.h"
 #include "core/routing.h"
+#include "core/serving.h"
+#include "core/snapshot.h"
 #include "io/dataset.h"
 
 using namespace trendspeed;
@@ -36,6 +44,17 @@ int main() {
   if (!estimator.ok()) return 1;
   auto seeds = estimator->SelectSeeds(40, SeedStrategy::kLazyGreedy);
   if (!seeds.ok()) return 1;
+
+  // Serve estimates through the hardened session and publish each served
+  // slot as a snapshot; the routing loop below reads only the snapshot.
+  ServingOptions serving_opts;
+  serving_opts.publish_snapshots = true;
+  auto session = ServingSession::Create(&*estimator, serving_opts);
+  if (!session.ok()) {
+    std::fprintf(stderr, "serving: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  const SpeedSnapshotPublisher* snapshots = session->snapshot_publisher();
 
   const RoadNetwork& net = dataset->net;
   // A panel of random cross-town trips; per-trip routing noise washes out
@@ -60,8 +79,11 @@ int main() {
     if (hour < 15.0 || hour >= 20.0) continue;  // PM peak window
     const std::vector<double>& truth = dataset->truth.speeds[slot];
     auto obs = eval.ObserveSeeds(slot, seeds->seeds, 1.5, &rng);
-    auto out = estimator->Estimate(slot, obs);
-    if (!out.ok()) return 1;
+    if (!session->Ingest(slot, obs).ok()) return 1;
+    // The navigator sees only the published snapshot — the same consistent
+    // (slot, speeds) view any concurrent reader thread would get.
+    SpeedSnapshot snap;
+    if (!snapshots->Read(&snap) || snap.slot != slot) return 1;
     // The "no live data" navigator still knows the time-of-day norm: it
     // routes on historical means, the strongest static baseline.
     std::vector<double> hist(net.num_roads());
@@ -71,7 +93,7 @@ int main() {
     }
     for (auto [from, to] : trips_od) {
       auto static_route = FastestRoute(net, hist, from, to);
-      auto est_route = FastestRoute(net, out->speeds.speed_kmh, from, to);
+      auto est_route = FastestRoute(net, snap.speed_kmh, from, to);
       auto oracle_route = FastestRoute(net, truth, from, to);
       if (!static_route.ok() || !est_route.ok() || !oracle_route.ok()) {
         continue;  // disconnected pair

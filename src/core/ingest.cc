@@ -1,0 +1,101 @@
+#include "core/ingest.h"
+
+#include "obs/catalog.h"
+
+namespace trendspeed {
+
+IngestFrontEnd::IngestFrontEnd(ServingSession* session, size_t capacity)
+    : session_(session), queue_(capacity) {
+  obs::MetricsRegistry* reg = session->options().observability.metrics;
+  m_enqueued_ = obs::GetCounter(reg, obs::kServingIngestEnqueuedTotal);
+  m_rejected_ =
+      obs::GetCounter(reg, obs::kServingIngestRejectedBackpressureTotal);
+  m_flushed_slots_ =
+      obs::GetCounter(reg, obs::kServingIngestFlushedSlotsTotal);
+  m_stragglers_ = obs::GetCounter(reg, obs::kServingIngestStragglersTotal);
+  m_queue_depth_ = obs::GetGauge(reg, obs::kServingIngestQueueDepth);
+}
+
+Result<std::unique_ptr<IngestFrontEnd>> IngestFrontEnd::Create(
+    ServingSession* session) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("null session");
+  }
+  const IngestQueueOptions& opts = session->options().ingest_queue;
+  TS_RETURN_NOT_OK(opts.Validate());
+  if (opts.capacity == 0) {
+    return Status::FailedPrecondition(
+        "ingest queue disabled: ServingOptions::ingest_queue.capacity is 0");
+  }
+  return std::unique_ptr<IngestFrontEnd>(
+      new IngestFrontEnd(session, opts.capacity));
+}
+
+bool IngestFrontEnd::Offer(uint64_t slot, const SeedSpeed& obs) {
+  if (!queue_.TryPush(QueuedObservation{slot, obs})) {
+    Count(stats_.rejected_backpressure, m_rejected_);
+    return false;
+  }
+  Count(stats_.enqueued, m_enqueued_);
+  obs::Set(m_queue_depth_, static_cast<double>(queue_.SizeApprox()));
+  return true;
+}
+
+void IngestFrontEnd::FlushPending() {
+  if (!has_pending_) return;
+  Count(stats_.flushed_slots, m_flushed_slots_);
+  // Rejections are the session's call and already land in ServingStats
+  // (out_of_order_slots, rejected_batches, ...); the drain loop moves on.
+  (void)session_->Ingest(pending_slot_, pending_);
+  pending_.clear();
+  has_pending_ = false;
+}
+
+size_t IngestFrontEnd::Drain() {
+  const uint64_t before =
+      stats_.flushed_slots.load(std::memory_order_relaxed);
+  QueuedObservation item;
+  while (queue_.TryPop(&item)) {
+    if (has_pending_ && item.slot < pending_slot_) {
+      // Behind the watermark: its batch already flushed (another producer
+      // advanced the stream). Dropping here keeps one bad interleaving
+      // from rejecting the whole pending batch as out-of-order.
+      Count(stats_.stragglers, m_stragglers_);
+      continue;
+    }
+    if (has_pending_ && item.slot > pending_slot_) FlushPending();
+    if (!has_pending_) {
+      pending_slot_ = item.slot;
+      has_pending_ = true;
+    }
+    pending_.push_back(item.obs);
+  }
+  obs::Set(m_queue_depth_, static_cast<double>(queue_.SizeApprox()));
+  return static_cast<size_t>(
+      stats_.flushed_slots.load(std::memory_order_relaxed) - before);
+}
+
+Result<ServingSession::SlotReport> IngestFrontEnd::Flush() {
+  Drain();
+  if (!has_pending_) {
+    return Status::NotFound("no pending observations to flush");
+  }
+  Count(stats_.flushed_slots, m_flushed_slots_);
+  uint64_t slot = pending_slot_;
+  std::vector<SeedSpeed> batch;
+  batch.swap(pending_);
+  has_pending_ = false;
+  return session_->Ingest(slot, batch);
+}
+
+IngestStats IngestFrontEnd::stats() const {
+  IngestStats out;
+  out.enqueued = stats_.enqueued.load(std::memory_order_relaxed);
+  out.rejected_backpressure =
+      stats_.rejected_backpressure.load(std::memory_order_relaxed);
+  out.flushed_slots = stats_.flushed_slots.load(std::memory_order_relaxed);
+  out.stragglers = stats_.stragglers.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace trendspeed

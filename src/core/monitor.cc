@@ -9,6 +9,7 @@ OnlineTrafficMonitor::OnlineTrafficMonitor(
     : estimator_(estimator),
       opts_(opts),
       ewma_(estimator->network().num_roads(), 0.0),
+      ewma_seeded_(estimator->network().num_roads(), 0),
       below_streak_(estimator->network().num_roads(), 0),
       alert_active_(estimator->network().num_roads(), false) {
   TS_CHECK(estimator != nullptr);
@@ -34,13 +35,28 @@ Result<OnlineTrafficMonitor::SlotReport> OnlineTrafficMonitor::Process(
   TS_ASSIGN_OR_RETURN(report.estimate,
                       estimator_->Estimate(slot, observations, state));
   const RoadNetwork& net = estimator_->network();
+  // Roads directly observed this slot: only a real observation may seed a
+  // road's EWMA at full weight. Seeding every road from the first slot's
+  // deviation handed unobserved roads their carried-forward/backfilled
+  // deviation at full weight, which could instantly cross alert_deviation
+  // before a single direct measurement existed (regression-tested in
+  // monitor_test.cc). Unseeded roads instead accumulate from 0 at the
+  // usual alpha, so an inferred slowdown still alarms — after the same
+  // debounce every other road gets.
+  std::vector<uint8_t> observed(net.num_roads(), 0);
+  for (const SeedSpeed& s : observations) {
+    if (s.road < net.num_roads()) observed[s.road] = 1;
+  }
   double speed_sum = 0.0;
   for (RoadId r = 0; r < net.num_roads(); ++r) {
     double d = report.estimate.speeds.deviation[r];
-    ewma_[r] = slots_processed_ == 0
-                   ? d
-                   : (1.0 - opts_.ewma_alpha) * ewma_[r] +
-                         opts_.ewma_alpha * d;
+    if (!ewma_seeded_[r] && observed[r]) {
+      ewma_[r] = d;
+      ewma_seeded_[r] = 1;
+    } else {
+      ewma_[r] =
+          (1.0 - opts_.ewma_alpha) * ewma_[r] + opts_.ewma_alpha * d;
+    }
     speed_sum += report.estimate.speeds.speed_kmh[r];
     if (ewma_[r] < opts_.congested_deviation) ++report.congested_roads;
 

@@ -79,6 +79,11 @@ class OnlineTrafficMonitor {
   const TrafficSpeedEstimator* estimator_;
   MonitorOptions opts_;
   std::vector<double> ewma_;
+  /// 1 once road r's EWMA has been seeded by a directly observed slot;
+  /// until then the EWMA accumulates from 0 at the normal alpha, so
+  /// backfilled/carried-forward deviations can never arm a road at full
+  /// weight on its first appearance.
+  std::vector<uint8_t> ewma_seeded_;
   std::vector<uint32_t> below_streak_;
   std::vector<bool> alert_active_;
   uint64_t last_slot_ = 0;

@@ -34,6 +34,16 @@ class IngestLatencyScope {
 
 }  // namespace
 
+Status IngestQueueOptions::Validate() const {
+  // The queue rounds capacity up to a power of two; bound the request so a
+  // fat-fingered capacity cannot ask for a multi-GB ring.
+  if (capacity > (size_t{1} << 30)) {
+    return Status::InvalidArgument(
+        "ingest_queue.capacity must be <= 2^30 (0 disables the queue)");
+  }
+  return Status::OK();
+}
+
 Status ServingOptions::Validate() const {
   // `!(a < b)` style keeps NaN-poisoned options invalid too.
   if (!(monitor.ewma_alpha > 0.0) || !(monitor.ewma_alpha <= 1.0)) {
@@ -58,14 +68,23 @@ Status ServingOptions::Validate() const {
     return Status::InvalidArgument(
         "observability.slow_ingest_ms must be positive and finite");
   }
+  TS_RETURN_NOT_OK(ingest_queue.Validate());
   return Status::OK();
 }
 
 ServingSession::ServingSession(const TrafficSpeedEstimator* estimator,
                                const ServingOptions& opts)
-    : estimator_(estimator), opts_(opts), monitor_(estimator, opts.monitor) {
+    : estimator_(estimator),
+      opts_(opts),
+      monitor_(estimator, opts.monitor),
+      stats_(std::make_unique<AtomicStats>()) {
   // Register handles once; every hot-path record is then a pointer check.
   obs::MetricsRegistry* reg = opts_.observability.metrics;
+  if (opts_.publish_snapshots) {
+    snapshot_ = std::make_unique<SpeedSnapshotPublisher>(
+        estimator->network().num_roads());
+    snapshot_->AttachMetrics(reg);
+  }
   m_slots_estimated_ = obs::GetCounter(reg, obs::kServingSlotsEstimatedTotal);
   m_slots_carried_forward_ =
       obs::GetCounter(reg, obs::kServingSlotsCarriedForwardTotal);
@@ -167,7 +186,7 @@ Result<ServingSession::SlotReport> ServingSession::CarryForward(uint64_t slot,
         "estimate too stale: already " + std::to_string(stale_streak_) +
         " consecutive carried-forward slots");
   }
-  Count(stats_.slots_carried_forward, m_slots_carried_forward_);
+  Count(stats_->slots_carried_forward, m_slots_carried_forward_);
   ++stale_streak_;
   obs::Set(m_staleness_, static_cast<double>(stale_streak_));
   last_report_.slot = slot;
@@ -179,7 +198,37 @@ Result<ServingSession::SlotReport> ServingSession::CarryForward(uint64_t slot,
   last_report_.monitor.new_alerts.clear();
   last_report_.observations_used = 0;
   last_report_.observations_dropped = dropped;
+  PublishSnapshot();
   return last_report_;
+}
+
+void ServingSession::PublishSnapshot() {
+  if (snapshot_ == nullptr || !has_report_) return;
+  const SpeedEstimateResult& speeds = last_report_.monitor.estimate.speeds;
+  snapshot_->Publish(last_report_.slot, speeds.speed_kmh, speeds.deviation,
+                     last_report_.stale_slots,
+                     last_report_.monitor.mean_speed_kmh);
+}
+
+ServingStats ServingSession::stats() const {
+  ServingStats out;
+  out.slots_estimated =
+      stats_->slots_estimated.load(std::memory_order_relaxed);
+  out.slots_carried_forward =
+      stats_->slots_carried_forward.load(std::memory_order_relaxed);
+  out.duplicate_slots =
+      stats_->duplicate_slots.load(std::memory_order_relaxed);
+  out.out_of_order_slots =
+      stats_->out_of_order_slots.load(std::memory_order_relaxed);
+  out.rejected_batches =
+      stats_->rejected_batches.load(std::memory_order_relaxed);
+  out.observations_filtered =
+      stats_->observations_filtered.load(std::memory_order_relaxed);
+  out.observations_deduplicated =
+      stats_->observations_deduplicated.load(std::memory_order_relaxed);
+  out.estimation_failures =
+      stats_->estimation_failures.load(std::memory_order_relaxed);
+  return out;
 }
 
 Result<ServingSession::SlotReport> ServingSession::Ingest(
@@ -190,13 +239,13 @@ Result<ServingSession::SlotReport> ServingSession::Ingest(
   if (has_report_) {
     if (slot == last_report_.slot) {
       // Idempotent re-delivery: serve the cached report, mutate nothing.
-      Count(stats_.duplicate_slots, m_duplicate_slots_);
+      Count(stats_->duplicate_slots, m_duplicate_slots_);
       SlotReport replay = last_report_;
       replay.duplicate = true;
       return replay;
     }
     if (slot < last_report_.slot) {
-      Count(stats_.out_of_order_slots, m_out_of_order_slots_);
+      Count(stats_->out_of_order_slots, m_out_of_order_slots_);
       // Slot continuity is broken; the next accepted slot must start cold.
       trend_state_.Invalidate();
       return Status::FailedPrecondition(
@@ -211,13 +260,12 @@ Result<ServingSession::SlotReport> ServingSession::Ingest(
       Sanitize(observations, &filtered, &deduplicated);
   if (!sanitized.ok()) {
     // The slot is not consumed: a corrected batch may be re-sent.
-    Count(stats_.rejected_batches, m_rejected_batches_);
+    Count(stats_->rejected_batches, m_rejected_batches_);
     return sanitized.status();
   }
-  stats_.observations_filtered += filtered;
-  obs::Add(m_observations_filtered_, filtered);
-  stats_.observations_deduplicated += deduplicated;
-  obs::Add(m_observations_deduplicated_, deduplicated);
+  Count(stats_->observations_filtered, m_observations_filtered_, filtered);
+  Count(stats_->observations_deduplicated, m_observations_deduplicated_,
+        deduplicated);
   const size_t dropped = filtered + deduplicated;
   if (sanitized->empty()) return CarryForward(slot, dropped);
 
@@ -235,11 +283,11 @@ Result<ServingSession::SlotReport> ServingSession::Ingest(
     }
   }
   if (!healthy) {
-    Count(stats_.estimation_failures, m_estimation_failures_);
+    Count(stats_->estimation_failures, m_estimation_failures_);
     return CarryForward(slot, dropped);
   }
 
-  Count(stats_.slots_estimated, m_slots_estimated_);
+  Count(stats_->slots_estimated, m_slots_estimated_);
   stale_streak_ = 0;
   obs::Set(m_staleness_, 0.0);
   last_report_ = SlotReport{};
@@ -248,6 +296,7 @@ Result<ServingSession::SlotReport> ServingSession::Ingest(
   last_report_.observations_used = sanitized->size();
   last_report_.observations_dropped = dropped;
   has_report_ = true;
+  PublishSnapshot();
   return last_report_;
 }
 

@@ -25,11 +25,14 @@
 #ifndef TRENDSPEED_CORE_SERVING_H_
 #define TRENDSPEED_CORE_SERVING_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/estimator.h"
 #include "core/monitor.h"
+#include "core/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/status.h"
@@ -49,6 +52,19 @@ enum class DedupPolicy {
 enum class ValidationPolicy {
   kStrict,  ///< any malformed observation fails the batch (default)
   kFilter,  ///< malformed observations are dropped and counted
+};
+
+/// Knobs for the optional lock-free MPSC ingest queue (core/ingest.h).
+/// Off by default: a zero capacity means observation producers call
+/// ServingSession::Ingest directly and IngestFrontEnd::Create is refused —
+/// single-producer replays then stay bitwise identical to the pre-queue
+/// serving loop by construction.
+struct IngestQueueOptions {
+  /// Bound on queued-but-undrained observations; rounded up to a power of
+  /// two by the queue. 0 disables the front-end entirely.
+  size_t capacity = 0;
+
+  Status Validate() const;
 };
 
 struct ServingOptions {
@@ -79,14 +95,29 @@ struct ServingOptions {
   /// the estimator's decision (see PipelineConfig::observability). Sinks
   /// must outlive the session.
   ObservabilityOptions observability;
+  /// Publish every served slot (fresh or carried forward) through a seqlock
+  /// SpeedSnapshotPublisher, giving concurrent readers a non-blocking
+  /// consistent (slot, speeds, staleness) view — see core/snapshot.h and
+  /// docs/serving.md. Off by default: snapshot_publisher() is then null.
+  bool publish_snapshots = false;
+  /// Lock-free MPSC ingest front-end sizing; capacity 0 (default) = off.
+  IngestQueueOptions ingest_queue;
 
   /// Full validation of every knob (including the wrapped MonitorOptions,
   /// so user-supplied options never trip the monitor's TS_CHECKs).
   Status Validate() const;
 };
 
-/// Cumulative degradation counters. Monotone over the session lifetime;
-/// a healthy stream keeps everything but slots_estimated at 0.
+/// Cumulative degradation counters — a point-in-time snapshot returned by
+/// ServingSession::stats(). Monotone over the session lifetime; a healthy
+/// stream keeps everything but slots_estimated at 0.
+///
+/// Internally every field is backed by a relaxed std::atomic bumped in the
+/// same ServingSession::Count call as its registry mirror, so the snapshot
+/// and the exported counters agree at quiescence even when producer
+/// threads feed the session through the MPSC front-end (the pre-atomic
+/// plain-uint64 fields silently lost increments under that regime while
+/// the atomic mirrors did not — divergence pinned by tests/ingest_test.cc).
 struct ServingStats {
   uint64_t slots_estimated = 0;        ///< fresh estimates served
   uint64_t slots_carried_forward = 0;  ///< stale re-serves of the last good
@@ -141,7 +172,15 @@ class ServingSession {
   Result<SlotReport> Ingest(uint64_t slot,
                             const std::vector<SeedSpeed>& observations);
 
-  const ServingStats& stats() const { return stats_; }
+  /// Point-in-time snapshot of the cumulative degradation counters.
+  ServingStats stats() const;
+
+  /// Seqlock snapshot read path; null unless options().publish_snapshots.
+  /// Readers on any thread call snapshot_publisher()->Read() and never
+  /// block Ingest. The pointer is stable for the session's lifetime.
+  const SpeedSnapshotPublisher* snapshot_publisher() const {
+    return snapshot_.get();
+  }
 
   /// True once any slot has been served (fresh or carried forward).
   bool has_estimate() const { return has_report_; }
@@ -168,18 +207,39 @@ class ServingSession {
   /// explains why it cannot.
   Result<SlotReport> CarryForward(uint64_t slot, size_t dropped);
 
-  /// Increments a ServingStats field and its registry mirror together, so
-  /// the struct (the API snapshot view) and the exported counter can never
-  /// disagree — tests/obs_test.cc pins this equivalence.
-  void Count(uint64_t& field, obs::Counter* mirror) {
-    ++field;
-    obs::Add(mirror);
+  /// Atomic backing store for ServingStats; field order matches. Heap-held
+  /// so the session stays movable (Result<ServingSession> moves it out of
+  /// Create) while the atomics themselves never move.
+  struct AtomicStats {
+    std::atomic<uint64_t> slots_estimated{0};
+    std::atomic<uint64_t> slots_carried_forward{0};
+    std::atomic<uint64_t> duplicate_slots{0};
+    std::atomic<uint64_t> out_of_order_slots{0};
+    std::atomic<uint64_t> rejected_batches{0};
+    std::atomic<uint64_t> observations_filtered{0};
+    std::atomic<uint64_t> observations_deduplicated{0};
+    std::atomic<uint64_t> estimation_failures{0};
+  };
+
+  /// Bumps a ServingStats field and its registry mirror in one call, both
+  /// through atomics, so the struct snapshot and the exported counter agree
+  /// at quiescence from any thread — tests/obs_test.cc and
+  /// tests/ingest_test.cc pin this equivalence.
+  void Count(std::atomic<uint64_t>& field, obs::Counter* mirror,
+             uint64_t n = 1) {
+    field.fetch_add(n, std::memory_order_relaxed);
+    obs::Add(mirror, n);
   }
+
+  /// Publishes the last served report through the seqlock snapshot (no-op
+  /// when snapshots are off).
+  void PublishSnapshot();
 
   const TrafficSpeedEstimator* estimator_;
   ServingOptions opts_;
   OnlineTrafficMonitor monitor_;
-  ServingStats stats_;
+  std::unique_ptr<AtomicStats> stats_;
+  std::unique_ptr<SpeedSnapshotPublisher> snapshot_;
   bool has_report_ = false;
   SlotReport last_report_;
   uint32_t stale_streak_ = 0;

@@ -1,0 +1,135 @@
+#include "io/obs_wire.h"
+
+#include <cmath>
+#include <map>
+
+namespace trendspeed {
+
+namespace {
+
+constexpr char kBatchTag[4] = {'T', 'S', 'O', 'B'};
+constexpr char kLogTag[4] = {'T', 'S', 'O', 'L'};
+
+}  // namespace
+
+void AppendObservationBatch(const ObservationBatch& batch, BinaryWriter* w) {
+  w->PutTag(kBatchTag, kObsWireVersion);
+  w->PutU64(batch.slot);
+  w->PutU64(batch.observations.size());
+  for (const SeedSpeed& s : batch.observations) {
+    w->PutU32(s.road);
+    w->PutF32(static_cast<float>(s.speed_kmh));
+  }
+}
+
+std::string EncodeObservationBatch(const ObservationBatch& batch) {
+  BinaryWriter w;
+  AppendObservationBatch(batch, &w);
+  return w.buffer();
+}
+
+Result<ObservationBatch> DecodeObservationBatch(BinaryReader* r) {
+  TS_ASSIGN_OR_RETURN(uint32_t version, r->ExpectTag(kBatchTag));
+  if (version != kObsWireVersion) {
+    return Status::InvalidArgument("unsupported observation wire version " +
+                                   std::to_string(version));
+  }
+  ObservationBatch batch;
+  TS_ASSIGN_OR_RETURN(batch.slot, r->GetU64());
+  TS_ASSIGN_OR_RETURN(uint64_t count, r->GetU64());
+  // 8 bytes per record: a count beyond the remaining bytes is corruption,
+  // caught before any allocation it could size.
+  if (count > r->remaining() / 8) {
+    return Status::InvalidArgument("observation batch truncated or corrupt");
+  }
+  batch.observations.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SeedSpeed s;
+    TS_ASSIGN_OR_RETURN(s.road, r->GetU32());
+    TS_ASSIGN_OR_RETURN(float speed, r->GetF32());
+    if (!std::isfinite(speed)) {
+      return Status::InvalidArgument(
+          "non-finite speed on the wire for road " + std::to_string(s.road));
+    }
+    s.speed_kmh = static_cast<double>(speed);
+    batch.observations.push_back(s);
+  }
+  return batch;
+}
+
+Result<ObservationBatch> DecodeObservationBatch(const std::string& bytes) {
+  BinaryReader r(bytes);
+  TS_ASSIGN_OR_RETURN(ObservationBatch batch, DecodeObservationBatch(&r));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after observation batch");
+  }
+  return batch;
+}
+
+std::string EncodeObservationLog(const std::vector<ObservationBatch>& log) {
+  BinaryWriter w;
+  w.PutTag(kLogTag, kObsWireVersion);
+  w.PutU64(log.size());
+  for (const ObservationBatch& batch : log) {
+    AppendObservationBatch(batch, &w);
+  }
+  return w.buffer();
+}
+
+Result<std::vector<ObservationBatch>> DecodeObservationLog(
+    const std::string& bytes) {
+  BinaryReader r(bytes);
+  TS_ASSIGN_OR_RETURN(uint32_t version, r.ExpectTag(kLogTag));
+  if (version != kObsWireVersion) {
+    return Status::InvalidArgument("unsupported observation wire version " +
+                                   std::to_string(version));
+  }
+  TS_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+  // Every batch is at least a 16-byte header plus the 8-byte count field.
+  if (count > r.remaining() / 24) {
+    return Status::InvalidArgument("observation log truncated or corrupt");
+  }
+  std::vector<ObservationBatch> log;
+  log.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TS_ASSIGN_OR_RETURN(ObservationBatch batch, DecodeObservationBatch(&r));
+    log.push_back(std::move(batch));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after observation log");
+  }
+  return log;
+}
+
+Result<std::vector<ObservationBatch>> ObservationLogFromRecords(
+    const std::vector<RawRecord>& records) {
+  std::map<uint64_t, ObservationBatch> by_slot;
+  for (const RawRecord& rec : records) {
+    if (!std::isfinite(rec.speed_kmh)) {
+      return Status::InvalidArgument("non-finite speed for road " +
+                                     std::to_string(rec.road));
+    }
+    ObservationBatch& batch = by_slot[rec.slot];
+    batch.slot = rec.slot;
+    batch.observations.push_back(SeedSpeed{rec.road, rec.speed_kmh});
+  }
+  std::vector<ObservationBatch> log;
+  log.reserve(by_slot.size());
+  for (auto& [slot, batch] : by_slot) {
+    log.push_back(std::move(batch));
+  }
+  return log;
+}
+
+std::vector<RawRecord> RecordsFromObservationLog(
+    const std::vector<ObservationBatch>& log) {
+  std::vector<RawRecord> records;
+  for (const ObservationBatch& batch : log) {
+    for (const SeedSpeed& s : batch.observations) {
+      records.push_back(RawRecord{s.road, batch.slot, s.speed_kmh});
+    }
+  }
+  return records;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,72 @@
+// Compact binary observation wire format — the one encoding shared by the
+// ingest bench, file replays, and future network front-ends.
+//
+// CSV (io/serialize.h) is the human-facing interchange format, but a
+// metropolitan observation firehose is machine-to-machine: fixed-width
+// little-endian records, no parsing, no per-row allocation.
+//
+// Layout (all little-endian, via util/binary_io.h):
+//
+//   batch  :=  "TSOB" u32 version(=1)  u64 slot  u64 count
+//              count * { u32 road  f32 speed_kmh }
+//   log    :=  "TSOL" u32 version(=1)  u64 batch_count  batch_count * batch
+//
+// 8 bytes per observation. Speeds are quantized to f32 on encode (half a
+// millimetre per hour of error at city speeds — far below sensor noise);
+// encode(decode(bytes)) is byte-exact. Decoders are strict: bad tags,
+// truncation, non-finite speeds, and trailing garbage all fail with Status
+// instead of yielding garbage observations — validation against a specific
+// road network (range checks) stays the serving session's job.
+//
+// Round-trip with the CSV loaders: ObservationLogFromRecords groups the
+// RawRecords that RecordsFromCsv yields into ascending per-slot batches,
+// and RecordsFromObservationLog flattens back, so CSV archives and wire
+// streams interconvert (tests/obs_wire_test.cc).
+
+#ifndef TRENDSPEED_IO_OBS_WIRE_H_
+#define TRENDSPEED_IO_OBS_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/serialize.h"
+#include "speed/propagation.h"
+#include "util/binary_io.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// One slot's worth of observations, the unit of ingest admission.
+struct ObservationBatch {
+  uint64_t slot = 0;
+  std::vector<SeedSpeed> observations;
+};
+
+inline constexpr uint32_t kObsWireVersion = 1;
+
+/// Appends one batch to `w` (for streaming writers building logs).
+void AppendObservationBatch(const ObservationBatch& batch, BinaryWriter* w);
+
+std::string EncodeObservationBatch(const ObservationBatch& batch);
+/// Reads one batch at the reader's cursor (for streaming readers).
+Result<ObservationBatch> DecodeObservationBatch(BinaryReader* r);
+/// Whole-buffer variant; trailing bytes are an error.
+Result<ObservationBatch> DecodeObservationBatch(const std::string& bytes);
+
+std::string EncodeObservationLog(const std::vector<ObservationBatch>& log);
+Result<std::vector<ObservationBatch>> DecodeObservationLog(
+    const std::string& bytes);
+
+/// Groups raw records (the CSV loaders' row type) into per-slot batches,
+/// ascending by slot; record order within a slot is preserved. Slots need
+/// not be contiguous. Speeds must be finite.
+Result<std::vector<ObservationBatch>> ObservationLogFromRecords(
+    const std::vector<RawRecord>& records);
+/// Flattens batches back into records (slot-major, preserving order).
+std::vector<RawRecord> RecordsFromObservationLog(
+    const std::vector<ObservationBatch>& log);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_IO_OBS_WIRE_H_

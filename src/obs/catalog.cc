@@ -168,6 +168,37 @@ const MetricDef kServingEstimationFailuresTotal = {
     "trendspeed_serving_estimation_failures_total", MetricType::kCounter,
     "Estimator/monitor errors absorbed by carry-forward", "1"};
 
+// --- ingest front-end (core/ingest.cc) -------------------------------------
+const MetricDef kServingIngestEnqueuedTotal = {
+    "trendspeed_serving_ingest_enqueued_total", MetricType::kCounter,
+    "Observations accepted into the MPSC ingest queue", "1"};
+const MetricDef kServingIngestRejectedBackpressureTotal = {
+    "trendspeed_serving_ingest_rejected_backpressure_total",
+    MetricType::kCounter,
+    "Observations refused because the ingest queue was full", "1"};
+const MetricDef kServingIngestQueueDepth = {
+    "trendspeed_serving_ingest_queue_depth", MetricType::kGauge,
+    "Observations queued but not yet drained", "observations"};
+const MetricDef kServingIngestFlushedSlotsTotal = {
+    "trendspeed_serving_ingest_flushed_slots_total", MetricType::kCounter,
+    "Slot batches the drain loop handed to ServingSession::Ingest", "1"};
+const MetricDef kServingIngestStragglersTotal = {
+    "trendspeed_serving_ingest_stragglers_total", MetricType::kCounter,
+    "Observations dropped because their slot batch was already flushed",
+    "1"};
+
+// --- speed snapshot (core/snapshot.cc) -------------------------------------
+const MetricDef kSnapshotPublishesTotal = {
+    "trendspeed_snapshot_publishes_total", MetricType::kCounter,
+    "Speed-field snapshots published (one per served slot)", "1"};
+const MetricDef kSnapshotReadRetriesTotal = {
+    "trendspeed_snapshot_read_retries_total", MetricType::kCounter,
+    "Seqlock reader retries caused by a concurrent publish", "1"};
+const MetricDef kSnapshotReadLatencyUs = {
+    "trendspeed_snapshot_read_latency_us", MetricType::kHistogram,
+    "Wall time of one consistent SpeedSnapshot read", "us", "",
+    kMicrosBounds, N(kMicrosBounds)};
+
 const std::vector<const MetricDef*>& AllMetricDefs() {
   static const std::vector<const MetricDef*> all = {
       &kBpRunsTotal,
@@ -211,6 +242,14 @@ const std::vector<const MetricDef*>& AllMetricDefs() {
       &kServingObservationsFilteredTotal,
       &kServingObservationsDeduplicatedTotal,
       &kServingEstimationFailuresTotal,
+      &kServingIngestEnqueuedTotal,
+      &kServingIngestRejectedBackpressureTotal,
+      &kServingIngestQueueDepth,
+      &kServingIngestFlushedSlotsTotal,
+      &kServingIngestStragglersTotal,
+      &kSnapshotPublishesTotal,
+      &kSnapshotReadRetriesTotal,
+      &kSnapshotReadLatencyUs,
   };
   return all;
 }

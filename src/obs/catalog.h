@@ -76,6 +76,18 @@ extern const MetricDef kServingObservationsFilteredTotal;
 extern const MetricDef kServingObservationsDeduplicatedTotal;
 extern const MetricDef kServingEstimationFailuresTotal;
 
+// --- core/ingest.cc (lock-free MPSC ingest front-end) ----------------------
+extern const MetricDef kServingIngestEnqueuedTotal;
+extern const MetricDef kServingIngestRejectedBackpressureTotal;
+extern const MetricDef kServingIngestQueueDepth;       ///< gauge
+extern const MetricDef kServingIngestFlushedSlotsTotal;
+extern const MetricDef kServingIngestStragglersTotal;
+
+// --- core/snapshot.cc (seqlock speed snapshots) -----------------------------
+extern const MetricDef kSnapshotPublishesTotal;
+extern const MetricDef kSnapshotReadRetriesTotal;
+extern const MetricDef kSnapshotReadLatencyUs;  ///< histogram
+
 /// Every catalog entry (one per (name, labels) series). Names may repeat
 /// across label sets.
 const std::vector<const MetricDef*>& AllMetricDefs();

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace trendspeed {
@@ -11,10 +12,95 @@ std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        // Remaining control characters are illegal raw inside a JSON
+        // string; \u-encode them so a hostile label value can't produce
+        // an unparseable document.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
+}
+
+// Label sets arrive pre-formatted as `key="value",key="value"`. The 0.0.4
+// exposition format requires backslash, double-quote, and newline escaped
+// inside label values, but MetricDef authors write raw values — so rewrite
+// just the quoted spans. A '"' followed by ',' or the end of the list
+// closes a value; any other '"' belongs to it. Already-simple label sets
+// (every committed catalog entry) pass through byte-identical, keeping the
+// existing goldens stable.
+std::string EscapeLabelValues(const std::string& labels) {
+  std::string out;
+  out.reserve(labels.size());
+  bool in_value = false;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    char c = labels[i];
+    if (!in_value) {
+      out.push_back(c);
+      if (c == '"') in_value = true;
+      continue;
+    }
+    if (c == '"' && (i + 1 == labels.size() || labels[i + 1] == ',')) {
+      out.push_back('"');
+      in_value = false;
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// HELP text: 0.0.4 requires '\\' and newline escaped (quotes are legal raw
+// in HELP, unlike label values).
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// JSON has no literal for non-finite numbers; render them as the quoted
+// Prometheus spelling so the document stays parseable.
+std::string JsonNumber(double v) {
+  std::string s = FormatMetricValue(v);
+  return std::isfinite(v) ? s : "\"" + s + "\"";
 }
 
 void AppendIdFields(const MetricId& id, std::string* out) {
@@ -27,7 +113,7 @@ void AppendIdFields(const MetricId& id, std::string* out) {
 /// set when non-empty.
 std::string Series(const std::string& name, const std::string& labels,
                    const std::string& extra = "") {
-  std::string all = labels;
+  std::string all = EscapeLabelValues(labels);
   if (!extra.empty()) {
     if (!all.empty()) all += ",";
     all += extra;
@@ -39,7 +125,7 @@ void AppendHeader(const MetricId& id, const char* type, std::string* out,
                   std::string* last_name) {
   if (id.name == *last_name) return;  // one HELP/TYPE per name
   *last_name = id.name;
-  *out += "# HELP " + id.name + " " + id.help;
+  *out += "# HELP " + id.name + " " + EscapeHelp(id.help);
   if (!id.unit.empty() && id.unit != "1") *out += " (" + id.unit + ")";
   *out += "\n# TYPE " + id.name + " " + type + "\n";
 }
@@ -47,6 +133,10 @@ void AppendHeader(const MetricId& id, const char* type, std::string* out,
 }  // namespace
 
 std::string FormatMetricValue(double v) {
+  // %g renders non-finite doubles as "inf"/"-inf"/"nan", which the 0.0.4
+  // exposition format does not accept; it wants "+Inf"/"-Inf"/"NaN".
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%g", v);
   return buf;
@@ -68,7 +158,7 @@ std::string ToJsonText(const RegistrySnapshot& snap) {
     out += i > 0 ? "," : "";
     out += "\n    {";
     AppendIdFields(g.id, &out);
-    out += ", \"value\": " + FormatMetricValue(g.value) + "}";
+    out += ", \"value\": " + JsonNumber(g.value) + "}";
   }
   out += snap.gauges.empty() ? "],\n" : "\n  ],\n";
   out += "  \"histograms\": [";
@@ -86,8 +176,11 @@ std::string ToJsonText(const RegistrySnapshot& snap) {
       out += b < h.bounds.size() ? FormatMetricValue(h.bounds[b]) : "inf";
       out += "\", \"count\": " + std::to_string(cumulative) + "}";
     }
-    out += "], \"sum\": " + FormatMetricValue(h.sum);
-    out += ", \"count\": " + std::to_string(h.count) + "}";
+    out += "], \"sum\": " + JsonNumber(h.sum);
+    // Total derived from the buckets just rendered, not the separately-read
+    // h.count: the exposition invariant is +Inf bucket == count, and only
+    // the bucket sum is guaranteed consistent with the bucket lines.
+    out += ", \"count\": " + std::to_string(cumulative) + "}";
   }
   out += snap.histograms.empty() ? "]\n}\n" : "\n  ]\n}\n";
   return out;
@@ -118,8 +211,11 @@ std::string ToPrometheusText(const RegistrySnapshot& snap) {
     }
     out += Series(h.id.name + "_sum", h.id.labels) + " " +
            FormatMetricValue(h.sum) + "\n";
+    // 0.0.4 requires `_count` == `_bucket{le="+Inf"}`; derive it from the
+    // cumulative total actually emitted above so the two lines can never
+    // disagree, even for a snapshot whose count field was read mid-update.
     out += Series(h.id.name + "_count", h.id.labels) + " " +
-           std::to_string(h.count) + "\n";
+           std::to_string(cumulative) + "\n";
   }
   return out;
 }

@@ -128,10 +128,18 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
             hs.bounds.push_back(h.bound(i));
           }
           hs.counts.reserve(h.num_buckets() + 1);
+          // Derive the total from the same per-bucket reads that feed the
+          // cumulative series. Observe() bumps the bucket cell and the
+          // separate total as two relaxed ops, so reading h.count()
+          // independently can disagree with the bucket sum mid-scrape —
+          // which breaks the 0.0.4 invariant that `_bucket{le="+Inf"}`
+          // equals `_count`.
+          hs.count = 0;
           for (size_t i = 0; i <= h.num_buckets(); ++i) {
-            hs.counts.push_back(h.bucket_count(i));
+            uint64_t c = h.bucket_count(i);
+            hs.counts.push_back(c);
+            hs.count += c;
           }
-          hs.count = h.count();
           hs.sum = h.sum();
           snap.histograms.push_back(std::move(hs));
           break;

@@ -1,0 +1,71 @@
+// Regression tests for the bench hardware stamp (bench/bench_hardware.h).
+// The committed BENCH_*.json files are only interpretable if the stamp is
+// truthful about the CPUs the run could actually use — not what the whole
+// machine has.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include "bench_hardware.h"
+
+namespace trendspeed {
+namespace {
+
+TEST(BenchHardwareTest, UsableCpusIsPositive) {
+  EXPECT_GE(BenchUsableCpus(), 1u);
+}
+
+TEST(BenchHardwareTest, ScalingValidRequiresMoreThanTwoCpus) {
+  EXPECT_FALSE(BenchScalingValid(0));
+  EXPECT_FALSE(BenchScalingValid(1));
+  EXPECT_FALSE(BenchScalingValid(2));
+  EXPECT_TRUE(BenchScalingValid(3));
+  EXPECT_TRUE(BenchScalingValid(64));
+}
+
+#if defined(__linux__)
+// The bug this file exists for: the stamp used to read only
+// hardware_concurrency, so a many-core host whose cgroup cpuset (or
+// taskset) boxed the bench into 1-2 CPUs still stamped scaling_valid=true
+// and its speedup rows were read as real scaling data. Pin this process to
+// a single CPU and require the affinity-aware reading.
+TEST(BenchHardwareTest, CpusetLimitIsObserved) {
+  cpu_set_t original;
+  CPU_ZERO(&original);
+  ASSERT_EQ(sched_getaffinity(0, sizeof(original), &original), 0);
+
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  int first = -1;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &original)) {
+      first = c;
+      break;
+    }
+  }
+  ASSERT_GE(first, 0);
+  CPU_SET(first, &one);
+  ASSERT_EQ(sched_setaffinity(0, sizeof(one), &one), 0);
+
+  unsigned usable = BenchUsableCpus();
+  bool valid = BenchScalingValid(usable);
+
+  // Restore before asserting so a failure can't leave the test binary (and
+  // every later suite in this process) pinned to one core.
+  ASSERT_EQ(sched_setaffinity(0, sizeof(original), &original), 0);
+
+  EXPECT_EQ(usable, 1u);
+  EXPECT_FALSE(valid)
+      << "a run pinned to one CPU must never stamp scaling_valid=true "
+         "(hardware_concurrency=" << std::thread::hardware_concurrency()
+      << ")";
+}
+#endif  // defined(__linux__)
+
+}  // namespace
+}  // namespace trendspeed

@@ -1,0 +1,374 @@
+// Tests for the lock-free MPSC ingest front-end (core/ingest.h) and the
+// bounded queue underneath it (util/mpsc_queue.h): queue semantics,
+// slot-batched admission, backpressure accounting, the single-producer
+// bitwise-determinism contract, and the multi-producer stats-vs-registry
+// equivalence (run under TRENDSPEED_SANITIZE=thread — the regression that
+// motivated making ServingStats atomic).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ingest.h"
+#include "core/serving.h"
+#include "obs/catalog.h"
+#include "test_util.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::SharedTinyDataset;
+
+// ---------------------------------------------------------------------------
+// MpscBoundedQueue primitives.
+// ---------------------------------------------------------------------------
+
+TEST(MpscQueueTest, FifoWithinCapacity) {
+  MpscBoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_TRUE(q.EmptyApprox());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(99));  // full
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.TryPop(&v));  // empty
+}
+
+TEST(MpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  MpscBoundedQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+  MpscBoundedQueue<int> q1(1);
+  EXPECT_EQ(q1.capacity(), 2u);
+}
+
+TEST(MpscQueueTest, WrapsAroundManyTimes) {
+  MpscBoundedQueue<uint64_t> q(8);
+  uint64_t popped = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.TryPush(i));
+    uint64_t v;
+    ASSERT_TRUE(q.TryPop(&v));
+    EXPECT_EQ(v, i);
+    ++popped;
+  }
+  EXPECT_EQ(popped, 1000u);
+}
+
+TEST(MpscQueueTest, DestructorReleasesUnpoppedElements) {
+  // Move-only payload with no default constructor: leftover elements must
+  // be destroyed in place, not popped into a scratch value.
+  auto counter = std::make_shared<int>(0);
+  struct Tracker {
+    explicit Tracker(std::shared_ptr<int> c) : count(std::move(c)) {}
+    ~Tracker() {
+      if (count) ++*count;
+    }
+    Tracker(Tracker&&) = default;
+    Tracker& operator=(Tracker&&) = default;
+    std::shared_ptr<int> count;
+  };
+  {
+    MpscBoundedQueue<Tracker> q(8);
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.TryPush(Tracker(counter)));
+  }
+  EXPECT_EQ(*counter, 5);
+}
+
+TEST(MpscQueueTest, ManyProducersOneConsumerLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 5000;
+  MpscBoundedQueue<uint64_t> q(256);
+  std::atomic<uint64_t> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        // Encode (producer, seq) so the consumer can check per-producer
+        // FIFO order; spin on backpressure so nothing is dropped.
+        uint64_t v = static_cast<uint64_t>(p) << 32 | i;
+        while (!q.TryPush(v)) std::this_thread::yield();
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<uint64_t> next_seq(kProducers, 0);
+  uint64_t drained = 0;
+  while (drained < kProducers * kPerProducer) {
+    uint64_t v;
+    if (!q.TryPop(&v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    uint64_t p = v >> 32;
+    uint64_t seq = v & 0xffffffffu;
+    ASSERT_LT(p, static_cast<uint64_t>(kProducers));
+    // Per-producer order must be preserved through the MPSC queue.
+    EXPECT_EQ(seq, next_seq[p]);
+    next_seq[p] = seq + 1;
+    ++drained;
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(accepted.load(), kProducers * kPerProducer);
+  EXPECT_TRUE(q.EmptyApprox());
+}
+
+// ---------------------------------------------------------------------------
+// IngestFrontEnd over a real serving session.
+// ---------------------------------------------------------------------------
+
+class IngestTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Dataset& ds = SharedTinyDataset();
+    PipelineConfig config;
+    config.corr.min_co_observed = 8;
+    auto est = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+    TS_CHECK(est.ok());
+    estimator_ = new TrafficSpeedEstimator(std::move(est).value());
+    auto seeds = estimator_->SelectSeeds(6, SeedStrategy::kLazyGreedy);
+    TS_CHECK(seeds.ok());
+    seeds_ = new std::vector<RoadId>(seeds->seeds);
+  }
+
+  const Dataset& ds() { return SharedTinyDataset(); }
+
+  std::vector<SeedSpeed> CleanObs(uint64_t slot) {
+    std::vector<SeedSpeed> out;
+    for (RoadId r : *seeds_) {
+      out.push_back({r, std::max(1.0, ds().truth.at(slot, r))});
+    }
+    return out;
+  }
+
+  static TrafficSpeedEstimator* estimator_;
+  static std::vector<RoadId>* seeds_;
+};
+
+TrafficSpeedEstimator* IngestTest::estimator_ = nullptr;
+std::vector<RoadId>* IngestTest::seeds_ = nullptr;
+
+TEST_F(IngestTest, QueueOptionsValidated) {
+  ServingOptions opts;
+  opts.ingest_queue.capacity = (size_t{1} << 30) + 1;
+  EXPECT_FALSE(opts.Validate().ok());
+  EXPECT_FALSE(ServingSession::Create(estimator_, opts).ok());
+  opts.ingest_queue.capacity = size_t{1} << 10;
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+TEST_F(IngestTest, CreateRefusedWhenQueueDisabled) {
+  auto session = ServingSession::Create(estimator_);  // capacity 0: off
+  ASSERT_TRUE(session.ok());
+  auto fe = IngestFrontEnd::Create(&*session);
+  ASSERT_FALSE(fe.ok());
+  EXPECT_NE(fe.status().ToString().find("ingest_queue"), std::string::npos);
+}
+
+// The acceptance contract of the whole front-end: with one producer and
+// one drain thread (here: the same thread), the served reports and stats
+// are bitwise identical to calling Ingest directly with the same per-slot
+// batches — the queue is pure plumbing, never a perturbation.
+TEST_F(IngestTest, SingleProducerBitwiseIdenticalToDirectIngest) {
+  auto direct = ServingSession::Create(estimator_);
+  ASSERT_TRUE(direct.ok());
+  ServingOptions opts;
+  opts.ingest_queue.capacity = 1024;
+  auto queued = ServingSession::Create(estimator_, opts);
+  ASSERT_TRUE(queued.ok());
+  auto fe = IngestFrontEnd::Create(&*queued);
+  ASSERT_TRUE(fe.ok()) << fe.status().ToString();
+
+  for (uint64_t slot = 0; slot < 5; ++slot) {
+    std::vector<SeedSpeed> obs = slot == 3
+                                     ? std::vector<SeedSpeed>{}  // carry-fwd
+                                     : CleanObs(slot);
+    auto want = direct->Ingest(slot, obs);
+    for (const SeedSpeed& s : obs) {
+      ASSERT_TRUE((*fe)->Offer(slot, s));
+    }
+    auto got = slot == 3 ? queued->Ingest(slot, obs)  // empty batch: no
+                                                      // queue traffic
+                         : (*fe)->Flush();
+    ASSERT_EQ(want.ok(), got.ok());
+    if (!want.ok()) continue;
+    EXPECT_EQ(got->slot, want->slot);
+    EXPECT_EQ(got->stale, want->stale);
+    EXPECT_EQ(got->observations_used, want->observations_used);
+    // Bitwise: EXPECT_EQ on double vectors is exact equality.
+    EXPECT_EQ(got->monitor.estimate.speeds.speed_kmh,
+              want->monitor.estimate.speeds.speed_kmh);
+    EXPECT_EQ(got->monitor.estimate.speeds.deviation,
+              want->monitor.estimate.speeds.deviation);
+    EXPECT_EQ(got->monitor.mean_speed_kmh, want->monitor.mean_speed_kmh);
+  }
+  ServingStats ds_ = direct->stats();
+  ServingStats qs = queued->stats();
+  EXPECT_EQ(qs.slots_estimated, ds_.slots_estimated);
+  EXPECT_EQ(qs.slots_carried_forward, ds_.slots_carried_forward);
+  EXPECT_EQ(qs.rejected_batches, ds_.rejected_batches);
+  EXPECT_EQ(qs.estimation_failures, ds_.estimation_failures);
+}
+
+TEST_F(IngestTest, BackpressureDropsAndCounts) {
+  obs::MetricsRegistry reg;
+  ServingOptions opts;
+  opts.ingest_queue.capacity = 2;
+  opts.observability.metrics = &reg;
+  auto session = ServingSession::Create(estimator_, opts);
+  ASSERT_TRUE(session.ok());
+  auto fe = IngestFrontEnd::Create(&*session);
+  ASSERT_TRUE(fe.ok());
+  EXPECT_EQ((*fe)->capacity(), 2u);
+
+  auto obs_batch = CleanObs(0);
+  ASSERT_GE(obs_batch.size(), 5u);
+  size_t accepted = 0;
+  for (size_t i = 0; i < 5; ++i) {
+    if ((*fe)->Offer(0, obs_batch[i])) ++accepted;
+  }
+  EXPECT_EQ(accepted, 2u);  // ring held 2, the rest shed
+  EXPECT_EQ((*fe)->queue_depth(), 2u);
+  IngestStats st = (*fe)->stats();
+  EXPECT_EQ(st.enqueued, 2u);
+  EXPECT_EQ(st.rejected_backpressure, 3u);
+  EXPECT_EQ(reg.GetCounter(obs::kServingIngestEnqueuedTotal)->Value(), 2u);
+  EXPECT_EQ(
+      reg.GetCounter(obs::kServingIngestRejectedBackpressureTotal)->Value(),
+      3u);
+
+  auto report = (*fe)->Flush();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->observations_used, 2u);
+  EXPECT_EQ((*fe)->queue_depth(), 0u);
+  EXPECT_EQ(reg.GetGauge(obs::kServingIngestQueueDepth)->Value(), 0.0);
+  EXPECT_EQ((*fe)->stats().flushed_slots, 1u);
+}
+
+TEST_F(IngestTest, FlushWithNothingPendingIsNotFound) {
+  ServingOptions opts;
+  opts.ingest_queue.capacity = 16;
+  auto session = ServingSession::Create(estimator_, opts);
+  ASSERT_TRUE(session.ok());
+  auto fe = IngestFrontEnd::Create(&*session);
+  ASSERT_TRUE(fe.ok());
+  auto report = (*fe)->Flush();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(IngestTest, StragglersBehindTheWatermarkAreDropped) {
+  obs::MetricsRegistry reg;
+  ServingOptions opts;
+  opts.ingest_queue.capacity = 64;
+  opts.observability.metrics = &reg;
+  auto session = ServingSession::Create(estimator_, opts);
+  ASSERT_TRUE(session.ok());
+  auto fe = IngestFrontEnd::Create(&*session);
+  ASSERT_TRUE(fe.ok());
+
+  auto s5 = CleanObs(5);
+  auto s6 = CleanObs(6);
+  // FIFO arrival: slot 5, then slot 6 (advances the watermark), then a
+  // late slot-5 observation — behind the watermark, dropped and counted.
+  for (const SeedSpeed& s : s5) ASSERT_TRUE((*fe)->Offer(5, s));
+  for (const SeedSpeed& s : s6) ASSERT_TRUE((*fe)->Offer(6, s));
+  ASSERT_TRUE((*fe)->Offer(5, s5[0]));
+
+  size_t flushed = (*fe)->Drain();
+  EXPECT_EQ(flushed, 1u);  // slot 5 flushed when slot 6 appeared
+  IngestStats st = (*fe)->stats();
+  EXPECT_EQ(st.stragglers, 1u);
+  EXPECT_EQ(reg.GetCounter(obs::kServingIngestStragglersTotal)->Value(), 1u);
+  auto report = (*fe)->Flush();  // slot 6, still pending
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->slot, 6u);
+  EXPECT_EQ(report->observations_used, s6.size());
+  EXPECT_EQ((*fe)->stats().flushed_slots, 2u);
+}
+
+// The concurrency-bugfix regression (S2): N producers feeding the queue
+// while a consumer drains into the session. At quiescence the ServingStats
+// struct snapshot and the registry mirrors must agree exactly — with the
+// pre-atomic plain-uint64 stats fields, concurrent bumps lost increments
+// and the two diverged. Run under TRENDSPEED_SANITIZE=thread for the full
+// data-race proof.
+TEST_F(IngestTest, MultiProducerStatsMatchRegistryAtQuiescence) {
+  obs::MetricsRegistry reg;
+  ServingOptions opts;
+  opts.ingest_queue.capacity = 256;
+  opts.observability.metrics = &reg;
+  opts.validation = ValidationPolicy::kFilter;
+  auto session = ServingSession::Create(estimator_, opts);
+  ASSERT_TRUE(session.ok());
+  auto fe_result = IngestFrontEnd::Create(&*session);
+  ASSERT_TRUE(fe_result.ok());
+  IngestFrontEnd* fe = fe_result->get();
+
+  constexpr int kProducers = 4;
+  constexpr uint64_t kSlots = 12;
+  std::atomic<bool> producing{true};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (uint64_t slot = 0; slot < kSlots; ++slot) {
+        for (const SeedSpeed& s : CleanObs(slot)) {
+          // Every producer offers every slot: plenty of duplicates for the
+          // dedup policy, plenty of stragglers for the watermark, and an
+          // occasional malformed observation for the filter counter.
+          (void)fe->Offer(slot, s);
+        }
+        if (p == 0) {
+          (void)fe->Offer(slot, SeedSpeed{0, -1.0});  // filtered (kFilter)
+        }
+      }
+    });
+  }
+  // Concurrent consumer: drain while producers are still offering.
+  std::thread consumer([&] {
+    while (producing.load(std::memory_order_acquire)) {
+      fe->Drain();
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  producing.store(false, std::memory_order_release);
+  consumer.join();
+  (void)fe->Flush();  // final pending batch (NotFound is fine)
+
+  // Quiescent now: every struct field must equal its exported mirror.
+  IngestStats ist = fe->stats();
+  auto counter = [&](const obs::MetricDef& def) {
+    return reg.GetCounter(def)->Value();
+  };
+  EXPECT_EQ(counter(obs::kServingIngestEnqueuedTotal), ist.enqueued);
+  EXPECT_EQ(counter(obs::kServingIngestRejectedBackpressureTotal),
+            ist.rejected_backpressure);
+  EXPECT_EQ(counter(obs::kServingIngestFlushedSlotsTotal), ist.flushed_slots);
+  EXPECT_EQ(counter(obs::kServingIngestStragglersTotal), ist.stragglers);
+  EXPECT_GT(ist.enqueued, 0u);
+
+  ServingStats s = session->stats();
+  EXPECT_EQ(counter(obs::kServingSlotsEstimatedTotal), s.slots_estimated);
+  EXPECT_EQ(counter(obs::kServingSlotsCarriedForwardTotal),
+            s.slots_carried_forward);
+  EXPECT_EQ(counter(obs::kServingDuplicateSlotsTotal), s.duplicate_slots);
+  EXPECT_EQ(counter(obs::kServingOutOfOrderSlotsTotal), s.out_of_order_slots);
+  EXPECT_EQ(counter(obs::kServingRejectedBatchesTotal), s.rejected_batches);
+  EXPECT_EQ(counter(obs::kServingObservationsFilteredTotal),
+            s.observations_filtered);
+  EXPECT_EQ(counter(obs::kServingObservationsDeduplicatedTotal),
+            s.observations_deduplicated);
+  EXPECT_EQ(counter(obs::kServingEstimationFailuresTotal),
+            s.estimation_failures);
+  EXPECT_GT(s.slots_estimated, 0u);
+}
+
+}  // namespace
+}  // namespace trendspeed

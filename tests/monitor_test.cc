@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/monitor.h"
 #include "test_util.h"
 
@@ -157,6 +159,77 @@ TEST_F(MonitorTest, CongestedDeviationThresholdIsConfigurable) {
   ASSERT_TRUE(tight_report.ok());
   EXPECT_GT(loose_report->congested_roads, 0u);
   EXPECT_EQ(tight_report->congested_roads, 0u);
+}
+
+TEST_F(MonitorTest, UnobservedRoadsAreNotSeededAtFullWeight) {
+  MonitorOptions mopts;
+  mopts.alert_deviation = -0.3;
+  mopts.alert_after_slots = 1;  // alert the moment the EWMA crosses
+  mopts.ewma_alpha = 0.4;
+  OnlineTrafficMonitor monitor(estimator_, mopts);
+  auto seeds = estimator_->SelectSeeds(6, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+  std::vector<bool> observed(ds().net.num_roads(), false);
+  for (RoadId r : seeds->seeds) observed[r] = true;
+
+  uint64_t start = ds().first_test_slot();
+  auto report =
+      monitor.Process(start, TrueSeeds(ds(), seeds->seeds, start, 0.45));
+  ASSERT_TRUE(report.ok());
+
+  // Precondition: the propagated slowdown pushes some *unobserved* roads
+  // past the alert threshold on this very first slot (but not so far past
+  // that even an alpha-weighted first step would legitimately alarm).
+  size_t past_threshold = 0;
+  for (RoadId r = 0; r < ds().net.num_roads(); ++r) {
+    double d = report->estimate.speeds.deviation[r];
+    if (!observed[r] && d <= mopts.alert_deviation && d > -0.7) {
+      ++past_threshold;
+    }
+  }
+  ASSERT_GT(past_threshold, 0u);
+
+  // None of those roads may alarm: their deviation is inferred, not
+  // measured, so the EWMA must accumulate from 0 (0.4 * d > -0.3 for every
+  // d > -0.75) instead of being seeded at full weight on slot one (which
+  // made ewma == d <= alert_deviation: an instant alert from a road nobody
+  // drove down).
+  for (const TrafficAlert& a : report->new_alerts) {
+    if (a.raised && report->estimate.speeds.deviation[a.road] > -0.7) {
+      EXPECT_TRUE(observed[a.road])
+          << "unobserved road " << a.road
+          << " alerted on its first, inferred-only slot";
+    }
+  }
+
+  // Observed roads keep the old contract: first measured slot seeds the
+  // EWMA at full weight, so smoothed == raw deviation.
+  RoadId probe = seeds->seeds[0];
+  EXPECT_NEAR(monitor.SmoothedDeviation(probe),
+              report->estimate.speeds.deviation[probe], 1e-12);
+
+  // Sensitivity is delayed, not lost: a *sustained* inferred slowdown still
+  // walks the EWMA across the threshold within a few slots.
+  std::vector<RoadId> strongly_down;
+  for (RoadId r = 0; r < ds().net.num_roads(); ++r) {
+    if (!observed[r] && report->estimate.speeds.deviation[r] <= -0.45) {
+      strongly_down.push_back(r);
+    }
+  }
+  for (uint64_t slot = start + 1; slot < start + 5; ++slot) {
+    ASSERT_TRUE(
+        monitor.Process(slot, TrueSeeds(ds(), seeds->seeds, slot, 0.45)).ok());
+  }
+  if (!strongly_down.empty()) {
+    auto active = monitor.ActiveAlerts();
+    bool any = false;
+    for (RoadId r : strongly_down) {
+      if (std::find(active.begin(), active.end(), r) != active.end()) {
+        any = true;
+      }
+    }
+    EXPECT_TRUE(any) << "sustained inferred slowdown never alerted";
+  }
 }
 
 TEST_F(MonitorTest, SmoothedDeviationTracksEwma) {

@@ -217,6 +217,97 @@ TEST(ExportTest, PrometheusGolden) {
   EXPECT_EQ(reg.ToPrometheus(), expected);
 }
 
+// A label value and HELP text using every character the 0.0.4 exposition
+// format requires escaped: backslash, double-quote, newline. The exporter
+// previously emitted them raw — an unparseable scrape (a newline inside a
+// label value terminates the sample line mid-series) — and %g rendered
+// non-finite gauges as "inf", which Prometheus rejects.
+TEST(ExportTest, HostileLabelValuesAndHelpAreEscaped) {
+  // Raw value: a"b<newline>c\d  — pre-formatted as msg="a"b\nc\d".
+  const obs::MetricDef kHostile{"test_hostile_total",
+                                obs::MetricType::kCounter,
+                                "Line one\nline \\ two", "1",
+                                "msg=\"a\"b\nc\\d\""};
+  const obs::MetricDef kInfGauge{"test_saturation", obs::MetricType::kGauge,
+                                 "Saturation", "1"};
+  obs::MetricsRegistry reg;
+  reg.GetCounter(kHostile)->Add(7);
+  reg.GetGauge(kInfGauge)->Set(std::numeric_limits<double>::infinity());
+  const std::string expected =
+      "# HELP test_hostile_total Line one\\nline \\\\ two\n"
+      "# TYPE test_hostile_total counter\n"
+      "test_hostile_total{msg=\"a\\\"b\\nc\\\\d\"} 7\n"
+      "# HELP test_saturation Saturation\n"
+      "# TYPE test_saturation gauge\n"
+      "test_saturation +Inf\n";
+  EXPECT_EQ(reg.ToPrometheus(), expected);
+
+  // The JSON export of the same registry must stay parseable too: control
+  // characters \u-escaped or \n-escaped, non-finite numbers quoted.
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"labels\": \"msg=\\\"a\\\"b\\nc\\\\d\\\"\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"value\": \"+Inf\""), std::string::npos);
+  EXPECT_EQ(json.find('\n', json.find("msg")), json.find("\n  ],"));
+}
+
+TEST(ExportTest, FormatMetricValueSpellsNonFinitePerExposition) {
+  EXPECT_EQ(obs::FormatMetricValue(std::numeric_limits<double>::infinity()),
+            "+Inf");
+  EXPECT_EQ(obs::FormatMetricValue(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+  EXPECT_EQ(obs::FormatMetricValue(std::numeric_limits<double>::quiet_NaN()),
+            "NaN");
+  EXPECT_EQ(obs::FormatMetricValue(0.25), "0.25");
+}
+
+// The +Inf bucket must equal _count in every exported snapshot, even one
+// taken while producers are mid-Observe (bucket cell and total are two
+// separate relaxed increments). The exporter derives _count from the
+// cumulative bucket total, so a snapshot whose independently-read count
+// field is stale still renders the invariant.
+TEST(ExportTest, HistogramCountDerivedFromBuckets) {
+  obs::RegistrySnapshot snap;
+  obs::HistogramSnapshot hs;
+  hs.id = obs::MetricId{"test_torn", "", "Torn", "1"};
+  hs.bounds = {1.0};
+  hs.counts = {2, 1};  // +Inf cumulative = 3
+  hs.count = 2;        // stale separate read, one increment behind
+  hs.sum = 4.0;
+  snap.histograms.push_back(hs);
+  const std::string prom = obs::ToPrometheusText(snap);
+  EXPECT_NE(prom.find("test_torn_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("test_torn_count 3\n"), std::string::npos);
+  EXPECT_NE(obs::ToJsonText(snap).find("\"count\": 3"), std::string::npos);
+}
+
+// And MetricsRegistry::Snapshot() itself keeps count consistent with the
+// buckets under concurrent observation: the invariant must hold in every
+// snapshot, not just at quiescence. (Run under TRENDSPEED_SANITIZE=thread
+// to validate the recording paths as well.)
+TEST(ExportTest, SnapshotCountMatchesBucketSumUnderConcurrentObserve) {
+  obs::MetricsRegistry reg;
+  std::atomic<bool> stop{false};
+  ThreadPool pool(3);
+  for (int t = 0; t < 3; ++t) {
+    pool.Submit([&] {
+      obs::Histogram* h = reg.GetHistogram(obs::kBpResidual);
+      while (!stop.load(std::memory_order_relaxed)) {
+        h->Observe(1e-5);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    obs::RegistrySnapshot snap = reg.Snapshot();
+    for (const obs::HistogramSnapshot& hs : snap.histograms) {
+      uint64_t bucket_sum = 0;
+      for (uint64_t c : hs.counts) bucket_sum += c;
+      EXPECT_EQ(hs.count, bucket_sum) << hs.id.name;
+    }
+  }
+  stop.store(true);
+}
+
 TEST(ExportTest, EmptyRegistryExportsAreWellFormed) {
   obs::MetricsRegistry reg;
   EXPECT_EQ(reg.ToJson(),

@@ -1,0 +1,170 @@
+// Tests for the compact binary observation wire format (io/obs_wire.h):
+// round trips, strict decode failures, and interop with the CSV loaders.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "io/obs_wire.h"
+#include "io/serialize.h"
+
+namespace trendspeed {
+namespace {
+
+// Record i of a batch starts at byte 24 + 8*i (tag 4, version 4, slot 8,
+// count 8); its f32 speed at +4 within the record.
+constexpr size_t kBatchHeaderBytes = 24;
+
+ObservationBatch MakeBatch(uint64_t slot) {
+  ObservationBatch b;
+  b.slot = slot;
+  // Speeds exactly representable in f32, so decode returns them bit-exact.
+  b.observations.push_back(SeedSpeed{0, 55.5});
+  b.observations.push_back(SeedSpeed{3, 12.25});
+  b.observations.push_back(SeedSpeed{7, 120.0});
+  return b;
+}
+
+TEST(ObsWireTest, BatchRoundTrips) {
+  ObservationBatch batch = MakeBatch(42);
+  std::string bytes = EncodeObservationBatch(batch);
+  EXPECT_EQ(bytes.size(), kBatchHeaderBytes + 8 * batch.observations.size());
+  auto decoded = DecodeObservationBatch(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->slot, 42u);
+  ASSERT_EQ(decoded->observations.size(), batch.observations.size());
+  for (size_t i = 0; i < batch.observations.size(); ++i) {
+    EXPECT_EQ(decoded->observations[i].road, batch.observations[i].road);
+    EXPECT_EQ(decoded->observations[i].speed_kmh,
+              batch.observations[i].speed_kmh);
+  }
+  // encode(decode(bytes)) is byte-exact.
+  EXPECT_EQ(EncodeObservationBatch(*decoded), bytes);
+}
+
+TEST(ObsWireTest, EmptyBatchRoundTrips) {
+  ObservationBatch batch;
+  batch.slot = 9;
+  auto decoded = DecodeObservationBatch(EncodeObservationBatch(batch));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->slot, 9u);
+  EXPECT_TRUE(decoded->observations.empty());
+}
+
+TEST(ObsWireTest, LogRoundTrips) {
+  std::vector<ObservationBatch> log = {MakeBatch(1), MakeBatch(2),
+                                       MakeBatch(5)};
+  std::string bytes = EncodeObservationLog(log);
+  auto decoded = DecodeObservationLog(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[2].slot, 5u);
+  EXPECT_EQ((*decoded)[2].observations.size(), 3u);
+  EXPECT_EQ(EncodeObservationLog(*decoded), bytes);
+}
+
+TEST(ObsWireTest, RejectsBadTag) {
+  std::string bytes = EncodeObservationBatch(MakeBatch(1));
+  bytes[0] = 'X';
+  EXPECT_FALSE(DecodeObservationBatch(bytes).ok());
+}
+
+TEST(ObsWireTest, RejectsUnsupportedVersion) {
+  std::string bytes = EncodeObservationBatch(MakeBatch(1));
+  bytes[4] = 99;  // version field, little-endian low byte
+  auto decoded = DecodeObservationBatch(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().ToString().find("version"), std::string::npos);
+}
+
+TEST(ObsWireTest, RejectsTruncation) {
+  std::string bytes = EncodeObservationBatch(MakeBatch(1));
+  for (size_t cut : {bytes.size() - 1, bytes.size() - 5, kBatchHeaderBytes - 3,
+                     size_t{2}}) {
+    EXPECT_FALSE(DecodeObservationBatch(bytes.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(ObsWireTest, RejectsTrailingGarbage) {
+  std::string bytes = EncodeObservationBatch(MakeBatch(1));
+  EXPECT_FALSE(DecodeObservationBatch(bytes + "x").ok());
+  std::string log_bytes = EncodeObservationLog({MakeBatch(1)});
+  EXPECT_FALSE(DecodeObservationLog(log_bytes + "x").ok());
+}
+
+TEST(ObsWireTest, RejectsAbsurdCountBeforeAllocating) {
+  std::string bytes = EncodeObservationBatch(MakeBatch(1));
+  // Count field at bytes 16..23: claim ~2^64 records in a 48-byte buffer.
+  for (size_t i = 16; i < 24; ++i) bytes[i] = '\xff';
+  auto decoded = DecodeObservationBatch(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().ToString().find("corrupt"), std::string::npos);
+}
+
+TEST(ObsWireTest, RejectsNonFiniteSpeedOnTheWire) {
+  std::string bytes = EncodeObservationBatch(MakeBatch(1));
+  const uint32_t nan_bits = 0x7fc00000u;  // quiet NaN
+  std::memcpy(&bytes[kBatchHeaderBytes + 4], &nan_bits, 4);
+  EXPECT_FALSE(DecodeObservationBatch(bytes).ok());
+}
+
+TEST(ObsWireTest, RejectsNonFiniteRecordSpeed) {
+  std::vector<RawRecord> records = {
+      {0, 1, std::numeric_limits<double>::infinity()}};
+  EXPECT_FALSE(ObservationLogFromRecords(records).ok());
+}
+
+TEST(ObsWireTest, GroupsRecordsIntoAscendingSlotBatches) {
+  // Interleaved slots, non-contiguous; within-slot order must be preserved.
+  std::vector<RawRecord> records = {
+      {4, 7, 30.0}, {1, 2, 50.0}, {2, 7, 40.0}, {9, 2, 60.0}, {5, 7, 20.0}};
+  auto log = ObservationLogFromRecords(records);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->size(), 2u);
+  EXPECT_EQ((*log)[0].slot, 2u);
+  ASSERT_EQ((*log)[0].observations.size(), 2u);
+  EXPECT_EQ((*log)[0].observations[0].road, 1u);
+  EXPECT_EQ((*log)[0].observations[1].road, 9u);
+  EXPECT_EQ((*log)[1].slot, 7u);
+  ASSERT_EQ((*log)[1].observations.size(), 3u);
+  EXPECT_EQ((*log)[1].observations[0].road, 4u);
+  EXPECT_EQ((*log)[1].observations[2].road, 5u);
+
+  // Flattening back yields slot-major records with order preserved.
+  std::vector<RawRecord> flat = RecordsFromObservationLog(*log);
+  ASSERT_EQ(flat.size(), records.size());
+  EXPECT_EQ(flat[0].road, 1u);
+  EXPECT_EQ(flat[0].slot, 2u);
+  EXPECT_EQ(flat[2].road, 4u);
+  EXPECT_EQ(flat[4].road, 5u);
+}
+
+TEST(ObsWireTest, CsvArchiveInteropWithinF32Tolerance) {
+  // CSV (text, %.6g) and the wire (f32) are both lossy but far below
+  // sensor noise; a CSV archive pushed through the wire and back must
+  // agree to ~1e-4 relative.
+  std::vector<RawRecord> records = {
+      {0, 3, 53.123456}, {1, 3, 12.7}, {2, 4, 88.88}};
+  auto from_csv = RecordsFromCsv(RecordsToCsv(records));
+  ASSERT_TRUE(from_csv.ok());
+  auto log = ObservationLogFromRecords(*from_csv);
+  ASSERT_TRUE(log.ok());
+  auto wired = DecodeObservationLog(EncodeObservationLog(*log));
+  ASSERT_TRUE(wired.ok());
+  std::vector<RawRecord> out = RecordsFromObservationLog(*wired);
+  ASSERT_EQ(out.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(out[i].road, records[i].road);
+    EXPECT_EQ(out[i].slot, records[i].slot);
+    EXPECT_NEAR(out[i].speed_kmh, records[i].speed_kmh,
+                1e-4 * records[i].speed_kmh);
+  }
+}
+
+}  // namespace
+}  // namespace trendspeed
