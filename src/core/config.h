@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "seed/objective.h"
+#include "shard/sharding.h"
 #include "speed/hierarchical_model.h"
 #include "speed/propagation.h"
 #include "trend/trend_model.h"
@@ -55,6 +56,12 @@ struct PipelineConfig {
   /// Factor applied to the neighbour-mean evidence at each backfill hop,
   /// in (0, 1]: inherited signal decays with distance from real coverage.
   double evidence_backfill_damping = 0.6;
+  /// District sharding for Step 1's BP (docs/sharding.md): num_shards >= 2
+  /// partitions the correlation graph and routes trend inference through
+  /// the concurrent per-shard engine (BP engine only — validation rejects
+  /// the combination with sampling/MAP engines). Default off: the flat
+  /// single-graph path runs bit for bit as before.
+  ShardingOptions sharding;
   /// Metrics/tracing sinks; propagated into the BP and seed-selection
   /// options by TrafficSpeedEstimator::FromComponents (per-stage pointers
   /// set explicitly here take precedence — FromComponents only fills the

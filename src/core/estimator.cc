@@ -95,6 +95,13 @@ Result<TrafficSpeedEstimator> TrafficSpeedEstimator::FromComponents(
       std::make_unique<HierarchicalSpeedModel>(std::move(speed_model));
   est.trend_model_ =
       std::make_unique<TrendModel>(est.graph_.get(), db, est.config_.trend);
+  if (est.config_.sharding.enabled()) {
+    // Validate() already pinned the trend engine to BP for this combination.
+    TS_ASSIGN_OR_RETURN(ShardedBpEngine sharded,
+                        ShardedBpEngine::Build(est.trend_model_->bp_graph(),
+                                               est.config_.sharding));
+    est.sharded_ = std::make_unique<ShardedBpEngine>(std::move(sharded));
+  }
   return est;
 }
 
@@ -163,10 +170,12 @@ Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
 
   // Step 1: trends.
   Output out;
+  std::vector<double> evidence;
+  const std::vector<double>* evidence_ptr = nullptr;
   const LogisticCalibration& cal = speed_model_->evidence();
   if (config_.use_trend_evidence && cal.trained) {
     size_t n = net_->num_roads();
-    std::vector<double> evidence(n, 0.0);
+    evidence.assign(n, 0.0);
     std::vector<bool> assigned(n, false);
     for (RoadId v = 0; v < n; ++v) {
       if (aggregate.weight[v] > 0.0) {
@@ -218,11 +227,27 @@ Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
       for (RoadId v : next) assigned[v] = true;
       frontier = std::move(next);
     }
+    evidence_ptr = &evidence;
+  }
+  if (sharded_ != nullptr) {
+    // Sharded Step 1: identical potentials, solved by concurrent
+    // per-district BP with boundary-halo exchange (docs/sharding.md).
     TS_ASSIGN_OR_RETURN(
-        out.trends, trend_model_->Infer(slot, seed_trends, &evidence, state));
+        std::vector<double> pot,
+        trend_model_->BuildPotentials(slot, seed_trends, evidence_ptr));
+    std::vector<BpState>* shard_states =
+        (state != nullptr && config_.trend.warm_start) ? &state->shard
+                                                       : nullptr;
+    ShardedBpResult sharded =
+        sharded_->Infer(pot, config_.trend.bp, shard_states);
+    out.trends.p_up = std::move(sharded.p_up);
+    out.trends.trend.resize(out.trends.p_up.size());
+    for (size_t v = 0; v < out.trends.p_up.size(); ++v) {
+      out.trends.trend[v] = out.trends.p_up[v] >= 0.5 ? +1 : -1;
+    }
   } else {
-    TS_ASSIGN_OR_RETURN(
-        out.trends, trend_model_->Infer(slot, seed_trends, nullptr, state));
+    TS_ASSIGN_OR_RETURN(out.trends, trend_model_->Infer(slot, seed_trends,
+                                                        evidence_ptr, state));
   }
 
   // Step 2: speeds.

@@ -18,6 +18,7 @@
 #include "probe/history.h"
 #include "roadnet/road_network.h"
 #include "seed/objective.h"
+#include "shard/sharded_bp.h"
 #include "speed/hierarchical_model.h"
 #include "speed/propagation.h"
 #include "trend/trend_model.h"
@@ -81,6 +82,9 @@ class TrafficSpeedEstimator {
   const InfluenceModel& influence() const { return *influence_; }
   const HierarchicalSpeedModel& speed_model() const { return *speed_model_; }
   const TrendModel& trend_model() const { return *trend_model_; }
+  /// The sharded BP engine; null unless PipelineConfig::sharding enabled
+  /// it (docs/sharding.md).
+  const ShardedBpEngine* sharded_engine() const { return sharded_.get(); }
   const PipelineConfig& config() const { return config_; }
   const RoadNetwork& network() const { return *net_; }
   const HistoricalDb& history() const { return *db_; }
@@ -96,6 +100,9 @@ class TrafficSpeedEstimator {
   std::unique_ptr<InfluenceModel> influence_;
   std::unique_ptr<HierarchicalSpeedModel> speed_model_;
   std::unique_ptr<TrendModel> trend_model_;
+  /// Non-null only when config_.sharding.enabled(): Step 1 then runs the
+  /// concurrent per-shard BP engine instead of the flat path.
+  std::unique_ptr<ShardedBpEngine> sharded_;
 };
 
 }  // namespace trendspeed

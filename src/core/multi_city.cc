@@ -1,0 +1,74 @@
+#include "core/multi_city.h"
+
+namespace trendspeed {
+
+Result<MultiCityServer> MultiCityServer::Create(
+    const std::vector<CitySpec>& cities) {
+  if (cities.empty()) {
+    return Status::InvalidArgument("multi-city server needs at least one city");
+  }
+  MultiCityServer server;
+  server.names_.reserve(cities.size());
+  server.sessions_.reserve(cities.size());
+  for (const CitySpec& spec : cities) {
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("city name must be non-empty");
+    }
+    if (spec.estimator == nullptr) {
+      return Status::InvalidArgument("city estimator must be non-null");
+    }
+    for (const std::string& existing : server.names_) {
+      if (existing == spec.name) {
+        return Status::InvalidArgument("duplicate city name: " + spec.name);
+      }
+    }
+    TS_ASSIGN_OR_RETURN(ServingSession session,
+                        ServingSession::Create(spec.estimator, spec.serving));
+    server.names_.push_back(spec.name);
+    server.sessions_.push_back(std::move(session));
+  }
+  return server;
+}
+
+size_t MultiCityServer::Find(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return kNotFound;
+}
+
+Result<ServingSession::SlotReport> MultiCityServer::Ingest(
+    std::string_view city, uint64_t slot,
+    const std::vector<SeedSpeed>& observations) {
+  size_t idx = Find(city);
+  if (idx == kNotFound) {
+    return Status::InvalidArgument("unknown city: " + std::string(city));
+  }
+  return Ingest(idx, slot, observations);
+}
+
+Result<ServingSession::SlotReport> MultiCityServer::Ingest(
+    size_t city, uint64_t slot, const std::vector<SeedSpeed>& observations) {
+  if (city >= sessions_.size()) {
+    return Status::InvalidArgument("city index out of range");
+  }
+  return sessions_[city].Ingest(slot, observations);
+}
+
+ServingStats MultiCityServer::TotalStats() const {
+  ServingStats total;
+  for (const ServingSession& session : sessions_) {
+    ServingStats s = session.stats();
+    total.slots_estimated += s.slots_estimated;
+    total.slots_carried_forward += s.slots_carried_forward;
+    total.duplicate_slots += s.duplicate_slots;
+    total.out_of_order_slots += s.out_of_order_slots;
+    total.rejected_batches += s.rejected_batches;
+    total.observations_filtered += s.observations_filtered;
+    total.observations_deduplicated += s.observations_deduplicated;
+    total.estimation_failures += s.estimation_failures;
+  }
+  return total;
+}
+
+}  // namespace trendspeed

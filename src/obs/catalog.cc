@@ -199,6 +199,23 @@ const MetricDef kSnapshotReadLatencyUs = {
     "Wall time of one consistent SpeedSnapshot read", "us", "",
     kMicrosBounds, N(kMicrosBounds)};
 
+// --- sharded BP engine (shard/sharded_bp.cc) -------------------------------
+const MetricDef kShardCount = {
+    "trendspeed_shard_count", MetricType::kGauge,
+    "District shards in the active partition plan", "shards"};
+const MetricDef kShardCutEdgeFraction = {
+    "trendspeed_shard_cut_edge_fraction", MetricType::kGauge,
+    "Fraction of correlation edges crossing a shard boundary", "ratio"};
+const MetricDef kShardExchangeRounds = {
+    "trendspeed_shard_exchange_rounds", MetricType::kHistogram,
+    "Boundary-halo exchange rounds per sharded inference", "rounds", "",
+    kIterationBounds, N(kIterationBounds)};
+const MetricDef kShardLargestSweepMs = {
+    "trendspeed_shard_largest_sweep_ms", MetricType::kHistogram,
+    "Largest per-shard BP solve time in one sharded inference (the "
+    "per-slot critical path with one core per shard)", "ms", "",
+    kLatencyMsBounds, N(kLatencyMsBounds)};
+
 const std::vector<const MetricDef*>& AllMetricDefs() {
   static const std::vector<const MetricDef*> all = {
       &kBpRunsTotal,
@@ -250,6 +267,10 @@ const std::vector<const MetricDef*>& AllMetricDefs() {
       &kSnapshotPublishesTotal,
       &kSnapshotReadRetriesTotal,
       &kSnapshotReadLatencyUs,
+      &kShardCount,
+      &kShardCutEdgeFraction,
+      &kShardExchangeRounds,
+      &kShardLargestSweepMs,
   };
   return all;
 }

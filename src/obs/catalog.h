@@ -88,6 +88,12 @@ extern const MetricDef kSnapshotPublishesTotal;
 extern const MetricDef kSnapshotReadRetriesTotal;
 extern const MetricDef kSnapshotReadLatencyUs;  ///< histogram
 
+// --- shard/sharded_bp.cc (sharded metropolitan BP engine) -------------------
+extern const MetricDef kShardCount;             ///< gauge: shards in the plan
+extern const MetricDef kShardCutEdgeFraction;   ///< gauge: cut / total edges
+extern const MetricDef kShardExchangeRounds;    ///< histogram: rounds per slot
+extern const MetricDef kShardLargestSweepMs;    ///< histogram: critical path
+
 /// Every catalog entry (one per (name, labels) series). Names may repeat
 /// across label sets.
 const std::vector<const MetricDef*>& AllMetricDefs();

@@ -1,0 +1,292 @@
+#include "shard/sharded_bp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/catalog.h"
+#include "trend/factor_graph.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace trendspeed {
+
+namespace {
+
+// Same power-of-two rescale band the flat BP cavity computation uses
+// (trend/belief_propagation.cc): incoming messages are normalized (<= 1),
+// so long products only ever shrink; rescaling both entries by 2^256
+// whenever both drop below 2^-256 preserves their ratio exactly.
+constexpr double kRescaleLo = 0x1p-256;
+constexpr double kRescaleUp = 0x1p+256;
+
+// Normalizes (c0, c1) into a probability pair; degenerate inputs (all-zero
+// or non-finite) fall back to uniform like the flat path's belief guard.
+inline void NormalizePair(double* c0, double* c1) {
+  double z = *c0 + *c1;
+  if (z > 0.0 && std::isfinite(z)) {
+    *c0 /= z;
+    *c1 /= z;
+  } else {
+    *c0 = 0.5;
+    *c1 = 0.5;
+  }
+}
+
+}  // namespace
+
+Result<ShardedBpEngine> ShardedBpEngine::Build(const BpGraph& graph,
+                                               const ShardingOptions& opts) {
+  TS_RETURN_NOT_OK(opts.Validate());
+  if (!opts.enabled()) {
+    return Status::InvalidArgument(
+        "sharded BP engine requires sharding.num_shards >= 2");
+  }
+  ShardedBpEngine engine;
+  engine.num_vars_ = graph.num_vars;
+  engine.opts_ = opts;
+  engine.plan_ = ShardPlan::Build(graph, opts);
+  TS_RETURN_NOT_OK(engine.plan_.Validate(graph.num_vars));
+
+  const ShardPlan& plan = engine.plan_;
+  size_t shards = plan.num_shards;
+  engine.shards_.resize(shards);
+
+  // Global -> shard-local index for owned variables.
+  std::vector<uint32_t> local_of(graph.num_vars, 0);
+  for (size_t s = 0; s < shards; ++s) {
+    engine.shards_[s].owned = plan.members[s];
+    for (size_t i = 0; i < plan.members[s].size(); ++i) {
+      local_of[plan.members[s][i]] = static_cast<uint32_t>(i);
+    }
+  }
+
+  // Ghost enumeration: one ghost per directed cut edge u -> v, living in
+  // v's shard. Indexed by the *global* slot of the v -> u half so both
+  // halves of an undirected cut edge can find each other's ghost below.
+  size_t dir_edges = graph.to.size();
+  std::vector<uint32_t> ghost_of_slot(dir_edges, UINT32_MAX);
+  for (size_t s = 0; s < shards; ++s) {
+    Shard& shard = engine.shards_[s];
+    size_t owned = shard.owned.size();
+    for (uint32_t v : shard.owned) {
+      for (size_t k = graph.off[v]; k < graph.off[v + 1]; ++k) {
+        uint32_t u = graph.to[k];
+        if (plan.shard_of[u] == s) continue;
+        ghost_of_slot[k] =
+            static_cast<uint32_t>(owned + shard.ghost_source.size());
+        shard.ghost_source.push_back(u);
+      }
+    }
+  }
+
+  // Per-shard MRF: owned variables, ghosts, internal edges, halo edges.
+  // FromMrf then derives the CSR and (when compiled in) the SoA mirror —
+  // the identical layouts the flat kernels run on.
+  for (size_t s = 0; s < shards; ++s) {
+    Shard& shard = engine.shards_[s];
+    size_t owned = shard.owned.size();
+    PairwiseMrf mrf(owned + shard.ghost_source.size());
+    for (uint32_t v : shard.owned) {
+      for (size_t k = graph.off[v]; k < graph.off[v + 1]; ++k) {
+        uint32_t u = graph.to[k];
+        // compat[4k..] is psi[x_v][x_u] — exactly AddEdge's orientation
+        // for (local v, local u / ghost of u).
+        double compat[2][2] = {
+            {graph.compat[4 * k + 0], graph.compat[4 * k + 1]},
+            {graph.compat[4 * k + 2], graph.compat[4 * k + 3]}};
+        if (plan.shard_of[u] == s) {
+          if (u < v) continue;  // internal edges added once
+          mrf.AddEdge(local_of[v], local_of[u], compat);
+        } else {
+          mrf.AddEdge(local_of[v], ghost_of_slot[k], compat);
+        }
+      }
+    }
+    shard.graph = BpGraph::FromMrf(mrf);
+  }
+
+  // Cut links: for the ghost created from global slot k (v -> u, consumer
+  // side), the producer is u's shard, where v appears as the ghost built
+  // from the reverse slot. Find the producer's directed slot
+  // u_local -> ghost(v) by scanning u's (small, degree-capped) edge list.
+  for (size_t s = 0; s < shards; ++s) {
+    const Shard& shard = engine.shards_[s];
+    for (uint32_t v : shard.owned) {
+      for (size_t k = graph.off[v]; k < graph.off[v + 1]; ++k) {
+        if (ghost_of_slot[k] == UINT32_MAX) continue;
+        uint32_t u = graph.to[k];
+        CutLink link;
+        link.dst_shard = static_cast<uint32_t>(s);
+        link.dst_ghost = ghost_of_slot[k];
+        link.src_shard = plan.shard_of[u];
+        link.src_local = local_of[u];
+        uint32_t ghost_v = ghost_of_slot[graph.rev_slot[k]];
+        const BpGraph& sg = engine.shards_[link.src_shard].graph;
+        uint32_t slot = UINT32_MAX;
+        for (size_t j = sg.off[link.src_local];
+             j < sg.off[link.src_local + 1]; ++j) {
+          if (sg.to[j] == ghost_v) {
+            slot = static_cast<uint32_t>(j);
+            break;
+          }
+        }
+        if (slot == UINT32_MAX) {
+          return Status::Internal("cut-link producer slot not found");
+        }
+        link.src_slot = slot;
+        engine.links_.push_back(link);
+      }
+    }
+  }
+  return engine;
+}
+
+ShardedBpResult ShardedBpEngine::Infer(const std::vector<double>& pot,
+                                       const BpOptions& opts,
+                                       std::vector<BpState>* states) const {
+  obs::ScopedSpan span(opts.trace, "shard/infer");
+  size_t shards = shards_.size();
+  ShardedBpResult result;
+  result.p_up.assign(num_vars_, 0.5);
+  result.shard_sweep_ms.assign(shards, 0.0);
+  if (num_vars_ == 0) {
+    result.converged = true;
+    result.exchange_rounds = 1;
+    return result;
+  }
+
+  // Warm-start states: caller-provided persists across slots; otherwise a
+  // per-call scratch vector (still needed — the exchange reads the final
+  // messages out of each shard's BpState).
+  std::vector<BpState> scratch;
+  std::vector<BpState>* st = states;
+  if (st == nullptr) {
+    scratch.resize(shards);
+    st = &scratch;
+  } else if (st->size() != shards) {
+    st->clear();
+    st->resize(shards);
+  }
+
+  // Per-shard potential vectors: owned entries copied from the global
+  // vector, ghost entries seeded from the remote owner's normalized
+  // potential (its prior belief — for clamped seeds the hard 0/1 pair, so
+  // seed information crosses the boundary in round one already).
+  std::vector<std::vector<double>> spot(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    const Shard& shard = shards_[s];
+    spot[s].resize(2 * shard.graph.num_vars);
+    size_t owned = shard.owned.size();
+    for (size_t i = 0; i < owned; ++i) {
+      spot[s][2 * i] = pot[2 * shard.owned[i]];
+      spot[s][2 * i + 1] = pot[2 * shard.owned[i] + 1];
+    }
+    for (size_t g = 0; g < shard.ghost_source.size(); ++g) {
+      double c0 = pot[2 * shard.ghost_source[g]];
+      double c1 = pot[2 * shard.ghost_source[g] + 1];
+      NormalizePair(&c0, &c1);
+      spot[s][2 * (owned + g)] = c0;
+      spot[s][2 * (owned + g) + 1] = c1;
+    }
+  }
+
+  double xtol = opts_.exchange_tol > 0.0 ? opts_.exchange_tol : opts.tol;
+  BpOptions local_opts = opts;
+  // Halo updates below the warm activation threshold would never re-enter
+  // the active set, so the exchange could spin without progress; keep the
+  // threshold under the exchange tolerance. (Lowering it is conservative:
+  // it only ever activates more variables.)
+  local_opts.warm_threshold = std::min(opts.warm_threshold, 0.5 * xtol);
+
+  std::vector<BpResult> rr(shards);
+  uint32_t max_rounds = std::max<uint32_t>(opts_.max_exchange_rounds, 1);
+  double residual = 0.0;
+  bool all_converged = false;
+  uint32_t round = 0;
+  ThreadPool& pool = ThreadPool::Global();
+  while (round < max_rounds) {
+    // Barriered concurrent solves: one chunk per shard; deterministic
+    // because shard problems are independent and ghost writes between
+    // rounds are disjoint.
+    pool.ParallelForChunked(
+        shards, shards, [&](size_t, size_t begin, size_t end) {
+          for (size_t s = begin; s < end; ++s) {
+            if (shards_[s].graph.num_vars == 0) {
+              rr[s] = BpResult{};
+              rr[s].converged = true;
+              continue;
+            }
+            WallTimer timer;
+            rr[s] = InferMarginalsBpFlat(shards_[s].graph, spot[s],
+                                         local_opts, &(*st)[s]);
+            result.shard_sweep_ms[s] += timer.ElapsedMillis();
+          }
+        });
+    ++round;
+    all_converged = true;
+    for (size_t s = 0; s < shards; ++s) {
+      all_converged &= rr[s].converged;
+      result.active_vars += rr[s].active_vars;
+      result.message_updates += rr[s].message_updates;
+    }
+    if (links_.empty()) {
+      residual = 0.0;
+      break;
+    }
+    // Halo exchange: each producer's cavity belief (potential times all
+    // incoming messages except the cut edge's) becomes the consumer-side
+    // ghost potential. Serial and in deterministic link order.
+    residual = 0.0;
+    for (const CutLink& link : links_) {
+      const BpGraph& sg = shards_[link.src_shard].graph;
+      const std::vector<double>& msg = (*st)[link.src_shard].msg;
+      const std::vector<double>& sp = spot[link.src_shard];
+      double c0 = sp[2 * link.src_local];
+      double c1 = sp[2 * link.src_local + 1];
+      for (size_t k = sg.off[link.src_local];
+           k < sg.off[link.src_local + 1]; ++k) {
+        if (k == link.src_slot) continue;
+        uint32_t r = sg.rev_slot[k];
+        c0 *= msg[2 * r];
+        c1 *= msg[2 * r + 1];
+        if (std::max(c0, c1) < kRescaleLo && std::max(c0, c1) > 0.0) {
+          c0 *= kRescaleUp;
+          c1 *= kRescaleUp;
+        }
+      }
+      NormalizePair(&c0, &c1);
+      std::vector<double>& dp = spot[link.dst_shard];
+      size_t g = 2 * static_cast<size_t>(link.dst_ghost);
+      residual = std::max(residual, std::abs(c0 - dp[g]));
+      residual = std::max(residual, std::abs(c1 - dp[g + 1]));
+      dp[g] = c0;
+      dp[g + 1] = c1;
+    }
+    if (residual <= xtol) break;
+  }
+
+  result.exchange_rounds = round;
+  result.exchange_residual = residual;
+  result.converged = all_converged && residual <= xtol;
+  for (size_t s = 0; s < shards; ++s) {
+    const Shard& shard = shards_[s];
+    for (size_t i = 0; i < shard.owned.size(); ++i) {
+      result.p_up[shard.owned[i]] = rr[s].p_up[i];
+    }
+  }
+
+  if (opts.metrics != nullptr) {
+    obs::Set(obs::GetGauge(opts.metrics, obs::kShardCount),
+             static_cast<double>(shards));
+    obs::Set(obs::GetGauge(opts.metrics, obs::kShardCutEdgeFraction),
+             plan_.CutEdgeFraction());
+    obs::Observe(obs::GetHistogram(opts.metrics, obs::kShardExchangeRounds),
+                 static_cast<double>(round));
+    obs::Observe(obs::GetHistogram(opts.metrics, obs::kShardLargestSweepMs),
+                 result.LargestShardSweepMs());
+  }
+  return result;
+}
+
+}  // namespace trendspeed

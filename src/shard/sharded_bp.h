@@ -1,0 +1,132 @@
+// ShardedBpEngine: per-district BP with a boundary halo of ghost variables.
+//
+// The flat BP path solves one city-sized message-passing problem per slot;
+// its latency is bounded by the whole graph. This engine splits the graph
+// by a ShardPlan, builds an independent BpGraph per shard (each with its
+// own CSR and, when compiled in, SoA mirror — the same layouts the flat
+// kernels consume), and solves the shards concurrently on the process-wide
+// ThreadPool. Per-slot latency is then bounded by the largest shard plus
+// a few cheap boundary-exchange rounds.
+//
+// Halo protocol (docs/sharding.md): every directed cut edge u -> v (u and
+// v owned by different shards) materializes a degree-1 *ghost* of u inside
+// v's shard, carrying the original edge compatibility. Because the ghost
+// has exactly one neighbour, its outgoing message is determined entirely
+// by its node potential — so after each round the owning shard computes
+// u's *cavity belief* with respect to that edge (potential times all
+// incoming messages except the one arriving over the cut edge) and writes
+// it into the ghost's potential slot. The ghost's locally computed message
+// then equals the exact global BP message, which makes the fixed point of
+// the sharded system identical to unsharded BP; truncated runs agree
+// within the documented tolerance instead (see docs/sharding.md).
+//
+// Rounds are barriered and ghost writes are disjoint, so results are
+// deterministic for every thread count. Rounds after the first reuse each
+// shard's own BpState: only the halo changed, so they are warm runs whose
+// active set is the boundary neighbourhood. Caller-provided states extend
+// the same warm start across slots.
+
+#ifndef TRENDSPEED_SHARD_SHARDED_BP_H_
+#define TRENDSPEED_SHARD_SHARDED_BP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "shard/sharding.h"
+#include "trend/belief_propagation.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+struct ShardedBpResult {
+  /// Marginal P(x_v = up) per global variable, assembled from the owner
+  /// shards (every variable has exactly one).
+  std::vector<double> p_up;
+  /// All shards converged in the final round AND the halo-exchange
+  /// residual fell below the exchange tolerance.
+  bool converged = false;
+  /// Boundary-exchange rounds executed (>= 1; 1 when the partition has no
+  /// cut edges or the halo settled immediately).
+  uint32_t exchange_rounds = 0;
+  /// Largest change of any ghost potential entry in the final exchange.
+  double exchange_residual = 0.0;
+  /// Sums over all shards and rounds (same semantics as BpResult).
+  size_t active_vars = 0;
+  uint64_t message_updates = 0;
+  /// Wall time each shard spent in its BP solves, summed over rounds. The
+  /// max entry is the per-slot critical path on a machine with >= one core
+  /// per shard.
+  std::vector<double> shard_sweep_ms;
+
+  double LargestShardSweepMs() const {
+    double largest = 0.0;
+    for (double ms : shard_sweep_ms) largest = std::max(largest, ms);
+    return largest;
+  }
+};
+
+class ShardedBpEngine {
+ public:
+  /// Partitions `graph` and builds the per-shard structures (own CSR + SoA
+  /// per shard, ghosts appended after the owned variables). `opts` must
+  /// validate and have num_shards >= 2. The source graph is only read
+  /// during Build.
+  static Result<ShardedBpEngine> Build(const BpGraph& graph,
+                                       const ShardingOptions& opts);
+
+  /// One sharded inference. `pot` is the global effective-potential vector
+  /// (2 per variable, exactly what InferMarginalsBpFlat consumes).
+  /// `states` (optional) carries per-shard warm-start state across slots:
+  /// resized to num_shards() on first use, invalid entries run cold —
+  /// identical contract to the flat stateful overload, per shard. Pass
+  /// null for slot-independent runs. `opts.metrics`/`opts.trace` record
+  /// the trendspeed_shard_* series and a "shard/infer" span.
+  ShardedBpResult Infer(const std::vector<double>& pot, const BpOptions& opts,
+                        std::vector<BpState>* states = nullptr) const;
+
+  const ShardPlan& plan() const { return plan_; }
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_vars() const { return num_vars_; }
+  /// Per-shard structure (owned variables first, then ghosts) — exposed
+  /// for tests and benches.
+  const BpGraph& shard_graph(size_t s) const { return shards_[s].graph; }
+  size_t shard_owned(size_t s) const { return shards_[s].owned.size(); }
+  size_t shard_ghosts(size_t s) const {
+    return shards_[s].graph.num_vars - shards_[s].owned.size();
+  }
+
+ private:
+  struct Shard {
+    /// Local structure: variables [0, owned.size()) are the owned globals
+    /// (sorted ascending), [owned.size(), num_vars) are ghosts.
+    BpGraph graph;
+    /// Global id per owned local variable.
+    std::vector<uint32_t> owned;
+    /// Global id of the remote owner behind each ghost (indexed from 0 =
+    /// first ghost). Used to seed ghost potentials from the global prior.
+    std::vector<uint32_t> ghost_source;
+  };
+
+  /// One directed cut edge u -> v: the producer (u's shard) computes u's
+  /// cavity belief excluding this edge; the consumer (v's shard) receives
+  /// it as the potential of u's ghost.
+  struct CutLink {
+    uint32_t src_shard = 0;
+    uint32_t src_local = 0;  ///< u's local index in src_shard
+    uint32_t src_slot = 0;   ///< directed slot u -> ghost(v) in src_shard
+    uint32_t dst_shard = 0;
+    uint32_t dst_ghost = 0;  ///< ghost(u)'s local index in dst_shard
+  };
+
+  ShardedBpEngine() = default;
+
+  size_t num_vars_ = 0;
+  ShardPlan plan_;
+  std::vector<Shard> shards_;
+  std::vector<CutLink> links_;
+  ShardingOptions opts_;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_SHARD_SHARDED_BP_H_

@@ -1,0 +1,255 @@
+#include "shard/sharding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace trendspeed {
+
+Status ShardingOptions::Validate() const {
+  // A shard count beyond any plausible machine is a units mistake, not a
+  // 100k-district metropolis.
+  constexpr uint32_t kMaxShards = 4096;
+  if (num_shards > kMaxShards) {
+    return Status::InvalidArgument("sharding.num_shards implausibly large");
+  }
+  if (enabled() && max_exchange_rounds == 0) {
+    return Status::InvalidArgument(
+        "sharding.max_exchange_rounds must be positive");
+  }
+  if (!(exchange_tol >= 0.0)) {  // also rejects NaN
+    return Status::InvalidArgument("sharding.exchange_tol must be >= 0");
+  }
+  if (!(balance_slack >= 0.0) || !(balance_slack <= 1.0)) {  // rejects NaN
+    return Status::InvalidArgument("sharding.balance_slack must be in [0, 1]");
+  }
+  constexpr uint32_t kMaxRefinePasses = 64;
+  if (refine_passes > kMaxRefinePasses) {
+    return Status::InvalidArgument("sharding.refine_passes implausibly large");
+  }
+  return Status::OK();
+}
+
+size_t ShardPlan::LargestShard() const {
+  size_t largest = 0;
+  for (const std::vector<uint32_t>& m : members) {
+    largest = std::max(largest, m.size());
+  }
+  return largest;
+}
+
+Status ShardPlan::Validate(size_t num_vars) const {
+  if (num_shards == 0) {
+    return Status::Internal("shard plan has zero shards");
+  }
+  if (shard_of.size() != num_vars) {
+    return Status::Internal("shard plan size mismatch");
+  }
+  if (members.size() != num_shards) {
+    return Status::Internal("shard plan member-list count mismatch");
+  }
+  // Total-function check: every variable owned exactly once, and the
+  // inverse mapping agrees. `seen` catches both drops and double counts.
+  std::vector<uint8_t> seen(num_vars, 0);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    for (uint32_t v : members[s]) {
+      if (v >= num_vars) {
+        return Status::Internal("shard member out of range");
+      }
+      if (seen[v]) {
+        return Status::Internal("variable owned by two shards");
+      }
+      seen[v] = 1;
+      if (shard_of[v] != s) {
+        return Status::Internal("shard_of / members disagree");
+      }
+    }
+  }
+  for (size_t v = 0; v < num_vars; ++v) {
+    if (!seen[v]) {
+      return Status::Internal("variable owned by no shard");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Adjacency view over either source graph: n vertices, CSR neighbour
+// lists. Both overloads of Build flatten into this before partitioning so
+// the algorithm exists once.
+struct Adjacency {
+  size_t n = 0;
+  std::vector<size_t> off;
+  std::vector<uint32_t> to;
+};
+
+Adjacency FromBpGraph(const BpGraph& g) {
+  Adjacency a;
+  a.n = g.num_vars;
+  a.off = g.off;
+  a.to = g.to;
+  return a;
+}
+
+Adjacency FromCorrGraph(const CorrelationGraph& g) {
+  Adjacency a;
+  a.n = g.num_roads();
+  a.off.assign(a.n + 1, 0);
+  for (RoadId v = 0; v < a.n; ++v) {
+    a.off[v + 1] = a.off[v] + g.Neighbors(v).size();
+  }
+  a.to.reserve(a.off[a.n]);
+  for (RoadId v = 0; v < a.n; ++v) {
+    for (const CorrEdge& e : g.Neighbors(v)) {
+      a.to.push_back(e.neighbor);
+    }
+  }
+  return a;
+}
+
+ShardPlan BuildFromAdjacency(const Adjacency& adj,
+                             const ShardingOptions& opts) {
+  ShardPlan plan;
+  size_t n = adj.n;
+  uint32_t shards = std::max<uint32_t>(opts.num_shards, 1);
+  if (n > 0) {
+    shards = static_cast<uint32_t>(
+        std::min<size_t>(shards, n));
+  }
+  plan.num_shards = shards;
+  plan.shard_of.assign(n, 0);
+  plan.members.assign(shards, {});
+  plan.total_edges = adj.off.empty() ? 0 : adj.off[n] / 2;
+  if (n == 0 || shards == 1) {
+    for (size_t v = 0; v < n; ++v) {
+      plan.members[0].push_back(static_cast<uint32_t>(v));
+    }
+    return plan;
+  }
+
+  size_t ideal = (n + shards - 1) / shards;
+  // Capacity every stage respects; >= ideal so a perfectly balanced
+  // assignment is always feasible even at slack 0.
+  size_t cap = std::max<size_t>(
+      ideal, static_cast<size_t>(std::ceil(
+                 static_cast<double>(ideal) * (1.0 + opts.balance_slack))));
+
+  // Stage 1: contiguous pieces. Each connected component that fits the
+  // target piece size stays whole; larger ones are grown breadth-first
+  // into pieces of ~ideal vertices, so the split follows the district
+  // geometry instead of cutting randomly.
+  std::vector<uint32_t> piece_of(n, UINT32_MAX);
+  std::vector<std::vector<uint32_t>> pieces;
+  std::vector<uint32_t> queue;
+  for (size_t root = 0; root < n; ++root) {
+    if (piece_of[root] != UINT32_MAX) continue;
+    // BFS one whole component from `root`, slicing it into pieces as the
+    // frontier advances. Deterministic: neighbour order is the CSR order.
+    uint32_t piece = static_cast<uint32_t>(pieces.size());
+    pieces.emplace_back();
+    queue.clear();
+    queue.push_back(static_cast<uint32_t>(root));
+    piece_of[root] = piece;
+    size_t head = 0;
+    while (head < queue.size()) {
+      uint32_t v = queue[head++];
+      if (pieces[piece].size() >= ideal) {
+        piece = static_cast<uint32_t>(pieces.size());
+        pieces.emplace_back();
+      }
+      piece_of[v] = piece;
+      pieces[piece].push_back(v);
+      for (size_t k = adj.off[v]; k < adj.off[v + 1]; ++k) {
+        uint32_t u = adj.to[k];
+        if (piece_of[u] == UINT32_MAX) {
+          piece_of[u] = piece;  // reserved; final piece set on dequeue
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+
+  // Stage 2: pack pieces onto shards, largest first into the least-loaded
+  // shard (ties broken toward the lowest shard id — deterministic).
+  std::vector<uint32_t> order(pieces.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return pieces[a].size() > pieces[b].size();
+  });
+  std::vector<size_t> load(shards, 0);
+  for (uint32_t p : order) {
+    uint32_t best = 0;
+    for (uint32_t s = 1; s < shards; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    load[best] += pieces[p].size();
+    for (uint32_t v : pieces[p]) {
+      plan.shard_of[v] = best;
+    }
+  }
+
+  // Stage 3: greedy boundary refinement (single-vertex KL-style moves).
+  // A vertex moves to the neighbouring shard holding most of its edges
+  // when that strictly reduces the cut and respects the balance cap.
+  std::vector<size_t> cnt(shards, 0);
+  for (uint32_t pass = 0; pass < opts.refine_passes; ++pass) {
+    bool moved = false;
+    for (size_t v = 0; v < n; ++v) {
+      size_t deg = adj.off[v + 1] - adj.off[v];
+      if (deg == 0) continue;
+      uint32_t s = plan.shard_of[v];
+      if (load[s] <= 1) continue;  // never empty a shard
+      std::fill(cnt.begin(), cnt.end(), 0);
+      bool boundary = false;
+      for (size_t k = adj.off[v]; k < adj.off[v + 1]; ++k) {
+        uint32_t t = plan.shard_of[adj.to[k]];
+        ++cnt[t];
+        boundary |= (t != s);
+      }
+      if (!boundary) continue;
+      uint32_t best = s;
+      size_t best_cnt = cnt[s];
+      for (uint32_t t = 0; t < shards; ++t) {
+        if (t == s || load[t] + 1 > cap) continue;
+        if (cnt[t] > best_cnt) {  // strict: ties stay put (deterministic)
+          best = t;
+          best_cnt = cnt[t];
+        }
+      }
+      if (best != s) {
+        plan.shard_of[v] = best;
+        --load[s];
+        ++load[best];
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  // Finalize the inverse mapping and the edge-cut statistics.
+  for (size_t v = 0; v < n; ++v) {
+    plan.members[plan.shard_of[v]].push_back(static_cast<uint32_t>(v));
+  }
+  size_t cut_dir = 0;
+  for (size_t v = 0; v < n; ++v) {
+    for (size_t k = adj.off[v]; k < adj.off[v + 1]; ++k) {
+      if (plan.shard_of[adj.to[k]] != plan.shard_of[v]) ++cut_dir;
+    }
+  }
+  plan.cut_edges = cut_dir / 2;
+  return plan;
+}
+
+}  // namespace
+
+ShardPlan ShardPlan::Build(const BpGraph& graph, const ShardingOptions& opts) {
+  return BuildFromAdjacency(FromBpGraph(graph), opts);
+}
+
+ShardPlan ShardPlan::Build(const CorrelationGraph& graph,
+                           const ShardingOptions& opts) {
+  return BuildFromAdjacency(FromCorrGraph(graph), opts);
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,100 @@
+// Graph partitioning for the sharded metropolitan-scale BP engine.
+//
+// A metropolitan correlation graph is naturally district-shaped: dense
+// correlation inside a district, a thin band of cut edges where arterials
+// cross district boundaries, and whole disconnected components for
+// satellite towns. ShardPlan exploits that shape: connected components are
+// kept intact wherever they fit a shard, oversized components are split by
+// BFS growth into contiguous pieces, and a greedy Kernighan-Lin-style
+// refinement then moves individual boundary vertices to reduce the number
+// of cut edges under a balance constraint.
+//
+// The plan is a *total function* from variables to shards — every road is
+// owned by exactly one shard (ShardPlan::Validate enforces it). This is
+// what makes per-road attribution unambiguous downstream: an observation
+// for a road whose correlation neighbours span two shards still lands in
+// exactly one owner shard, so serving-layer dedup (DedupPolicy) never
+// drops or double-counts a cut-edge road. docs/sharding.md documents the
+// algorithm and the protocol built on top of this plan.
+
+#ifndef TRENDSPEED_SHARD_SHARDING_H_
+#define TRENDSPEED_SHARD_SHARDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corr/correlation_graph.h"
+#include "trend/belief_propagation.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+/// Knobs for the sharded BP engine (validated; docs/sharding.md has the
+/// full reference). Default-constructed options disable sharding entirely:
+/// the estimator then runs the flat single-graph BP path bit for bit.
+struct ShardingOptions {
+  /// Number of district shards to partition the correlation graph into.
+  /// 0 and 1 both mean "sharding off" (the flat path); >= 2 enables the
+  /// sharded engine. Clamped to the variable count at build time.
+  uint32_t num_shards = 0;
+  /// Upper bound on boundary-message exchange rounds per slot. Each round
+  /// is one concurrent per-shard BP solve followed by a halo exchange;
+  /// rounds after the first warm-start from the shard's own fixed point
+  /// and touch mostly the boundary halo. The loop exits early once the
+  /// exchange residual falls below the tolerance.
+  uint32_t max_exchange_rounds = 8;
+  /// Convergence threshold on the halo exchange: the largest change of any
+  /// ghost potential entry between rounds. 0 (default) inherits
+  /// BpOptions::tol at inference time.
+  double exchange_tol = 0.0;
+  /// Balance slack: no shard may own more than
+  /// ceil(n / num_shards) * (1 + balance_slack) variables. In [0, 1].
+  double balance_slack = 0.2;
+  /// Greedy boundary-refinement passes over all vertices (0 disables
+  /// refinement; the component/BFS split is then final).
+  uint32_t refine_passes = 2;
+
+  bool enabled() const { return num_shards >= 2; }
+  Status Validate() const;
+};
+
+/// The partition: an owner shard per variable plus its inverse and the
+/// edge-cut statistics. Immutable once built.
+struct ShardPlan {
+  /// Effective shard count (requested count clamped to the variable count;
+  /// at least 1).
+  uint32_t num_shards = 1;
+  /// Owner shard per variable — a total function: every variable appears
+  /// in exactly one shard's member list.
+  std::vector<uint32_t> shard_of;
+  /// Inverse mapping; members[s] is sorted ascending by global id.
+  std::vector<std::vector<uint32_t>> members;
+  /// Undirected edges whose endpoints land in different shards.
+  size_t cut_edges = 0;
+  /// All undirected edges.
+  size_t total_edges = 0;
+
+  double CutEdgeFraction() const {
+    return total_edges == 0
+               ? 0.0
+               : static_cast<double>(cut_edges) /
+                     static_cast<double>(total_edges);
+  }
+  size_t LargestShard() const;
+
+  /// Checks the total-function invariant (shard_of sized to `num_vars`,
+  /// every entry < num_shards, members consistent with shard_of).
+  Status Validate(size_t num_vars) const;
+
+  /// Partitions the flattened BP structure (the exact topology inference
+  /// runs on). `opts` must validate.
+  static ShardPlan Build(const BpGraph& graph, const ShardingOptions& opts);
+  /// Convenience overload: partitions the correlation graph directly (same
+  /// topology as the BP structure built from it).
+  static ShardPlan Build(const CorrelationGraph& graph,
+                         const ShardingOptions& opts);
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_SHARD_SHARDING_H_

@@ -59,8 +59,16 @@ struct TrendModelOptions {
 /// One per serving stream; Invalidate() whenever slot continuity breaks.
 struct TrendInferenceState {
   BpState bp;
+  /// Per-shard warm-start states for the sharded BP engine (see
+  /// shard/sharded_bp.h; sized by the engine on first use, unused — and
+  /// empty — on the flat path).
+  std::vector<BpState> shard;
 
-  void Invalidate() { bp.Invalidate(); }
+  void Invalidate() {
+    bp.Invalidate();
+    for (BpState& s : shard) s.Invalidate();
+    shard.clear();
+  }
 };
 
 /// A seed's crowdsourced observation, reduced to its trend.
@@ -104,9 +112,29 @@ class TrendModel {
                               const std::vector<double>* evidence_log_odds,
                               TrendInferenceState* state) const;
 
+  /// The per-slot *effective* node potentials (2 per road): historical
+  /// prior combined with soft evidence, clamped seeds carrying hard 0/1
+  /// pairs — the exact vector the BP engine consumes. Exposed so the
+  /// sharded BP path (shard/sharded_bp.h, orchestrated by the estimator)
+  /// can distribute the identical potentials across district shards.
+  Result<std::vector<double>> BuildPotentials(
+      uint64_t slot, const std::vector<SeedTrend>& seeds,
+      const std::vector<double>* evidence_log_odds) const;
+
+  /// The cached flattened BP structure (topology identical to the
+  /// correlation graph) — what ShardedBpEngine::Build partitions.
+  const BpGraph& bp_graph() const { return bp_graph_; }
+
   const TrendModelOptions& options() const { return opts_; }
 
  private:
+  /// Shared body of BuildPotentials and Infer: fills `pot` and the
+  /// per-road clamp marks (-1 free, else state).
+  Status FillPotentials(uint64_t slot, const std::vector<SeedTrend>& seeds,
+                        const std::vector<double>* evidence_log_odds,
+                        std::vector<double>* pot,
+                        std::vector<int8_t>* clamped) const;
+
   const CorrelationGraph* graph_;
   const HistoricalDb* db_;
   TrendModelOptions opts_;

@@ -1,0 +1,243 @@
+// Shard-equivalence property suite (docs/sharding.md tolerance contract).
+//
+// The sharded engine's fixed point is *identical* to unsharded BP — the
+// degree-1 ghost construction reproduces the exact global messages over
+// every cut edge — so with a sweep budget large enough for both sides to
+// converge, sharded marginals must agree with the flat solver's within a
+// small multiple of BpOptions::tol (tests pin 10x, same contract as the
+// warm-start and SIMD suites), and the convergence decisions must match.
+// The suite pins that over seeded random graphs at 2/4/8 shards, plus
+// cross-kernel (sharded SIMD vs flat scalar) and warm-start-across-slots
+// variants. tol = 1e-3 for the same residual-ambiguity reasoning as
+// bp_kernel_test.cc.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shard/sharded_bp.h"
+#include "trend/belief_propagation.h"
+#include "trend/bp_kernel.h"
+#include "trend/factor_graph.h"
+#include "util/random.h"
+
+namespace trendspeed {
+namespace {
+
+double U(Rng& rng, double lo, double hi) {
+  return lo + (hi - lo) * rng.NextDouble();
+}
+
+struct RandomCase {
+  BpGraph graph;
+  std::vector<double> pot;
+};
+
+// Random MRF + effective potentials, after bp_kernel_test.cc's generator:
+// `shape` cycles sparse / dense / near-empty edge models; potentials mix
+// hard 0/1 clamps, underflow-range pairs, and generic soft evidence. The
+// boundary cavity computation must survive all three crossing a cut.
+RandomCase MakeRandomCase(Rng& rng, int shape) {
+  size_t n = 1 + rng.NextBounded(160);
+  PairwiseMrf mrf(n);
+  size_t edges = 0;
+  switch (shape % 3) {
+    case 0:
+      edges = rng.NextBounded(static_cast<uint32_t>(n) + 1);
+      break;
+    case 1:
+      edges = 2 * n + rng.NextBounded(static_cast<uint32_t>(n) + 1);
+      break;
+    default:
+      edges = rng.NextBounded(static_cast<uint32_t>(n) + 1) / 2;
+      break;
+  }
+  for (size_t e = 0; e < edges; ++e) {
+    size_t u = rng.NextBounded(static_cast<uint32_t>(n));
+    size_t v = rng.NextBounded(static_cast<uint32_t>(n));
+    if (u == v) continue;
+    double compat[2][2];
+    for (auto& row : compat) {
+      for (double& c : row) c = std::exp(U(rng, -2.0, 2.0));
+    }
+    mrf.AddEdge(u, v, compat);
+  }
+  RandomCase c;
+  c.graph = BpGraph::FromMrf(mrf);
+  c.pot.resize(2 * n);
+  for (size_t v = 0; v < n; ++v) {
+    uint32_t kind = rng.NextBounded(10);
+    if (kind == 0) {
+      bool up = rng.NextBounded(2) == 1;
+      c.pot[2 * v] = up ? 0.0 : 1.0;
+      c.pot[2 * v + 1] = up ? 1.0 : 0.0;
+    } else if (kind == 1) {
+      double scale = std::pow(10.0, U(rng, -300.0, -250.0));
+      double r = std::exp(U(rng, -2.0, 2.0));
+      c.pot[2 * v] = scale;
+      c.pot[2 * v + 1] = scale * r;
+    } else {
+      c.pot[2 * v] = std::exp(U(rng, -4.0, 4.0));
+      c.pot[2 * v + 1] = std::exp(U(rng, -4.0, 4.0));
+    }
+  }
+  return c;
+}
+
+// Budgets generous enough for both sides to reach their fixed points: the
+// contract below compares *converged* runs, not truncated ones.
+BpOptions ConvergingOpts() {
+  BpOptions o;
+  o.max_iters = 400;
+  o.tol = 1e-3;
+  return o;
+}
+
+ShardingOptions ShardOpts(uint32_t shards) {
+  ShardingOptions o;
+  o.num_shards = shards;
+  o.max_exchange_rounds = 32;
+  return o;
+}
+
+double MaxGap(const std::vector<double>& a, const std::vector<double>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double gap = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    gap = std::max(gap, std::abs(a[i] - b[i]));
+  }
+  return gap;
+}
+
+TEST(ShardEquivalenceTest, MarginalsMatchFlatAcrossShardCounts) {
+  Rng rng(20260808);
+  BpOptions opts = ConvergingOpts();
+  int compared = 0;
+  for (int iter = 0; iter < 36; ++iter) {
+    RandomCase c = MakeRandomCase(rng, iter);
+    BpResult flat = InferMarginalsBpFlat(c.graph, c.pot, opts);
+    for (uint32_t shards : {2u, 4u, 8u}) {
+      auto engine = ShardedBpEngine::Build(c.graph, ShardOpts(shards));
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      ShardedBpResult sharded = engine->Infer(c.pot, opts);
+      ASSERT_EQ(sharded.p_up.size(), flat.p_up.size());
+      // Identical convergence decision, marginals within 10x tol.
+      EXPECT_EQ(sharded.converged, flat.converged)
+          << "iter=" << iter << " shards=" << shards;
+      if (flat.converged && sharded.converged) {
+        EXPECT_LE(MaxGap(sharded.p_up, flat.p_up), 10.0 * opts.tol)
+            << "iter=" << iter << " shards=" << shards;
+        ++compared;
+      }
+      EXPECT_LE(sharded.exchange_rounds, ShardOpts(shards).max_exchange_rounds);
+    }
+  }
+  // The suite must actually exercise the contract, not vacuously pass on
+  // graphs that never converge.
+  EXPECT_GT(compared, 60);
+}
+
+TEST(ShardEquivalenceTest, ClampedMarginalsStayExact) {
+  Rng rng(11);
+  BpOptions opts = ConvergingOpts();
+  for (int iter = 0; iter < 12; ++iter) {
+    RandomCase c = MakeRandomCase(rng, iter);
+    auto engine = ShardedBpEngine::Build(c.graph, ShardOpts(4));
+    ASSERT_TRUE(engine.ok());
+    ShardedBpResult sharded = engine->Infer(c.pot, opts);
+    for (size_t v = 0; v < c.graph.num_vars; ++v) {
+      if (c.pot[2 * v] == 0.0) {
+        EXPECT_DOUBLE_EQ(sharded.p_up[v], 1.0);
+      }
+      if (c.pot[2 * v + 1] == 0.0) {
+        EXPECT_DOUBLE_EQ(sharded.p_up[v], 0.0);
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalenceTest, CrossKernelShardedSimdVsFlatScalar) {
+  // Sharded solve on the SIMD kernel vs the flat scalar oracle: the two
+  // tolerance contracts compose (sharding 10x tol, kernel a small multiple
+  // of tol), so agreement within 20x tol. Where the SoA mirror is not
+  // compiled in, kSimd falls back to scalar and the bound holds trivially.
+  Rng rng(77);
+  BpOptions scalar = ConvergingOpts();
+  BpOptions simd = ConvergingOpts();
+  simd.kernel = BpKernel::kSimd;
+  for (int iter = 0; iter < 18; ++iter) {
+    RandomCase c = MakeRandomCase(rng, iter);
+    BpResult flat = InferMarginalsBpFlat(c.graph, c.pot, scalar);
+    auto engine = ShardedBpEngine::Build(c.graph, ShardOpts(4));
+    ASSERT_TRUE(engine.ok());
+    ShardedBpResult sharded = engine->Infer(c.pot, simd);
+    EXPECT_EQ(sharded.converged, flat.converged) << "iter=" << iter;
+    if (flat.converged && sharded.converged) {
+      EXPECT_LE(MaxGap(sharded.p_up, flat.p_up), 20.0 * scalar.tol)
+          << "iter=" << iter;
+    }
+  }
+}
+
+TEST(ShardEquivalenceTest, WarmStartAcrossSlotsTracksCold) {
+  // A serving-shaped sequence: potentials drift slot to slot, the caller
+  // keeps one BpState per shard across slots (as TrendInferenceState::shard
+  // does). Every slot's warm sharded marginals must track a cold flat solve
+  // of the same slot within the contract, and later slots must actually
+  // run warm.
+  Rng rng(5150);
+  RandomCase c = MakeRandomCase(rng, 1);  // dense shape: cuts guaranteed
+  auto engine = ShardedBpEngine::Build(c.graph, ShardOpts(4));
+  ASSERT_TRUE(engine.ok());
+  BpOptions opts = ConvergingOpts();
+  std::vector<BpState> states;
+  std::vector<double> pot = c.pot;
+  for (int slot = 0; slot < 6; ++slot) {
+    // Drift ~10% of soft potentials by a modest factor.
+    for (size_t v = 0; v < c.graph.num_vars; ++v) {
+      if (pot[2 * v] == 0.0 || pot[2 * v + 1] == 0.0) continue;  // clamped
+      if (rng.NextBounded(10) == 0) {
+        pot[2 * v + rng.NextBounded(2)] *= std::exp(U(rng, -0.4, 0.4));
+      }
+    }
+    BpResult cold = InferMarginalsBpFlat(c.graph, pot, opts);
+    ShardedBpResult warm = engine->Infer(pot, opts, &states);
+    EXPECT_EQ(states.size(), engine->num_shards());
+    EXPECT_EQ(warm.converged, cold.converged) << "slot=" << slot;
+    if (cold.converged && warm.converged) {
+      EXPECT_LE(MaxGap(warm.p_up, cold.p_up), 10.0 * opts.tol)
+          << "slot=" << slot;
+    }
+  }
+  for (const BpState& s : states) {
+    if (!s.msg.empty()) {
+      EXPECT_TRUE(s.valid);
+    }
+  }
+}
+
+TEST(ShardEquivalenceTest, DeterministicAcrossRepeatedRuns) {
+  // Barriered rounds + disjoint ghost writes: bitwise-identical output on
+  // every run regardless of thread scheduling. (TSan robustness runs this
+  // suite too, which checks the "disjoint" claim under the race detector.)
+  Rng rng(31337);
+  RandomCase c = MakeRandomCase(rng, 1);
+  auto engine = ShardedBpEngine::Build(c.graph, ShardOpts(8));
+  ASSERT_TRUE(engine.ok());
+  BpOptions opts = ConvergingOpts();
+  ShardedBpResult a = engine->Infer(c.pot, opts);
+  for (int run = 0; run < 3; ++run) {
+    ShardedBpResult b = engine->Infer(c.pot, opts);
+    ASSERT_EQ(a.p_up.size(), b.p_up.size());
+    for (size_t v = 0; v < a.p_up.size(); ++v) {
+      ASSERT_EQ(a.p_up[v], b.p_up[v]) << "var " << v;
+    }
+    EXPECT_EQ(a.exchange_rounds, b.exchange_rounds);
+    EXPECT_EQ(a.converged, b.converged);
+  }
+}
+
+}  // namespace
+}  // namespace trendspeed

@@ -1,0 +1,433 @@
+// Unit suite for the shard layer (shard/sharding.h, shard/sharded_bp.h):
+// ShardingOptions validation, ShardPlan structure (the total-function
+// ownership invariant, component preservation, balance, refinement), the
+// engine's halo construction, and the boundary-road dedup-attribution
+// regression — an observation for a road whose correlation neighbours span
+// two shards must land in exactly one owner shard, neither dropped nor
+// double-counted under kFilter validation + dedup.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/serving.h"
+#include "shard/sharded_bp.h"
+#include "shard/sharding.h"
+#include "test_util.h"
+#include "trend/factor_graph.h"
+#include "util/random.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::SharedTinyDataset;
+
+ShardingOptions Opts(uint32_t shards) {
+  ShardingOptions o;
+  o.num_shards = shards;
+  return o;
+}
+
+// Ring of `n` vars with unit-ish associative compat; plus `extra` chords.
+BpGraph RingGraph(size_t n, size_t extra = 0, uint64_t seed = 1) {
+  PairwiseMrf mrf(n);
+  double compat[2][2] = {{1.3, 0.7}, {0.7, 1.3}};
+  for (size_t v = 0; v < n; ++v) {
+    mrf.AddEdge(v, (v + 1) % n, compat);
+  }
+  Rng rng(seed);
+  for (size_t e = 0; e < extra; ++e) {
+    size_t u = rng.NextBounded(static_cast<uint32_t>(n));
+    size_t w = rng.NextBounded(static_cast<uint32_t>(n));
+    if (u != w && (u + 1) % n != w && (w + 1) % n != u) {
+      mrf.AddEdge(u, w, compat);
+    }
+  }
+  return BpGraph::FromMrf(mrf);
+}
+
+TEST(ShardingOptionsTest, ValidatesKnobs) {
+  EXPECT_TRUE(ShardingOptions{}.Validate().ok());
+  EXPECT_TRUE(Opts(8).Validate().ok());
+
+  ShardingOptions o = Opts(2);
+  o.num_shards = 100000;
+  EXPECT_FALSE(o.Validate().ok());
+
+  o = Opts(2);
+  o.max_exchange_rounds = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.num_shards = 0;  // rounds knob is irrelevant while sharding is off
+  EXPECT_TRUE(o.Validate().ok());
+
+  o = Opts(2);
+  o.exchange_tol = -1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.exchange_tol = std::nan("");
+  EXPECT_FALSE(o.Validate().ok());
+
+  o = Opts(2);
+  o.balance_slack = -0.1;
+  EXPECT_FALSE(o.Validate().ok());
+  o.balance_slack = 1.5;
+  EXPECT_FALSE(o.Validate().ok());
+  o.balance_slack = std::nan("");
+  EXPECT_FALSE(o.Validate().ok());
+
+  o = Opts(2);
+  o.refine_passes = 1000;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(ShardingOptionsTest, EnabledThreshold) {
+  EXPECT_FALSE(Opts(0).enabled());
+  EXPECT_FALSE(Opts(1).enabled());
+  EXPECT_TRUE(Opts(2).enabled());
+}
+
+TEST(ShardPlanTest, TotalFunctionOnRandomGraphs) {
+  Rng rng(2026);
+  for (int iter = 0; iter < 40; ++iter) {
+    size_t n = 1 + rng.NextBounded(300);
+    BpGraph g = RingGraph(n, rng.NextBounded(100), 17 + iter);
+    for (uint32_t shards : {2u, 3u, 8u}) {
+      ShardPlan plan = ShardPlan::Build(g, Opts(shards));
+      ASSERT_TRUE(plan.Validate(n).ok())
+          << "n=" << n << " shards=" << shards;
+      // Every variable owned exactly once is the invariant that later
+      // makes per-road observation attribution unambiguous.
+      size_t total = 0;
+      for (const auto& m : plan.members) total += m.size();
+      EXPECT_EQ(total, n);
+    }
+  }
+}
+
+TEST(ShardPlanTest, RespectsBalanceCap) {
+  BpGraph g = RingGraph(400);
+  ShardingOptions o = Opts(4);
+  o.balance_slack = 0.2;
+  ShardPlan plan = ShardPlan::Build(g, o);
+  size_t ideal = 100;
+  size_t cap = static_cast<size_t>(
+      std::ceil(static_cast<double>(ideal) * (1.0 + o.balance_slack)));
+  EXPECT_LE(plan.LargestShard(), cap);
+  EXPECT_EQ(plan.num_shards, 4u);
+}
+
+TEST(ShardPlanTest, DisconnectedComponentsStayWhole) {
+  // Four disjoint 25-var rings across 4 shards: the component split should
+  // produce zero cut edges — each ring fits a shard whole.
+  PairwiseMrf mrf(100);
+  double compat[2][2] = {{1.2, 0.8}, {0.8, 1.2}};
+  for (size_t c = 0; c < 4; ++c) {
+    for (size_t v = 0; v < 25; ++v) {
+      mrf.AddEdge(25 * c + v, 25 * c + (v + 1) % 25, compat);
+    }
+  }
+  ShardPlan plan = ShardPlan::Build(BpGraph::FromMrf(mrf), Opts(4));
+  ASSERT_TRUE(plan.Validate(100).ok());
+  EXPECT_EQ(plan.cut_edges, 0u);
+  EXPECT_DOUBLE_EQ(plan.CutEdgeFraction(), 0.0);
+  for (const auto& m : plan.members) {
+    // Each shard holds whole rings (multiples of 25).
+    EXPECT_EQ(m.size() % 25, 0u);
+  }
+}
+
+TEST(ShardPlanTest, RefinementDoesNotIncreaseCut) {
+  BpGraph g = RingGraph(500, 200, 5);
+  ShardingOptions none = Opts(4);
+  none.refine_passes = 0;
+  ShardingOptions refined = Opts(4);
+  refined.refine_passes = 4;
+  size_t cut_before = ShardPlan::Build(g, none).cut_edges;
+  size_t cut_after = ShardPlan::Build(g, refined).cut_edges;
+  EXPECT_LE(cut_after, cut_before);
+}
+
+TEST(ShardPlanTest, DeterministicAcrossCalls) {
+  BpGraph g = RingGraph(256, 64, 9);
+  ShardPlan a = ShardPlan::Build(g, Opts(8));
+  ShardPlan b = ShardPlan::Build(g, Opts(8));
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  EXPECT_EQ(a.cut_edges, b.cut_edges);
+}
+
+TEST(ShardPlanTest, HandlesEmptyAndTinyGraphs) {
+  PairwiseMrf empty(0);
+  ShardPlan plan = ShardPlan::Build(BpGraph::FromMrf(empty), Opts(4));
+  EXPECT_TRUE(plan.Validate(0).ok());
+  EXPECT_EQ(plan.cut_edges, 0u);
+
+  // Fewer variables than shards: the count clamps, nothing is dropped.
+  PairwiseMrf two(2);
+  double compat[2][2] = {{1.1, 0.9}, {0.9, 1.1}};
+  two.AddEdge(0, 1, compat);
+  ShardPlan tiny = ShardPlan::Build(BpGraph::FromMrf(two), Opts(8));
+  EXPECT_EQ(tiny.num_shards, 2u);
+  EXPECT_TRUE(tiny.Validate(2).ok());
+}
+
+TEST(ShardPlanTest, CorrelationGraphOverloadMatchesBpGraphTopology) {
+  const Dataset& ds = SharedTinyDataset();
+  PipelineConfig config;
+  config.corr.min_co_observed = 8;
+  auto est = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+  ASSERT_TRUE(est.ok());
+  const CorrelationGraph& cg = est->correlation_graph();
+  ShardPlan from_corr = ShardPlan::Build(cg, Opts(4));
+  ShardPlan from_bp = ShardPlan::Build(est->trend_model().bp_graph(), Opts(4));
+  // Identical topology => identical partition and statistics.
+  EXPECT_EQ(from_corr.shard_of, from_bp.shard_of);
+  EXPECT_EQ(from_corr.cut_edges, from_bp.cut_edges);
+  EXPECT_EQ(from_corr.total_edges, cg.num_edges());
+}
+
+TEST(ShardedBpEngineTest, BuildRejectsDisabledOptions) {
+  BpGraph g = RingGraph(16);
+  EXPECT_FALSE(ShardedBpEngine::Build(g, Opts(0)).ok());
+  EXPECT_FALSE(ShardedBpEngine::Build(g, Opts(1)).ok());
+  ShardingOptions bad = Opts(2);
+  bad.balance_slack = 2.0;
+  EXPECT_FALSE(ShardedBpEngine::Build(g, bad).ok());
+}
+
+TEST(ShardedBpEngineTest, GhostsMatchCutEdges) {
+  BpGraph g = RingGraph(120, 30, 3);
+  auto engine = ShardedBpEngine::Build(g, Opts(4));
+  ASSERT_TRUE(engine.ok());
+  // One ghost per directed cut edge: summed over shards that is exactly
+  // twice the undirected cut, and owned locals partition the graph.
+  size_t ghosts = 0;
+  size_t owned = 0;
+  for (size_t s = 0; s < engine->num_shards(); ++s) {
+    ghosts += engine->shard_ghosts(s);
+    owned += engine->shard_owned(s);
+    EXPECT_EQ(engine->shard_graph(s).num_vars,
+              engine->shard_owned(s) + engine->shard_ghosts(s));
+  }
+  EXPECT_EQ(owned, g.num_vars);
+  EXPECT_EQ(ghosts, 2 * engine->plan().cut_edges);
+}
+
+TEST(ShardedBpEngineTest, NoCutEdgesConvergesInOneRound) {
+  // Disconnected components, zero halo: the exchange loop must exit after
+  // a single round with converged = true.
+  PairwiseMrf mrf(60);
+  double compat[2][2] = {{1.2, 0.8}, {0.8, 1.2}};
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t v = 0; v + 1 < 20; ++v) {
+      mrf.AddEdge(20 * c + v, 20 * c + v + 1, compat);
+    }
+  }
+  auto engine = ShardedBpEngine::Build(BpGraph::FromMrf(mrf), Opts(3));
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->plan().cut_edges, 0u);
+  std::vector<double> pot(2 * 60);
+  Rng rng(44);
+  for (size_t v = 0; v < 60; ++v) {
+    double p = 0.1 + 0.8 * rng.NextDouble();
+    pot[2 * v] = 1.0 - p;
+    pot[2 * v + 1] = p;
+  }
+  BpOptions bp;
+  bp.max_iters = 100;
+  ShardedBpResult r = engine->Infer(pot, bp);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.exchange_rounds, 1u);
+  EXPECT_EQ(r.exchange_residual, 0.0);
+}
+
+TEST(ShardedBpEngineTest, EmptyGraph) {
+  PairwiseMrf mrf(0);
+  auto engine = ShardedBpEngine::Build(BpGraph::FromMrf(mrf), Opts(2));
+  ASSERT_TRUE(engine.ok());
+  ShardedBpResult r = engine->Infer({}, BpOptions{});
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.p_up.empty());
+}
+
+TEST(ShardedBpEngineTest, ClampedSeedsStayHardAcrossBoundaries) {
+  // A clamped variable's marginal must stay exactly 0/1 even when its
+  // information crosses a shard boundary through the halo.
+  BpGraph g = RingGraph(64);
+  auto engine = ShardedBpEngine::Build(g, Opts(4));
+  ASSERT_TRUE(engine.ok());
+  std::vector<double> pot(2 * 64, 1.0);
+  pot[2 * 10] = 0.0;  // var 10 clamped up
+  pot[2 * 10 + 1] = 1.0;
+  pot[2 * 40] = 1.0;  // var 40 clamped down
+  pot[2 * 40 + 1] = 0.0;
+  BpOptions bp;
+  bp.max_iters = 200;
+  ShardedBpResult r = engine->Infer(pot, bp);
+  EXPECT_DOUBLE_EQ(r.p_up[10], 1.0);
+  EXPECT_DOUBLE_EQ(r.p_up[40], 0.0);
+  // Neighbours of the clamped-up var lean up (associative compat).
+  EXPECT_GT(r.p_up[11], 0.5);
+  EXPECT_LT(r.p_up[41], 0.5);
+}
+
+// --- end-to-end: config/estimator threading --------------------------------
+
+class ShardedServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Dataset& ds = SharedTinyDataset();
+    PipelineConfig config;
+    config.corr.min_co_observed = 8;
+    auto flat = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+    TS_CHECK(flat.ok()) << flat.status().ToString();
+    flat_ = new TrafficSpeedEstimator(std::move(flat).value());
+
+    config.sharding.num_shards = 3;
+    auto sharded = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+    TS_CHECK(sharded.ok()) << sharded.status().ToString();
+    sharded_ = new TrafficSpeedEstimator(std::move(sharded).value());
+
+    auto seeds = flat_->SelectSeeds(6, SeedStrategy::kLazyGreedy);
+    TS_CHECK(seeds.ok());
+    seeds_ = new std::vector<RoadId>(seeds->seeds);
+  }
+
+  const Dataset& ds() { return SharedTinyDataset(); }
+
+  std::vector<SeedSpeed> CleanObs(uint64_t slot) {
+    std::vector<SeedSpeed> out;
+    for (RoadId r : *seeds_) {
+      out.push_back({r, std::max(1.0, ds().truth.at(slot, r))});
+    }
+    return out;
+  }
+
+  static TrafficSpeedEstimator* flat_;
+  static TrafficSpeedEstimator* sharded_;
+  static std::vector<RoadId>* seeds_;
+};
+
+TrafficSpeedEstimator* ShardedServingTest::flat_ = nullptr;
+TrafficSpeedEstimator* ShardedServingTest::sharded_ = nullptr;
+std::vector<RoadId>* ShardedServingTest::seeds_ = nullptr;
+
+TEST_F(ShardedServingTest, ConfigValidationGuardsShardingKnobs) {
+  PipelineConfig config;
+  config.sharding.num_shards = 2;
+  EXPECT_TRUE(config.Validate().ok());
+  config.trend.engine = TrendEngine::kGibbs;
+  EXPECT_FALSE(config.Validate().ok());  // sharding requires BP
+  config.trend.engine = TrendEngine::kBeliefPropagation;
+  config.sharding.balance_slack = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST_F(ShardedServingTest, EngineOnlyBuiltWhenEnabled) {
+  EXPECT_EQ(flat_->sharded_engine(), nullptr);
+  ASSERT_NE(sharded_->sharded_engine(), nullptr);
+  EXPECT_EQ(sharded_->sharded_engine()->num_shards(), 3u);
+  EXPECT_TRUE(sharded_->sharded_engine()
+                  ->plan()
+                  .Validate(ds().net.num_roads())
+                  .ok());
+}
+
+TEST_F(ShardedServingTest, ShardedEstimateMatchesFlatWithinTolerance) {
+  uint64_t slot = ds().first_test_slot() + 3;
+  auto flat_out = flat_->Estimate(slot, CleanObs(slot));
+  auto sharded_out = sharded_->Estimate(slot, CleanObs(slot));
+  ASSERT_TRUE(flat_out.ok());
+  ASSERT_TRUE(sharded_out.ok());
+  // Truncated production budget (max_iters 6): the documented contract is
+  // agreement within the runs' own remaining convergence error — in
+  // practice well under 0.05 probability on the tiny city. Hard decisions
+  // on confident roads must agree.
+  double max_gap = 0.0;
+  for (size_t v = 0; v < flat_out->trends.p_up.size(); ++v) {
+    max_gap = std::max(
+        max_gap, std::abs(flat_out->trends.p_up[v] -
+                          sharded_out->trends.p_up[v]));
+    if (std::abs(flat_out->trends.p_up[v] - 0.5) > 0.1) {
+      EXPECT_EQ(flat_out->trends.trend[v], sharded_out->trends.trend[v])
+          << "road " << v;
+    }
+  }
+  EXPECT_LT(max_gap, 0.05);
+}
+
+// The dedup-attribution regression (satellite bugfix): observations for a
+// road whose correlation neighbours span two shards must land in exactly
+// one owner shard — duplicated reports for such a road are resolved by the
+// DedupPolicy exactly once, identically to the unsharded session, neither
+// dropped nor double-counted.
+TEST_F(ShardedServingTest, CutEdgeRoadDedupAttribution) {
+  const ShardedBpEngine* engine = sharded_->sharded_engine();
+  ASSERT_NE(engine, nullptr);
+  const ShardPlan& plan = engine->plan();
+
+  // Find a seed road with a correlation neighbour in another shard; fall
+  // back to any cut-edge road observed at all. The tiny city's mined graph
+  // is dense enough that the 3-way partition always cuts something.
+  const CorrelationGraph& cg = sharded_->correlation_graph();
+  RoadId cut_road = kInvalidRoad;
+  for (RoadId r : *seeds_) {
+    for (const CorrEdge& e : cg.Neighbors(r)) {
+      if (plan.shard_of[e.neighbor] != plan.shard_of[r]) {
+        cut_road = r;
+        break;
+      }
+    }
+    if (cut_road != kInvalidRoad) break;
+  }
+  ASSERT_GT(plan.cut_edges, 0u);
+  ASSERT_NE(cut_road, kInvalidRoad)
+      << "no seed road sits on a shard boundary; pick more seeds";
+
+  ServingOptions opts;
+  opts.validation = ValidationPolicy::kFilter;
+  opts.dedup = DedupPolicy::kMean;
+  auto sharded_session = ServingSession::Create(sharded_, opts);
+  auto flat_session = ServingSession::Create(flat_, opts);
+  ASSERT_TRUE(sharded_session.ok());
+  ASSERT_TRUE(flat_session.ok());
+
+  uint64_t slot = ds().first_test_slot() + 1;
+  std::vector<SeedSpeed> obs = CleanObs(slot);
+  // Duplicate the cut-edge road's report (a second worker re-reporting a
+  // slightly different speed) plus one malformed entry kFilter must drop.
+  double base = 0.0;
+  for (const SeedSpeed& s : obs) {
+    if (s.road == cut_road) base = s.speed_kmh;
+  }
+  obs.push_back({cut_road, base + 6.0});
+  obs.push_back({cut_road, std::nan("")});
+
+  auto sr = sharded_session->Ingest(slot, obs);
+  auto fr = flat_session->Ingest(slot, obs);
+  ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+  ASSERT_TRUE(fr.ok());
+
+  // Exactly one survivor for the duplicated road, in both worlds: the NaN
+  // filtered, the duplicate deduplicated, the road itself still used.
+  EXPECT_EQ(sr->observations_used, seeds_->size());
+  EXPECT_EQ(sr->observations_used, fr->observations_used);
+  EXPECT_EQ(sr->observations_dropped, 2u);
+  ServingStats ss = sharded_session->stats();
+  ServingStats fs = flat_session->stats();
+  EXPECT_EQ(ss.observations_filtered, 1u);
+  EXPECT_EQ(ss.observations_deduplicated, 1u);
+  EXPECT_EQ(ss.observations_filtered, fs.observations_filtered);
+  EXPECT_EQ(ss.observations_deduplicated, fs.observations_deduplicated);
+
+  // And the cut-edge road's estimate agrees with the unsharded session's —
+  // the observation influenced exactly one owner shard, not zero, not two.
+  const auto& s_speeds = sr->monitor.estimate.speeds.speed_kmh;
+  const auto& f_speeds = fr->monitor.estimate.speeds.speed_kmh;
+  ASSERT_EQ(s_speeds.size(), f_speeds.size());
+  EXPECT_NEAR(s_speeds[cut_road], f_speeds[cut_road],
+              0.05 * f_speeds[cut_road]);
+}
+
+}  // namespace
+}  // namespace trendspeed
