@@ -13,12 +13,23 @@
 //                 acceptance gate is <= 2%.
 //   * serving   — ServingSession::Ingest over a trained tiny-city
 //                 estimator, same treatment.
+//   * flight_replay — an 8-shard grid-city serving window replayed through
+//                 IngestFrontEnd with a FlightRecorder attached. Validates
+//                 the recorder's accounting against reality: the per-slot
+//                 critical-path decomposition (queue wait + admission +
+//                 BP + exchange + publish) must sum to within 5% of the
+//                 measured end-to-end slot latency (asserted; skipped under
+//                 --smoke, where per-slot work is too small for stage
+//                 timings to dominate fixed overhead).
 //
 // Correctness is asserted inline: attached and detached BP runs must
 // produce bitwise-identical marginals.
 //
 // Flags:
-//   --smoke   tiny instance, used by the `perf`-labelled CTest smoke entry.
+//   --smoke             tiny instance, used by the `perf`-labelled CTest
+//                       smoke entry.
+//   --trace-out <path>  also write the replay's Chrome trace JSON (load
+//                       in chrome://tracing or ui.perfetto.dev).
 
 #include <cmath>
 #include <cstdio>
@@ -26,11 +37,14 @@
 #include <vector>
 
 #include "bench_hardware.h"
+#include "core/ingest.h"
 #include "core/serving.h"
 #include "io/dataset.h"
 #include "obs/catalog.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "trend/belief_propagation.h"
 #include "trend/factor_graph.h"
 #include "util/logging.h"
@@ -48,6 +62,15 @@ struct OverheadConfig {
   int bp_reps = 5;
   size_t op_iters = 20'000'000;
   size_t ingests = 200;
+  // Flight-replay instance: a grid city big enough that the BP solve
+  // dominates per-slot latency, so the critical-path decomposition can be
+  // checked against the measured wall clock.
+  size_t replay_grid = 28;       // 28x28 intersections, ~3k road segments
+  uint32_t replay_bp_iters = 60;
+  size_t replay_seeds = 24;
+  size_t replay_slots = 6;
+  bool check_replay_coverage = true;
+  const char* trace_out = nullptr;
 };
 
 BpGraph MakeGridBpGraph(const OverheadConfig& cfg, std::vector<double>* pot) {
@@ -239,9 +262,13 @@ int Run(const OverheadConfig& cfg) {
       timer.ElapsedMillis() / static_cast<double>(cfg.ingests);
 
   // Detached Ingest sites: one counter + staleness gauge per slot, the
-  // latency scope (histogram + slow counter), ten null registrations in the
-  // constructor amortized to ~0, and one null span.
-  double serving_sites = 7.0;
+  // latency scope (histogram + slow counter), one null trace span, and the
+  // flight/SLO instrumentation added since — the wrapper's null-recorder
+  // check + null-SLO check, plus four null FlightSpans (admission,
+  // estimate envelope, bp_solve, publish) at two predicted branches each
+  // (ctor + dtor, obs/flight.h). Registrations in the constructor amortize
+  // to ~0 over the run.
+  double serving_sites = 15.0;
   double serving_detached_pct =
       serving_sites * null_counter_ns / (serving_detached_ms * 1e6) * 100.0;
   double serving_attached_pct =
@@ -255,11 +282,106 @@ int Run(const OverheadConfig& cfg) {
   std::printf("    \"record_sites_per_ingest\": %.0f,\n", serving_sites);
   std::printf("    \"derived_detached_overhead_pct\": %.6f\n",
               serving_detached_pct);
-  std::printf("  }\n}\n");
+  std::printf("  },\n");
   TS_CHECK_LT(serving_detached_pct, 2.0);
   TS_CHECK_EQ(
       serving_reg.GetCounter(obs::kServingSlotsEstimatedTotal)->Value(),
       static_cast<uint64_t>(cfg.ingests));
+
+  // --- flight replay: recorder accounting vs the wall clock ---------------
+  // An 8-shard grid city replayed through the real front-end. Every slot's
+  // measured latency (Offer..Flush on this thread) is compared against the
+  // recorder's critical-path decomposition; with the BP solve forced to
+  // dominate (tol = 0, fixed iteration budget), the attributed stages must
+  // recover the measured time to within 5%.
+  GridNetworkOptions grid;
+  grid.rows = cfg.replay_grid;
+  grid.cols = cfg.replay_grid;
+  grid.arterial_every = 5;
+  DatasetOptions ds_opts;
+  ds_opts.history_days = 8;
+  ds_opts.test_days = 1;
+  ds_opts.use_probe_fleet = false;  // idealized collector: fast to build
+  auto net = MakeGridNetwork(grid);
+  TS_CHECK(net.ok()) << net.status().ToString();
+  auto replay_ds = BuildDataset("ReplayCity", std::move(net.value()), ds_opts);
+  TS_CHECK(replay_ds.ok()) << replay_ds.status().ToString();
+
+  PipelineConfig replay_config;
+  replay_config.corr.min_co_observed = 8;
+  replay_config.sharding.num_shards = 8;
+  replay_config.sharding.max_exchange_rounds = 2;
+  replay_config.trend.bp.tol = 0.0;  // never converge early
+  replay_config.trend.bp.max_iters = cfg.replay_bp_iters;
+  auto replay_est = TrafficSpeedEstimator::Train(
+      &replay_ds->net, &replay_ds->history, replay_config);
+  TS_CHECK(replay_est.ok()) << replay_est.status().ToString();
+  auto replay_seeds =
+      replay_est->SelectSeeds(cfg.replay_seeds, SeedStrategy::kLazyGreedy);
+  TS_CHECK(replay_seeds.ok());
+
+  obs::SetFlightThreadLabel("serving");
+  obs::FlightRecorder flight;
+  ServingOptions replay_opts;
+  replay_opts.ingest_queue.capacity = 1024;
+  replay_opts.publish_snapshots = true;
+  replay_opts.observability.flight = &flight;
+  auto replay_session =
+      ServingSession::Create(&replay_est.value(), replay_opts);
+  TS_CHECK(replay_session.ok()) << replay_session.status().ToString();
+  auto fe = IngestFrontEnd::Create(&replay_session.value());
+  TS_CHECK(fe.ok()) << fe.status().ToString();
+
+  double measured_ms = 0.0;
+  for (uint64_t slot = 0; slot < cfg.replay_slots; ++slot) {
+    WallTimer slot_timer;
+    for (RoadId r : replay_seeds->seeds) {
+      TS_CHECK((*fe)->Offer(
+          slot, {r, std::max(1.0, replay_ds->truth.at(slot, r))}));
+    }
+    auto report = (*fe)->Flush();
+    TS_CHECK(report.ok()) << report.status().ToString();
+    measured_ms += slot_timer.ElapsedMillis();
+  }
+
+  // Sum the per-slot decompositions over the whole window.
+  uint64_t attributed_ns = 0, total_ns = 0;
+  size_t flight_events = 0;
+  for (uint64_t slot = 0; slot < cfg.replay_slots; ++slot) {
+    obs::SlotCriticalPath path =
+        obs::ComputeSlotCriticalPath(flight.CollectSlot(slot), slot);
+    attributed_ns += path.queue_wait_ns + path.admission_ns + path.bp_ns +
+                     path.exchange_ns + path.publish_ns;
+    total_ns += path.total_ns;
+    flight_events += path.events;
+  }
+  double attributed_ms = static_cast<double>(attributed_ns) / 1e6;
+  double coverage = attributed_ms / measured_ms;
+  std::printf("  \"flight_replay\": {\n");
+  std::printf("    \"segments\": %zu,\n", replay_ds->net.num_roads());
+  std::printf("    \"shards\": %u,\n", replay_config.sharding.num_shards);
+  std::printf("    \"slots\": %zu,\n", cfg.replay_slots);
+  std::printf("    \"flight_events\": %zu,\n", flight_events);
+  std::printf("    \"measured_ms\": %.3f,\n", measured_ms);
+  std::printf("    \"attributed_ms\": %.3f,\n", attributed_ms);
+  std::printf("    \"recorder_total_ms\": %.3f,\n",
+              static_cast<double>(total_ns) / 1e6);
+  std::printf("    \"critical_path_coverage\": %.4f\n", coverage);
+  std::printf("  }\n}\n");
+  TS_CHECK_EQ(flight.dropped(), 0u);
+  if (cfg.check_replay_coverage) {
+    TS_CHECK_GT(coverage, 0.95);
+    TS_CHECK_LT(coverage, 1.05);
+  }
+  if (cfg.trace_out != nullptr) {
+    std::string json = obs::ToChromeTraceJson(flight);
+    FILE* f = std::fopen(cfg.trace_out, "w");
+    TS_CHECK(f != nullptr) << "cannot open " << cfg.trace_out;
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu-byte Chrome trace to %s\n", json.size(),
+                 cfg.trace_out);
+  }
   return 0;
 }
 
@@ -276,6 +398,16 @@ int main(int argc, char** argv) {
       cfg.bp_reps = 2;
       cfg.op_iters = 2'000'000;
       cfg.ingests = 20;
+      cfg.replay_grid = 12;
+      cfg.replay_bp_iters = 8;
+      cfg.replay_seeds = 8;
+      cfg.replay_slots = 2;
+      // Slots this small are fixed-overhead-bound; the 5% coverage gate
+      // only holds once the BP solve dominates (see bench_sharded_engine's
+      // check_latency for the same reasoning).
+      cfg.check_replay_coverage = false;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      cfg.trace_out = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;

@@ -87,6 +87,16 @@ Status PipelineConfig::Validate() const {
     return Status::InvalidArgument(
         "observability.instrument_thread_pool requires a metrics registry");
   }
+  // obs is the bottom layer and cannot return Status itself; wrap its
+  // static reason string here.
+  if (const char* msg = observability.slo.Invalid()) {
+    return Status::InvalidArgument(std::string("observability.slo: ") + msg);
+  }
+  if (observability.slo.enabled() && observability.flight == nullptr) {
+    return Status::InvalidArgument(
+        "observability.slo budgets require observability.flight (the SLO "
+        "engine consumes flight-recorder slot timelines)");
+  }
   return Status::OK();
 }
 

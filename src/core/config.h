@@ -4,7 +4,9 @@
 #define TRENDSPEED_CORE_CONFIG_H_
 
 #include "corr/correlation_graph.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "seed/objective.h"
 #include "shard/sharding.h"
@@ -33,6 +35,21 @@ struct ObservabilityOptions {
   /// Serving: an Ingest call slower than this bumps
   /// trendspeed_serving_slow_ingests_total. Must be positive and finite.
   double slow_ingest_ms = 250.0;
+  /// Slot-causal flight recorder (obs/flight.h). Borrowed like the other
+  /// sinks; when attached, every pipeline stage a slot passes through —
+  /// queue wait, admission, estimate, per-shard BP solves, halo exchange,
+  /// snapshot publish — records into per-thread rings that merge into one
+  /// causal timeline per slot. Null (default): every flight site is one
+  /// predicted branch and results are bitwise identical. Consumed by the
+  /// serving layer only (ServingOptions::observability): the serving
+  /// session hands the recorder down per call as an obs::FlightSink, so a
+  /// recorder set on a PipelineConfig used purely for training is inert.
+  obs::FlightRecorder* flight = nullptr;
+  /// Per-stage latency SLO budgets + burn-rate policy (obs/slo.h). Only
+  /// meaningful on the serving path; enabling any budget requires `flight`
+  /// (the SLO engine consumes per-slot critical paths and dumps the flight
+  /// ring on breach). Validated with the rest of the config.
+  obs::SloOptions slo;
 };
 
 struct PipelineConfig {

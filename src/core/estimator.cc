@@ -141,8 +141,19 @@ Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
 Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
     uint64_t slot, const std::vector<SeedSpeed>& seeds,
     TrendInferenceState* state) const {
+  return Estimate(slot, seeds, state, obs::FlightSink{});
+}
+
+Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
+    uint64_t slot, const std::vector<SeedSpeed>& seeds,
+    TrendInferenceState* state, const obs::FlightSink& flight) const {
   const ObservabilityOptions& o = config_.observability;
   obs::ScopedSpan span(o.trace, "estimator/estimate");
+  // The estimate envelope overlaps bp_solve/exchange and is excluded from
+  // critical-path attribution (obs/flight.h), but keeps the timeline whole.
+  obs::FlightSpan flight_span(flight.recorder, slot,
+                              obs::FlightStage::kEstimate, obs::kNoShard,
+                              flight.ctx);
   WallTimer timer;
   // Seed trends come from comparing the crowdsourced speed with the road's
   // historical mean.
@@ -239,13 +250,15 @@ Result<TrafficSpeedEstimator::Output> TrafficSpeedEstimator::Estimate(
         (state != nullptr && config_.trend.warm_start) ? &state->shard
                                                        : nullptr;
     ShardedBpResult sharded =
-        sharded_->Infer(pot, config_.trend.bp, shard_states);
+        sharded_->Infer(pot, config_.trend.bp, shard_states, flight);
     out.trends.p_up = std::move(sharded.p_up);
     out.trends.trend.resize(out.trends.p_up.size());
     for (size_t v = 0; v < out.trends.p_up.size(); ++v) {
       out.trends.trend[v] = out.trends.p_up[v] >= 0.5 ? +1 : -1;
     }
   } else {
+    obs::FlightSpan bp_span(flight.recorder, slot, obs::FlightStage::kBpSolve,
+                            obs::kNoShard, flight.ctx);
     TS_ASSIGN_OR_RETURN(out.trends, trend_model_->Infer(slot, seed_trends,
                                                         evidence_ptr, state));
   }

@@ -78,6 +78,16 @@ class TrafficSpeedEstimator {
   Result<Output> Estimate(uint64_t slot, const std::vector<SeedSpeed>& seeds,
                           TrendInferenceState* state) const;
 
+  /// Slot-trace variant: `flight` carries the serving layer's recorder +
+  /// causal context (the estimator's own config_.observability has no
+  /// recorder — flight hookup is per serving session, not per model).
+  /// Records this call as the slot's `estimate` envelope span plus nested
+  /// `bp_solve` / `shard_solve` / `exchange` spans. A default (detached)
+  /// sink behaves exactly like the overload above.
+  Result<Output> Estimate(uint64_t slot, const std::vector<SeedSpeed>& seeds,
+                          TrendInferenceState* state,
+                          const obs::FlightSink& flight) const;
+
   const CorrelationGraph& correlation_graph() const { return *graph_; }
   const InfluenceModel& influence() const { return *influence_; }
   const HierarchicalSpeedModel& speed_model() const { return *speed_model_; }

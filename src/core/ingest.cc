@@ -1,11 +1,14 @@
 #include "core/ingest.h"
 
 #include "obs/catalog.h"
+#include "obs/clock.h"
 
 namespace trendspeed {
 
 IngestFrontEnd::IngestFrontEnd(ServingSession* session, size_t capacity)
-    : session_(session), queue_(capacity) {
+    : session_(session),
+      queue_(capacity),
+      flight_(session->options().observability.flight) {
   obs::MetricsRegistry* reg = session->options().observability.metrics;
   m_enqueued_ = obs::GetCounter(reg, obs::kServingIngestEnqueuedTotal);
   m_rejected_ =
@@ -14,6 +17,10 @@ IngestFrontEnd::IngestFrontEnd(ServingSession* session, size_t capacity)
       obs::GetCounter(reg, obs::kServingIngestFlushedSlotsTotal);
   m_stragglers_ = obs::GetCounter(reg, obs::kServingIngestStragglersTotal);
   m_queue_depth_ = obs::GetGauge(reg, obs::kServingIngestQueueDepth);
+  m_straggler_worst_slot_ =
+      obs::GetGauge(reg, obs::kServingIngestStragglerWorstSlot);
+  m_straggler_worst_count_ =
+      obs::GetGauge(reg, obs::kServingIngestStragglerWorstCount);
 }
 
 Result<std::unique_ptr<IngestFrontEnd>> IngestFrontEnd::Create(
@@ -32,7 +39,12 @@ Result<std::unique_ptr<IngestFrontEnd>> IngestFrontEnd::Create(
 }
 
 bool IngestFrontEnd::Offer(uint64_t slot, const SeedSpeed& obs) {
-  if (!queue_.TryPush(QueuedObservation{slot, obs})) {
+  QueuedObservation item{slot, obs};
+  // Detached front-ends never read the clock on the producer path (the
+  // one-branch contract); attached ones stamp the enqueue time so the
+  // flight recorder can attribute queue wait.
+  if (flight_ != nullptr) item.enqueue_ns = obs::MonotonicNanos();
+  if (!queue_.TryPush(item)) {
     Count(stats_.rejected_backpressure, m_rejected_);
     return false;
   }
@@ -41,14 +53,32 @@ bool IngestFrontEnd::Offer(uint64_t slot, const SeedSpeed& obs) {
   return true;
 }
 
+obs::SlotTraceContext* IngestFrontEnd::BeginSlotTrace(
+    obs::SlotTraceContext* ctx) {
+  if (flight_ == nullptr) return nullptr;
+  uint64_t now = obs::MonotonicNanos();
+  uint64_t origin =
+      pending_origin_ns_ != 0 && pending_origin_ns_ < now ? pending_origin_ns_
+                                                          : now;
+  ctx->slot = pending_slot_;
+  ctx->origin_ns = origin;
+  ctx->stage_seq = 0;
+  flight_->Record(pending_slot_, obs::FlightStage::kQueueWait, origin,
+                  now - origin, obs::kNoShard, ++ctx->stage_seq);
+  return ctx;
+}
+
 void IngestFrontEnd::FlushPending() {
   if (!has_pending_) return;
   Count(stats_.flushed_slots, m_flushed_slots_);
+  obs::SlotTraceContext ctx;
+  obs::SlotTraceContext* ctx_ptr = BeginSlotTrace(&ctx);
   // Rejections are the session's call and already land in ServingStats
   // (out_of_order_slots, rejected_batches, ...); the drain loop moves on.
-  (void)session_->Ingest(pending_slot_, pending_);
+  (void)session_->Ingest(pending_slot_, pending_, ctx_ptr);
   pending_.clear();
   has_pending_ = false;
+  pending_origin_ns_ = 0;
 }
 
 size_t IngestFrontEnd::Drain() {
@@ -61,12 +91,20 @@ size_t IngestFrontEnd::Drain() {
       // advanced the stream). Dropping here keeps one bad interleaving
       // from rejecting the whole pending batch as out-of-order.
       Count(stats_.stragglers, m_stragglers_);
+      NoteStraggler(item.slot);
       continue;
     }
     if (has_pending_ && item.slot > pending_slot_) FlushPending();
     if (!has_pending_) {
       pending_slot_ = item.slot;
       has_pending_ = true;
+    }
+    // Queue-wait origin = earliest producer stamp in the batch (stamps are
+    // 0 when no recorder is attached, and multi-producer pop order is not
+    // enqueue order, hence the min).
+    if (item.enqueue_ns != 0 &&
+        (pending_origin_ns_ == 0 || item.enqueue_ns < pending_origin_ns_)) {
+      pending_origin_ns_ = item.enqueue_ns;
     }
     pending_.push_back(item.obs);
   }
@@ -82,10 +120,32 @@ Result<ServingSession::SlotReport> IngestFrontEnd::Flush() {
   }
   Count(stats_.flushed_slots, m_flushed_slots_);
   uint64_t slot = pending_slot_;
+  obs::SlotTraceContext ctx;
+  obs::SlotTraceContext* ctx_ptr = BeginSlotTrace(&ctx);
   std::vector<SeedSpeed> batch;
   batch.swap(pending_);
   has_pending_ = false;
-  return session_->Ingest(slot, batch);
+  pending_origin_ns_ = 0;
+  return session_->Ingest(slot, batch, ctx_ptr);
+}
+
+void IngestFrontEnd::NoteStraggler(uint64_t slot) {
+  // Bounded attribution memory: past the cap, new slots still count in the
+  // global straggler counter but are not individually attributed (a stream
+  // healthy enough to matter revisits few distinct stale slots).
+  constexpr size_t kMaxTrackedSlots = 4096;
+  auto it = straggler_counts_.find(slot);
+  if (it == straggler_counts_.end()) {
+    if (straggler_counts_.size() >= kMaxTrackedSlots) return;
+    it = straggler_counts_.emplace(slot, 0).first;
+  }
+  uint64_t count = ++it->second;
+  if (count > stats_.straggler_worst_count.load(std::memory_order_relaxed)) {
+    stats_.straggler_worst_count.store(count, std::memory_order_relaxed);
+    stats_.straggler_worst_slot.store(slot, std::memory_order_relaxed);
+    obs::Set(m_straggler_worst_count_, static_cast<double>(count));
+    obs::Set(m_straggler_worst_slot_, static_cast<double>(slot));
+  }
 }
 
 IngestStats IngestFrontEnd::stats() const {
@@ -95,6 +155,10 @@ IngestStats IngestFrontEnd::stats() const {
       stats_.rejected_backpressure.load(std::memory_order_relaxed);
   out.flushed_slots = stats_.flushed_slots.load(std::memory_order_relaxed);
   out.stragglers = stats_.stragglers.load(std::memory_order_relaxed);
+  out.straggler_worst_slot =
+      stats_.straggler_worst_slot.load(std::memory_order_relaxed);
+  out.straggler_worst_count =
+      stats_.straggler_worst_count.load(std::memory_order_relaxed);
   return out;
 }
 

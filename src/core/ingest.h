@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/serving.h"
@@ -44,6 +45,10 @@ namespace trendspeed {
 struct QueuedObservation {
   uint64_t slot = 0;
   SeedSpeed obs;
+  /// MonotonicNanos at Offer, stamped only when a flight recorder is
+  /// attached (0 otherwise — detached producers never read the clock). The
+  /// earliest stamp in a batch becomes the slot's queue-wait origin.
+  uint64_t enqueue_ns = 0;
 };
 
 /// Cumulative front-end counters (snapshot; every field is atomically
@@ -54,6 +59,12 @@ struct IngestStats {
   uint64_t rejected_backpressure = 0;  ///< Offers refused: queue full
   uint64_t flushed_slots = 0;          ///< batches handed to Ingest
   uint64_t stragglers = 0;  ///< observations behind the slot watermark
+  /// Per-slot straggler attribution: the slot that has lost the most
+  /// observations behind the watermark, and how many it lost. 0/0 until
+  /// the first straggler. (Without this, stragglers vanish into one global
+  /// counter and the worst-hit slot cannot be named.)
+  uint64_t straggler_worst_slot = 0;
+  uint64_t straggler_worst_count = 0;
 };
 
 class IngestFrontEnd {
@@ -95,19 +106,35 @@ class IngestFrontEnd {
   /// session counts them — so the drain loop never stalls on bad input.
   void FlushPending();
 
+  /// Flight-recorder hookup for the batch about to flush: records the
+  /// slot's queue-wait stage (first enqueue -> now) and initializes *ctx
+  /// for the downstream Ingest call. Returns nullptr (and touches nothing)
+  /// when no recorder is attached.
+  obs::SlotTraceContext* BeginSlotTrace(obs::SlotTraceContext* ctx);
+
+  /// Per-slot straggler attribution (consumer thread only): bumps the
+  /// slot's count in a bounded map and maintains the worst-slot running
+  /// max. Counts only grow, so the max never needs revisiting.
+  void NoteStraggler(uint64_t slot);
+
   ServingSession* session_;
   MpscBoundedQueue<QueuedObservation> queue_;
+  obs::FlightRecorder* flight_ = nullptr;  // borrowed via ServingOptions
 
   // Consumer-only state.
   std::vector<SeedSpeed> pending_;
   uint64_t pending_slot_ = 0;
   bool has_pending_ = false;
+  uint64_t pending_origin_ns_ = 0;  ///< earliest enqueue stamp in the batch
+  std::unordered_map<uint64_t, uint64_t> straggler_counts_;
 
   struct AtomicStats {
     std::atomic<uint64_t> enqueued{0};
     std::atomic<uint64_t> rejected_backpressure{0};
     std::atomic<uint64_t> flushed_slots{0};
     std::atomic<uint64_t> stragglers{0};
+    std::atomic<uint64_t> straggler_worst_slot{0};
+    std::atomic<uint64_t> straggler_worst_count{0};
   };
   AtomicStats stats_;
 
@@ -121,6 +148,8 @@ class IngestFrontEnd {
   obs::Counter* m_flushed_slots_ = nullptr;
   obs::Counter* m_stragglers_ = nullptr;
   obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Gauge* m_straggler_worst_slot_ = nullptr;
+  obs::Gauge* m_straggler_worst_count_ = nullptr;
 };
 
 }  // namespace trendspeed

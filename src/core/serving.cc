@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/catalog.h"
+#include "obs/clock.h"
 #include "util/timer.h"
 
 namespace trendspeed {
@@ -68,6 +69,14 @@ Status ServingOptions::Validate() const {
     return Status::InvalidArgument(
         "observability.slow_ingest_ms must be positive and finite");
   }
+  if (const char* msg = observability.slo.Invalid()) {
+    return Status::InvalidArgument(std::string("observability.slo: ") + msg);
+  }
+  if (observability.slo.enabled() && observability.flight == nullptr) {
+    return Status::InvalidArgument(
+        "observability.slo budgets require observability.flight (the SLO "
+        "engine consumes flight-recorder slot timelines)");
+  }
   TS_RETURN_NOT_OK(ingest_queue.Validate());
   return Status::OK();
 }
@@ -101,6 +110,15 @@ ServingSession::ServingSession(const TrafficSpeedEstimator* estimator,
   m_slow_ingests_ = obs::GetCounter(reg, obs::kServingSlowIngestsTotal);
   m_ingest_latency_ = obs::GetHistogram(reg, obs::kServingIngestLatencyMs);
   m_staleness_ = obs::GetGauge(reg, obs::kServingStalenessSlots);
+  if (opts_.observability.flight != nullptr) {
+    opts_.observability.flight->AttachMetrics(reg);
+  }
+  if (opts_.observability.slo.enabled()) {
+    // Validate() already required flight != nullptr here.
+    slo_ = std::make_unique<obs::SloEngine>(opts_.observability.slo,
+                                            opts_.observability.flight);
+    slo_->AttachMetrics(reg);
+  }
 }
 
 Result<ServingSession> ServingSession::Create(
@@ -171,8 +189,8 @@ Result<std::vector<SeedSpeed>> ServingSession::Sanitize(
   return out;
 }
 
-Result<ServingSession::SlotReport> ServingSession::CarryForward(uint64_t slot,
-                                                                size_t dropped) {
+Result<ServingSession::SlotReport> ServingSession::CarryForward(
+    uint64_t slot, size_t dropped, obs::SlotTraceContext* ctx) {
   // Whether the carry-forward succeeds or is refused, no inference ran for
   // this slot, so the stored fixed point no longer matches the stream: the
   // next estimated slot must start cold.
@@ -198,12 +216,15 @@ Result<ServingSession::SlotReport> ServingSession::CarryForward(uint64_t slot,
   last_report_.monitor.new_alerts.clear();
   last_report_.observations_used = 0;
   last_report_.observations_dropped = dropped;
-  PublishSnapshot();
+  if (slo_ != nullptr) slo_->NoteDegradation("carry_forward", slot);
+  PublishSnapshot(ctx);
   return last_report_;
 }
 
-void ServingSession::PublishSnapshot() {
+void ServingSession::PublishSnapshot(obs::SlotTraceContext* ctx) {
   if (snapshot_ == nullptr || !has_report_) return;
+  obs::FlightSpan span(opts_.observability.flight, last_report_.slot,
+                       obs::FlightStage::kPublish, obs::kNoShard, ctx);
   const SpeedEstimateResult& speeds = last_report_.monitor.estimate.speeds;
   snapshot_->Publish(last_report_.slot, speeds.speed_kmh, speeds.deviation,
                      last_report_.stale_slots,
@@ -231,8 +252,9 @@ ServingStats ServingSession::stats() const {
   return out;
 }
 
-Result<ServingSession::SlotReport> ServingSession::Ingest(
-    uint64_t slot, const std::vector<SeedSpeed>& observations) {
+Result<ServingSession::SlotReport> ServingSession::DoIngest(
+    uint64_t slot, const std::vector<SeedSpeed>& observations,
+    obs::SlotTraceContext* ctx) {
   obs::ScopedSpan span(opts_.observability.trace, "serving/ingest");
   IngestLatencyScope latency(m_ingest_latency_, m_slow_ingests_,
                              opts_.observability.slow_ingest_ms);
@@ -248,6 +270,7 @@ Result<ServingSession::SlotReport> ServingSession::Ingest(
       Count(stats_->out_of_order_slots, m_out_of_order_slots_);
       // Slot continuity is broken; the next accepted slot must start cold.
       trend_state_.Invalidate();
+      if (slo_ != nullptr) slo_->NoteDegradation("out_of_order_slot", slot);
       return Status::FailedPrecondition(
           "stale slot " + std::to_string(slot) + " arrived after slot " +
           std::to_string(last_report_.slot) + " was served");
@@ -256,21 +279,27 @@ Result<ServingSession::SlotReport> ServingSession::Ingest(
 
   size_t filtered = 0;
   size_t deduplicated = 0;
-  Result<std::vector<SeedSpeed>> sanitized =
-      Sanitize(observations, &filtered, &deduplicated);
+  Result<std::vector<SeedSpeed>> sanitized = [&] {
+    obs::FlightSpan admission(opts_.observability.flight, slot,
+                              obs::FlightStage::kAdmission, obs::kNoShard,
+                              ctx);
+    return Sanitize(observations, &filtered, &deduplicated);
+  }();
   if (!sanitized.ok()) {
     // The slot is not consumed: a corrected batch may be re-sent.
     Count(stats_->rejected_batches, m_rejected_batches_);
+    if (slo_ != nullptr) slo_->NoteDegradation("rejected_batch", slot);
     return sanitized.status();
   }
   Count(stats_->observations_filtered, m_observations_filtered_, filtered);
   Count(stats_->observations_deduplicated, m_observations_deduplicated_,
         deduplicated);
   const size_t dropped = filtered + deduplicated;
-  if (sanitized->empty()) return CarryForward(slot, dropped);
+  if (sanitized->empty()) return CarryForward(slot, dropped, ctx);
 
   Result<OnlineTrafficMonitor::SlotReport> report = monitor_.Process(
-      slot, *sanitized, opts_.warm_start ? &trend_state_ : nullptr);
+      slot, *sanitized, opts_.warm_start ? &trend_state_ : nullptr,
+      obs::FlightSink{opts_.observability.flight, slot, ctx});
   bool healthy = report.ok();
   if (healthy) {
     // Never serve a non-finite or negative speed, whatever the estimator
@@ -284,7 +313,8 @@ Result<ServingSession::SlotReport> ServingSession::Ingest(
   }
   if (!healthy) {
     Count(stats_->estimation_failures, m_estimation_failures_);
-    return CarryForward(slot, dropped);
+    if (slo_ != nullptr) slo_->NoteDegradation("estimation_failure", slot);
+    return CarryForward(slot, dropped, ctx);
   }
 
   Count(stats_->slots_estimated, m_slots_estimated_);
@@ -296,8 +326,41 @@ Result<ServingSession::SlotReport> ServingSession::Ingest(
   last_report_.observations_used = sanitized->size();
   last_report_.observations_dropped = dropped;
   has_report_ = true;
-  PublishSnapshot();
+  PublishSnapshot(ctx);
   return last_report_;
+}
+
+Result<ServingSession::SlotReport> ServingSession::Ingest(
+    uint64_t slot, const std::vector<SeedSpeed>& observations) {
+  return Ingest(slot, observations, nullptr);
+}
+
+Result<ServingSession::SlotReport> ServingSession::Ingest(
+    uint64_t slot, const std::vector<SeedSpeed>& observations,
+    obs::SlotTraceContext* ctx) {
+  obs::FlightRecorder* flight = opts_.observability.flight;
+  // Detached: one predicted branch, then the PR-3 contract path — no clock
+  // reads, no context, bitwise-identical behaviour.
+  if (flight == nullptr) return DoIngest(slot, observations, nullptr);
+  obs::SlotTraceContext local;
+  if (ctx == nullptr) {
+    // Direct Ingest call (no front-end): the slot's timeline starts here.
+    local.slot = slot;
+    local.origin_ns = obs::MonotonicNanos();
+    ctx = &local;
+  }
+  uint64_t start_ns = obs::MonotonicNanos();
+  Result<SlotReport> result = DoIngest(slot, observations, ctx);
+  // The ingest envelope is recorded manually (not via FlightSpan) so it is
+  // already in the ring when the SLO engine collects this slot's timeline.
+  flight->Record(slot, obs::FlightStage::kIngest, start_ns,
+                 obs::ElapsedNanosSince(start_ns), obs::kNoShard,
+                 ++ctx->stage_seq);
+  if (slo_ != nullptr) {
+    slo_->ObserveSlot(
+        obs::ComputeSlotCriticalPath(flight->CollectSlot(slot), slot));
+  }
+  return result;
 }
 
 }  // namespace trendspeed

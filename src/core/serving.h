@@ -33,7 +33,9 @@
 #include "core/estimator.h"
 #include "core/monitor.h"
 #include "core/snapshot.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
@@ -172,6 +174,15 @@ class ServingSession {
   Result<SlotReport> Ingest(uint64_t slot,
                             const std::vector<SeedSpeed>& observations);
 
+  /// Ingest with an externally created slot-trace context (the ingest
+  /// front-end passes the one whose queue-wait stage it already recorded).
+  /// With a flight recorder attached and ctx null, a local context is
+  /// created so direct Ingest callers still get full stage attribution;
+  /// detached sessions ignore ctx entirely.
+  Result<SlotReport> Ingest(uint64_t slot,
+                            const std::vector<SeedSpeed>& observations,
+                            obs::SlotTraceContext* ctx);
+
   /// Point-in-time snapshot of the cumulative degradation counters.
   ServingStats stats() const;
 
@@ -181,6 +192,11 @@ class ServingSession {
   const SpeedSnapshotPublisher* snapshot_publisher() const {
     return snapshot_.get();
   }
+
+  /// Latency SLO engine; null unless options().observability.slo has a
+  /// budget enabled. Single-threaded contract: read from the serving
+  /// (drain) thread, like stats().
+  const obs::SloEngine* slo() const { return slo_.get(); }
 
   /// True once any slot has been served (fresh or carried forward).
   bool has_estimate() const { return has_report_; }
@@ -203,9 +219,15 @@ class ServingSession {
       const std::vector<SeedSpeed>& observations, size_t* filtered,
       size_t* deduplicated) const;
 
+  /// The Ingest body shared by both public overloads (ctx may be null).
+  Result<SlotReport> DoIngest(uint64_t slot,
+                              const std::vector<SeedSpeed>& observations,
+                              obs::SlotTraceContext* ctx);
+
   /// Serves the last good estimate for `slot` with the staleness flag, or
   /// explains why it cannot.
-  Result<SlotReport> CarryForward(uint64_t slot, size_t dropped);
+  Result<SlotReport> CarryForward(uint64_t slot, size_t dropped,
+                                  obs::SlotTraceContext* ctx);
 
   /// Atomic backing store for ServingStats; field order matches. Heap-held
   /// so the session stays movable (Result<ServingSession> moves it out of
@@ -232,14 +254,18 @@ class ServingSession {
   }
 
   /// Publishes the last served report through the seqlock snapshot (no-op
-  /// when snapshots are off).
-  void PublishSnapshot();
+  /// when snapshots are off); records the kPublish flight stage when a
+  /// recorder is attached.
+  void PublishSnapshot(obs::SlotTraceContext* ctx);
 
   const TrafficSpeedEstimator* estimator_;
   ServingOptions opts_;
   OnlineTrafficMonitor monitor_;
   std::unique_ptr<AtomicStats> stats_;
   std::unique_ptr<SpeedSnapshotPublisher> snapshot_;
+  /// Latency SLO engine; non-null iff observability.slo.enabled(). Heap-held
+  /// like stats_ so the session stays movable.
+  std::unique_ptr<obs::SloEngine> slo_;
   bool has_report_ = false;
   SlotReport last_report_;
   uint32_t stale_streak_ = 0;

@@ -216,6 +216,60 @@ const MetricDef kShardLargestSweepMs = {
     "per-slot critical path with one core per shard)", "ms", "",
     kLatencyMsBounds, N(kLatencyMsBounds)};
 
+// --- ingest straggler attribution (core/ingest.cc) -------------------------
+const MetricDef kServingIngestStragglerWorstSlot = {
+    "trendspeed_serving_ingest_straggler_worst_slot", MetricType::kGauge,
+    "Slot id that has lost the most observations behind the flush watermark",
+    "slot"};
+const MetricDef kServingIngestStragglerWorstCount = {
+    "trendspeed_serving_ingest_straggler_worst_count", MetricType::kGauge,
+    "Straggler observations lost by that worst slot", "observations"};
+
+// --- flight recorder (obs/flight.cc) ---------------------------------------
+const MetricDef kFlightEventsRecordedTotal = {
+    "trendspeed_flight_events_recorded_total", MetricType::kCounter,
+    "Stage events written into the per-thread flight rings", "1"};
+const MetricDef kFlightEventsDroppedTotal = {
+    "trendspeed_flight_events_dropped_total", MetricType::kCounter,
+    "Flight events lost to ring overwrites or the writer-thread cap", "1"};
+const MetricDef kFlightThreads = {
+    "trendspeed_flight_threads", MetricType::kGauge,
+    "Writer threads with a registered flight ring", "threads"};
+
+// --- latency SLO engine (obs/slo.cc) ---------------------------------------
+const MetricDef kSloBreachesTotal = {
+    "trendspeed_slo_breaches_total", MetricType::kCounter,
+    "Stage burn-rate transitions into the breach state", "1"};
+const MetricDef kSloDumpsTotal = {
+    "trendspeed_slo_dumps_total", MetricType::kCounter,
+    "Flight-ring JSON artifacts dumped (breach or degradation)", "1"};
+
+#define TRENDSPEED_SLO_STAGE_SERIES(name, help, unit)                         \
+  {                                                                           \
+    {name, MetricType::kGauge, help, unit, "stage=\"total\""},                \
+        {name, MetricType::kGauge, help, unit, "stage=\"queue_wait\""},       \
+        {name, MetricType::kGauge, help, unit, "stage=\"admission\""},        \
+        {name, MetricType::kGauge, help, unit, "stage=\"bp\""},               \
+        {name, MetricType::kGauge, help, unit, "stage=\"exchange\""},         \
+        {name, MetricType::kGauge, help, unit, "stage=\"publish\""},          \
+  }
+
+const MetricDef kSloStageState[6] = TRENDSPEED_SLO_STAGE_SERIES(
+    "trendspeed_slo_stage_state",
+    "Burn-rate state of the stage's latency SLO (0 ok, 1 warn, 2 breach)",
+    "state");
+const MetricDef kSloStageP50Ms[6] = TRENDSPEED_SLO_STAGE_SERIES(
+    "trendspeed_slo_stage_p50_ms",
+    "Exact rolling-window median of the stage's per-slot latency", "ms");
+const MetricDef kSloStageP95Ms[6] = TRENDSPEED_SLO_STAGE_SERIES(
+    "trendspeed_slo_stage_p95_ms",
+    "Exact rolling-window p95 of the stage's per-slot latency", "ms");
+const MetricDef kSloStageP99Ms[6] = TRENDSPEED_SLO_STAGE_SERIES(
+    "trendspeed_slo_stage_p99_ms",
+    "Exact rolling-window p99 of the stage's per-slot latency", "ms");
+
+#undef TRENDSPEED_SLO_STAGE_SERIES
+
 const std::vector<const MetricDef*>& AllMetricDefs() {
   static const std::vector<const MetricDef*> all = {
       &kBpRunsTotal,
@@ -271,6 +325,37 @@ const std::vector<const MetricDef*>& AllMetricDefs() {
       &kShardCutEdgeFraction,
       &kShardExchangeRounds,
       &kShardLargestSweepMs,
+      &kServingIngestStragglerWorstSlot,
+      &kServingIngestStragglerWorstCount,
+      &kFlightEventsRecordedTotal,
+      &kFlightEventsDroppedTotal,
+      &kFlightThreads,
+      &kSloBreachesTotal,
+      &kSloDumpsTotal,
+      &kSloStageState[0],
+      &kSloStageState[1],
+      &kSloStageState[2],
+      &kSloStageState[3],
+      &kSloStageState[4],
+      &kSloStageState[5],
+      &kSloStageP50Ms[0],
+      &kSloStageP50Ms[1],
+      &kSloStageP50Ms[2],
+      &kSloStageP50Ms[3],
+      &kSloStageP50Ms[4],
+      &kSloStageP50Ms[5],
+      &kSloStageP95Ms[0],
+      &kSloStageP95Ms[1],
+      &kSloStageP95Ms[2],
+      &kSloStageP95Ms[3],
+      &kSloStageP95Ms[4],
+      &kSloStageP95Ms[5],
+      &kSloStageP99Ms[0],
+      &kSloStageP99Ms[1],
+      &kSloStageP99Ms[2],
+      &kSloStageP99Ms[3],
+      &kSloStageP99Ms[4],
+      &kSloStageP99Ms[5],
   };
   return all;
 }

@@ -94,6 +94,25 @@ extern const MetricDef kShardCutEdgeFraction;   ///< gauge: cut / total edges
 extern const MetricDef kShardExchangeRounds;    ///< histogram: rounds per slot
 extern const MetricDef kShardLargestSweepMs;    ///< histogram: critical path
 
+// --- core/ingest.cc (per-slot straggler attribution) ------------------------
+extern const MetricDef kServingIngestStragglerWorstSlot;   ///< gauge
+extern const MetricDef kServingIngestStragglerWorstCount;  ///< gauge
+
+// --- obs/flight.cc (slot-causal flight recorder) ----------------------------
+extern const MetricDef kFlightEventsRecordedTotal;
+extern const MetricDef kFlightEventsDroppedTotal;
+extern const MetricDef kFlightThreads;  ///< gauge: registered writer rings
+
+// --- obs/slo.cc (latency SLO engine) ----------------------------------------
+extern const MetricDef kSloBreachesTotal;
+extern const MetricDef kSloDumpsTotal;
+/// Per-stage series, indexed by obs::SloStage (6 stages: total, queue_wait,
+/// admission, bp, exchange, publish — one `stage="..."` label set each).
+extern const MetricDef kSloStageState[6];  ///< gauge: 0 ok / 1 warn / 2 breach
+extern const MetricDef kSloStageP50Ms[6];  ///< gauge: rolling exact p50
+extern const MetricDef kSloStageP95Ms[6];  ///< gauge: rolling exact p95
+extern const MetricDef kSloStageP99Ms[6];  ///< gauge: rolling exact p99
+
 /// Every catalog entry (one per (name, labels) series). Names may repeat
 /// across label sets.
 const std::vector<const MetricDef*>& AllMetricDefs();

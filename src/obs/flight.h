@@ -1,0 +1,258 @@
+// Slot-causal flight recorder: per-thread bounded event rings merged into
+// per-slot causal timelines with critical-path attribution.
+//
+// Motivation (docs/observability.md "Flight recorder"): once a slot's life
+// spans the MPSC ingest queue, concurrent per-shard BP solves on the thread
+// pool, and the seqlock snapshot publish, flat counters cannot answer "why
+// was slot 1041 slow?". The flight recorder threads a SlotTraceContext
+// through the serving pipeline — IngestFrontEnd admission -> Ingest ->
+// Estimate -> per-shard solves -> snapshot publish — so the collector can
+// reassemble one slot's stage timeline across every participating thread.
+//
+// Concurrency design:
+//
+//   * One bounded ring per writer thread, single-writer by construction
+//     (lazily registered on first Record, cached in TLS keyed by a
+//     recorder generation id so a destroyed recorder can never be written
+//     through a stale cache entry).
+//   * Each ring cell is an independent seqlock (same fence protocol as
+//     core/snapshot.cc): the writer bumps the cell sequence odd, stores the
+//     payload relaxed, bumps it even with release; the collector skips
+//     cells it catches mid-write or unwritten. Collection never blocks a
+//     writer and writers never wait — an overwritten cell is a counted
+//     drop, not a stall.
+//   * Cells carry only trivially-copyable fields (no strings, no
+//     allocation on the record path).
+//
+// Detached contract (the PR 3 rule): every record site is null-handle
+// gated. `FlightSpan span(nullptr, ...)` costs two predicted branches and
+// no clock reads; a pipeline with no recorder attached is bitwise identical
+// to an uninstrumented one (bench_observability_overhead gates this).
+
+#ifndef TRENDSPEED_OBS_FLIGHT_H_
+#define TRENDSPEED_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace trendspeed {
+namespace obs {
+
+class Counter;
+class Gauge;
+class MetricsRegistry;
+
+/// Pipeline stages a slot passes through. kQueueWait/kIngest/kAdmission/
+/// kBpSolve/kExchange/kPublish sit on the causal backbone (serially ordered
+/// per slot); kEstimate is an envelope containing kBpSolve, and kShardSolve
+/// events are the concurrent per-shard solves inside a barriered kBpSolve
+/// round — both are informational and excluded from critical-path sums.
+enum class FlightStage : uint8_t {
+  kQueueWait = 0,  ///< first enqueue of the slot's batch -> admission
+  kIngest,         ///< whole ServingSession::Ingest call
+  kAdmission,      ///< sanitize/dedup of the offered batch
+  kEstimate,       ///< Estimator::Estimate envelope (contains kBpSolve)
+  kBpSolve,        ///< one barriered solve region (all shards, or flat BP)
+  kShardSolve,     ///< one shard's solve inside a kBpSolve round
+  kExchange,       ///< serial boundary-halo exchange after a round
+  kPublish,        ///< seqlock snapshot publish
+};
+constexpr size_t kNumFlightStages = 8;
+
+/// Stable lower_snake_case stage name ("queue_wait", "bp_solve", ...), used
+/// verbatim by the Chrome trace exporter.
+const char* FlightStageName(FlightStage stage);
+
+/// Shard tag for events that are not shard-scoped.
+constexpr uint32_t kNoShard = 0xffffffffu;
+
+/// One recorded stage occurrence, as returned by the collector.
+struct FlightEvent {
+  uint64_t slot = 0;
+  uint64_t start_ns = 0;     ///< MonotonicNanos at stage entry
+  uint64_t duration_ns = 0;  ///< clamped >= 0 (obs/clock.h contract)
+  uint64_t index = 0;        ///< per-thread record order (0-based)
+  uint32_t thread_id = 0;    ///< dense process-wide id (obs::CurrentThreadId)
+  uint32_t shard = kNoShard; ///< shard id for kShardSolve, else kNoShard
+  FlightStage stage = FlightStage::kQueueWait;
+  /// 1-based position on the slot's causal backbone (assigned from the
+  /// SlotTraceContext stage sequence); 0 = off-path (kShardSolve, or an
+  /// event recorded without a context).
+  uint32_t path_seq = 0;
+};
+
+/// Carried through the pipeline alongside one slot's batch so every stage
+/// records against the same slot identity and causal order. Created at
+/// admission (or at Ingest entry for direct calls) only when a recorder is
+/// attached; detached pipelines pass nullptr everywhere.
+struct SlotTraceContext {
+  uint64_t slot = 0;
+  uint64_t origin_ns = 0;   ///< monotonic timestamp of the slot's first enqueue
+  uint32_t stage_seq = 0;   ///< bumped by each on-path FlightSpan
+};
+
+class FlightRecorder {
+ public:
+  /// `events_per_thread` bounds each writer ring (rounded up to >= 8);
+  /// `max_threads` bounds how many distinct writer threads may register —
+  /// later threads' events are counted as drops rather than recorded.
+  explicit FlightRecorder(size_t events_per_thread = 4096,
+                          size_t max_threads = 256);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records one completed stage. Thread-safe, lock-free after the calling
+  /// thread's first Record (which registers its ring under a mutex).
+  void Record(uint64_t slot, FlightStage stage, uint64_t start_ns,
+              uint64_t duration_ns, uint32_t shard = kNoShard,
+              uint32_t path_seq = 0);
+
+  /// Merged snapshot of every thread ring, sorted by (start_ns, thread_id,
+  /// index). Cells caught mid-write are skipped, never torn. Safe to call
+  /// concurrently with writers.
+  std::vector<FlightEvent> Collect() const;
+
+  /// Collect() filtered to one slot.
+  std::vector<FlightEvent> CollectSlot(uint64_t slot) const;
+
+  /// (thread_id, label) for every registered writer ring, sorted by id.
+  /// Labels come from SetFlightThreadLabel ("pool-3" for pool workers),
+  /// defaulting to "thread-<id>".
+  std::vector<std::pair<uint32_t, std::string>> ThreadLabels() const;
+
+  /// Mirrors recorder activity into the registry (trendspeed_flight_*).
+  /// Call before recording starts; null detaches.
+  void AttachMetrics(MetricsRegistry* registry);
+
+  /// Events recorded over the recorder's lifetime (retained + overwritten).
+  uint64_t total_recorded() const;
+  /// Events lost to ring overwrites or the max_threads bound.
+  uint64_t dropped() const;
+  size_t events_per_thread() const { return events_per_thread_; }
+  /// Writer rings registered so far.
+  size_t num_threads() const;
+
+ private:
+  // One ring cell: an independent seqlock over a trivially-copyable
+  // payload. seq 0 = never written, odd = write in progress.
+  struct Cell {
+    std::atomic<uint32_t> seq{0};
+    std::atomic<uint32_t> thread_id{0};
+    std::atomic<uint32_t> shard{0};
+    std::atomic<uint32_t> stage_and_path{0};  // stage in low 8, path_seq << 8
+    std::atomic<uint64_t> slot{0};
+    std::atomic<uint64_t> start_ns{0};
+    std::atomic<uint64_t> duration_ns{0};
+    std::atomic<uint64_t> index{0};
+  };
+  struct ThreadRing {
+    explicit ThreadRing(size_t capacity) : cells(capacity) {}
+    uint32_t thread_id = 0;
+    std::string label;
+    std::atomic<uint64_t> count{0};  // events ever written into this ring
+    std::vector<Cell> cells;
+  };
+
+  ThreadRing* RingForThisThread();
+
+  const size_t events_per_thread_;
+  const size_t max_threads_;
+  const uint64_t generation_;  // process-unique id for the TLS ring cache
+
+  mutable std::mutex mu_;  // guards rings_ growth only
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+
+  std::atomic<uint64_t> total_recorded_{0};
+  std::atomic<uint64_t> dropped_unregistered_{0};
+
+  Counter* m_recorded_ = nullptr;
+  Counter* m_dropped_ = nullptr;
+  Gauge* m_threads_ = nullptr;
+};
+
+/// Labels the calling thread's flight ring (and Chrome-trace thread row).
+/// Pool workers call this once at startup ("pool-<i>"); the label applies
+/// to rings registered after the call. Pass "" to restore the default.
+void SetFlightThreadLabel(const char* label);
+
+/// RAII stage span. A null recorder makes the whole object two predicted
+/// branches: no clock reads, no context mutation (so a detached run's
+/// SlotTraceContext — if one even exists — is bitwise untouched).
+class FlightSpan {
+ public:
+  FlightSpan(FlightRecorder* recorder, uint64_t slot, FlightStage stage,
+             uint32_t shard = kNoShard, SlotTraceContext* ctx = nullptr)
+      : recorder_(recorder) {
+    if (recorder_ == nullptr) return;
+    slot_ = slot;
+    stage_ = stage;
+    shard_ = shard;
+    path_seq_ = ctx != nullptr ? ++ctx->stage_seq : 0;
+    start_ns_ = Now();
+  }
+  ~FlightSpan() {
+    if (recorder_ == nullptr) return;
+    End();
+  }
+
+  FlightSpan(const FlightSpan&) = delete;
+  FlightSpan& operator=(const FlightSpan&) = delete;
+
+ private:
+  static uint64_t Now();  // MonotonicNanos, kept out of the header
+  void End();
+
+  FlightRecorder* recorder_;
+  uint64_t slot_ = 0;
+  uint64_t start_ns_ = 0;
+  uint32_t shard_ = kNoShard;
+  uint32_t path_seq_ = 0;
+  FlightStage stage_ = FlightStage::kQueueWait;
+};
+
+/// Bundles the recorder + slot identity + causal context for APIs below the
+/// serving layer (ShardedBpEngine::Infer takes one by value; the default
+/// instance is fully detached).
+struct FlightSink {
+  FlightRecorder* recorder = nullptr;
+  uint64_t slot = 0;
+  SlotTraceContext* ctx = nullptr;
+};
+
+/// Per-slot critical-path decomposition over one slot's collected events.
+/// total = queue-wait + the Ingest envelope; the attributed stages
+/// (admission / BP / exchange / publish) partition the envelope, and
+/// whatever the envelope spent outside them (trend monitor, regression
+/// Step 2, sanitizer bookkeeping) lands in other_ns.
+struct SlotCriticalPath {
+  uint64_t slot = 0;
+  uint64_t total_ns = 0;
+  uint64_t queue_wait_ns = 0;
+  uint64_t admission_ns = 0;
+  uint64_t bp_ns = 0;        ///< barriered solve regions (all rounds)
+  uint64_t exchange_ns = 0;  ///< serial halo-exchange rounds
+  uint64_t publish_ns = 0;
+  uint64_t other_ns = 0;     ///< Ingest envelope time outside the stages above
+  size_t events = 0;         ///< events considered (all stages, incl. off-path)
+
+  /// Fraction of total_ns attributed to a named stage (1.0 when total is 0).
+  double AttributedFraction() const;
+};
+
+/// Computes the decomposition for `slot` from collected events (typically
+/// FlightRecorder::CollectSlot output; events for other slots are ignored).
+SlotCriticalPath ComputeSlotCriticalPath(const std::vector<FlightEvent>& events,
+                                         uint64_t slot);
+
+}  // namespace obs
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_OBS_FLIGHT_H_

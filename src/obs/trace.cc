@@ -11,15 +11,20 @@ namespace {
 // Per-thread nesting depth; spans on different threads are independent
 // trees, which matches how the pool executes parallel regions.
 thread_local uint32_t tl_span_depth = 0;
+// Innermost open ScopedSpan on this thread — the parent for the next one.
+thread_local uint64_t tl_current_span = 0;
 }  // namespace
 
 TraceRecorder::TraceRecorder(size_t capacity)
     : ring_(std::max<size_t>(1, capacity)) {}
 
 void TraceRecorder::Record(const char* name, uint64_t start_ns,
-                           uint64_t duration_ns, uint32_t depth) {
+                           uint64_t duration_ns, uint32_t depth,
+                           uint32_t thread_id, uint64_t span_id,
+                           uint64_t parent_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  ring_[head_] = TraceEvent{name, start_ns, duration_ns, depth, total_};
+  ring_[head_] = TraceEvent{name,   start_ns, duration_ns, depth,
+                            total_, thread_id, span_id,    parent_id};
   head_ = (head_ + 1) % ring_.size();
   ++total_;
 }
@@ -58,7 +63,10 @@ std::string TraceRecorder::ToJson() const {
     out += "\", \"start_ns\": " + std::to_string(e.start_ns);
     out += ", \"duration_ns\": " + std::to_string(e.duration_ns);
     out += ", \"depth\": " + std::to_string(e.depth);
-    out += ", \"seq\": " + std::to_string(e.seq) + "}";
+    out += ", \"seq\": " + std::to_string(e.seq);
+    out += ", \"thread_id\": " + std::to_string(e.thread_id);
+    out += ", \"span\": " + std::to_string(e.span_id);
+    out += ", \"parent\": " + std::to_string(e.parent_id) + "}";
   }
   out += events.empty() ? "]" : "\n]";
   return out;
@@ -68,13 +76,18 @@ ScopedSpan::ScopedSpan(TraceRecorder* recorder, const char* name)
     : recorder_(recorder), name_(name) {
   if (recorder_ == nullptr) return;
   depth_ = tl_span_depth++;
+  span_id_ = recorder_->NextSpanId();
+  parent_id_ = tl_current_span;
+  tl_current_span = span_id_;
   start_ns_ = MonotonicNanos();
 }
 
 ScopedSpan::~ScopedSpan() {
   if (recorder_ == nullptr) return;
   --tl_span_depth;
-  recorder_->Record(name_, start_ns_, ElapsedNanosSince(start_ns_), depth_);
+  tl_current_span = parent_id_;
+  recorder_->Record(name_, start_ns_, ElapsedNanosSince(start_ns_), depth_,
+                    CurrentThreadId(), span_id_, parent_id_);
 }
 
 }  // namespace obs

@@ -17,6 +17,7 @@
 #ifndef TRENDSPEED_OBS_TRACE_H_
 #define TRENDSPEED_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -32,7 +33,19 @@ struct TraceEvent {
   uint64_t duration_ns = 0;  ///< clamped >= 0 (obs/clock.h contract)
   uint32_t depth = 0;        ///< nesting depth at entry (0 = root span)
   uint64_t seq = 0;          ///< global record order (monotone)
+  /// Recording thread (dense process-wide id, obs::CurrentThreadId). With
+  /// the pool running per-shard solves concurrently, depth alone cannot
+  /// separate interleaved spans; (thread_id, span_id, parent_id) can.
+  uint32_t thread_id = 0;
+  uint64_t span_id = 0;    ///< recorder-unique id (1-based; 0 = none)
+  uint64_t parent_id = 0;  ///< enclosing span on the same thread (0 = root)
 };
+
+/// Dense process-wide id of the calling thread (0, 1, 2, ... in first-use
+/// order; assigned lazily, stable for the thread's lifetime). Shared by
+/// TraceRecorder and FlightRecorder so one "thread" means one row across
+/// every exporter.
+uint32_t CurrentThreadId();
 
 class TraceRecorder {
  public:
@@ -42,9 +55,17 @@ class TraceRecorder {
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
-  /// Records one completed span. Thread-safe.
+  /// Records one completed span. Thread-safe. The identity fields default
+  /// to "unattributed" so direct Record calls (tests, ad-hoc probes) stay
+  /// source-compatible; ScopedSpan fills all three.
   void Record(const char* name, uint64_t start_ns, uint64_t duration_ns,
-              uint32_t depth);
+              uint32_t depth, uint32_t thread_id = 0, uint64_t span_id = 0,
+              uint64_t parent_id = 0);
+
+  /// Allocates a recorder-unique span id (1-based). Used by ScopedSpan.
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Events currently retained, oldest first.
   std::vector<TraceEvent> Events() const;
@@ -56,7 +77,8 @@ class TraceRecorder {
   size_t capacity() const { return ring_.size(); }
 
   /// Deterministic JSON dump of Events() — `[{"name":...,"start_ns":...,
-  /// "duration_ns":...,"depth":...,"seq":...}, ...]`.
+  /// "duration_ns":...,"depth":...,"seq":...,"thread_id":...,"span":...,
+  /// "parent":...}, ...]`.
   std::string ToJson() const;
 
  private:
@@ -64,6 +86,7 @@ class TraceRecorder {
   std::vector<TraceEvent> ring_;
   size_t head_ = 0;      // next write position
   uint64_t total_ = 0;   // lifetime events
+  std::atomic<uint64_t> next_span_id_{1};
 };
 
 /// RAII span. A null recorder makes the whole object a no-op.
@@ -80,6 +103,8 @@ class ScopedSpan {
   const char* name_;
   uint64_t start_ns_ = 0;
   uint32_t depth_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
 };
 
 }  // namespace obs

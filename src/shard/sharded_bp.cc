@@ -144,7 +144,8 @@ Result<ShardedBpEngine> ShardedBpEngine::Build(const BpGraph& graph,
 
 ShardedBpResult ShardedBpEngine::Infer(const std::vector<double>& pot,
                                        const BpOptions& opts,
-                                       std::vector<BpState>* states) const {
+                                       std::vector<BpState>* states,
+                                       const obs::FlightSink& flight) const {
   obs::ScopedSpan span(opts.trace, "shard/infer");
   size_t shards = shards_.size();
   ShardedBpResult result;
@@ -209,20 +210,31 @@ ShardedBpResult ShardedBpEngine::Infer(const std::vector<double>& pot,
     // Barriered concurrent solves: one chunk per shard; deterministic
     // because shard problems are independent and ghost writes between
     // rounds are disjoint.
-    pool.ParallelForChunked(
-        shards, shards, [&](size_t, size_t begin, size_t end) {
-          for (size_t s = begin; s < end; ++s) {
-            if (shards_[s].graph.num_vars == 0) {
-              rr[s] = BpResult{};
-              rr[s].converged = true;
-              continue;
+    {
+      // bp_solve envelopes the whole barriered region on the calling
+      // thread; the per-shard spans land on whichever worker ran them and
+      // stay out of the slot's causal sequence (no ctx -> path_seq 0).
+      obs::FlightSpan bp_span(flight.recorder, flight.slot,
+                              obs::FlightStage::kBpSolve, obs::kNoShard,
+                              flight.ctx);
+      pool.ParallelForChunked(
+          shards, shards, [&](size_t, size_t begin, size_t end) {
+            for (size_t s = begin; s < end; ++s) {
+              if (shards_[s].graph.num_vars == 0) {
+                rr[s] = BpResult{};
+                rr[s].converged = true;
+                continue;
+              }
+              obs::FlightSpan shard_span(flight.recorder, flight.slot,
+                                         obs::FlightStage::kShardSolve,
+                                         static_cast<uint32_t>(s));
+              WallTimer timer;
+              rr[s] = InferMarginalsBpFlat(shards_[s].graph, spot[s],
+                                           local_opts, &(*st)[s]);
+              result.shard_sweep_ms[s] += timer.ElapsedMillis();
             }
-            WallTimer timer;
-            rr[s] = InferMarginalsBpFlat(shards_[s].graph, spot[s],
-                                         local_opts, &(*st)[s]);
-            result.shard_sweep_ms[s] += timer.ElapsedMillis();
-          }
-        });
+          });
+    }
     ++round;
     all_converged = true;
     for (size_t s = 0; s < shards; ++s) {
@@ -237,6 +249,9 @@ ShardedBpResult ShardedBpEngine::Infer(const std::vector<double>& pot,
     // Halo exchange: each producer's cavity belief (potential times all
     // incoming messages except the cut edge's) becomes the consumer-side
     // ghost potential. Serial and in deterministic link order.
+    obs::FlightSpan exchange_span(flight.recorder, flight.slot,
+                                  obs::FlightStage::kExchange, obs::kNoShard,
+                                  flight.ctx);
     residual = 0.0;
     for (const CutLink& link : links_) {
       const BpGraph& sg = shards_[link.src_shard].graph;

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/flight.h"
 #include "shard/sharding.h"
 #include "trend/belief_propagation.h"
 #include "util/status.h"
@@ -80,9 +81,13 @@ class ShardedBpEngine {
   /// resized to num_shards() on first use, invalid entries run cold —
   /// identical contract to the flat stateful overload, per shard. Pass
   /// null for slot-independent runs. `opts.metrics`/`opts.trace` record
-  /// the trendspeed_shard_* series and a "shard/infer" span.
+  /// the trendspeed_shard_* series and a "shard/infer" span. `flight` (the
+  /// serving slot's flight-recorder hookup, default detached) additionally
+  /// records per-round `bp_solve` / `exchange` spans on the calling thread
+  /// and one `shard_solve` span per shard on whichever pool worker ran it.
   ShardedBpResult Infer(const std::vector<double>& pot, const BpOptions& opts,
-                        std::vector<BpState>* states = nullptr) const;
+                        std::vector<BpState>* states = nullptr,
+                        const obs::FlightSink& flight = {}) const;
 
   const ShardPlan& plan() const { return plan_; }
   size_t num_shards() const { return shards_.size(); }

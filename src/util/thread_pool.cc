@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <memory>
 #include <utility>
 
 #include "obs/catalog.h"
 #include "obs/clock.h"
+#include "obs/flight.h"
 #include "util/parallel.h"
 
 namespace trendspeed {
@@ -196,6 +198,11 @@ bool ThreadPool::TryRunOneTask(size_t self) {
 void ThreadPool::WorkerLoop(size_t self) {
   tl_worker_pool = this;
   tl_worker_index = self;
+  // Name this worker's flight-recorder ring (and its Chrome-trace thread
+  // row) after its pool slot, before any task can record a span from here.
+  char label[32];
+  std::snprintf(label, sizeof(label), "pool-%zu", self);
+  obs::SetFlightThreadLabel(label);
   for (;;) {
     if (TryRunOneTask(self)) continue;
     std::unique_lock<std::mutex> lock(sleep_mu_);

@@ -293,6 +293,43 @@ TEST_F(IngestTest, StragglersBehindTheWatermarkAreDropped) {
   EXPECT_EQ((*fe)->stats().flushed_slots, 2u);
 }
 
+// Regression (this PR's straggler-attribution bugfix): dropped stragglers
+// used to vanish into one global counter, so the worst-hit slot could not
+// be named when diagnosing producer skew. The front-end now attributes
+// drops per slot and surfaces the worst (slot, count) pair in IngestStats
+// and the registry gauges.
+TEST_F(IngestTest, StragglerAttributionNamesTheWorstSlot) {
+  obs::MetricsRegistry reg;
+  ServingOptions opts;
+  opts.ingest_queue.capacity = 64;
+  opts.observability.metrics = &reg;
+  auto session = ServingSession::Create(estimator_, opts);
+  ASSERT_TRUE(session.ok());
+  auto fe = IngestFrontEnd::Create(&*session);
+  ASSERT_TRUE(fe.ok());
+
+  auto s5 = CleanObs(5);
+  auto s6 = CleanObs(6);
+  for (const SeedSpeed& s : s5) ASSERT_TRUE((*fe)->Offer(5, s));
+  for (const SeedSpeed& s : s6) ASSERT_TRUE((*fe)->Offer(6, s));
+  (*fe)->Drain();  // watermark now at slot 6, slot 5 flushed
+  // Two late slot-5 observations and one late slot-4 observation: slot 5
+  // is the worst-hit slot with count 2.
+  ASSERT_TRUE((*fe)->Offer(5, s5[0]));
+  ASSERT_TRUE((*fe)->Offer(5, s5[1]));
+  ASSERT_TRUE((*fe)->Offer(4, s5[0]));
+  (*fe)->Drain();
+
+  IngestStats st = (*fe)->stats();
+  EXPECT_EQ(st.stragglers, 3u);
+  EXPECT_EQ(st.straggler_worst_slot, 5u);
+  EXPECT_EQ(st.straggler_worst_count, 2u);
+  EXPECT_EQ(
+      reg.GetGauge(obs::kServingIngestStragglerWorstSlot)->Value(), 5.0);
+  EXPECT_EQ(
+      reg.GetGauge(obs::kServingIngestStragglerWorstCount)->Value(), 2.0);
+}
+
 // The concurrency-bugfix regression (S2): N producers feeding the queue
 // while a consumer drains into the session. At quiescence the ServingStats
 // struct snapshot and the registry mirrors must agree exactly — with the

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -354,6 +355,56 @@ TEST(TraceTest, NestedSpansRecordDepthAndCloseInnerFirst) {
   // The outer span encloses the inner one on the same clock.
   EXPECT_GE(events[1].duration_ns, events[0].duration_ns);
   EXPECT_NE(rec.ToJson().find("\"name\": \"inner\""), std::string::npos);
+}
+
+// Regression (this PR's trace bugfix): events used to carry no thread id or
+// parent linkage, so two pool workers' spans collapsed into one
+// indistinguishable stream and nesting could not be reconstructed from a
+// recorded ring. Spans now stamp (thread_id, span_id, parent_id).
+TEST(TraceTest, NestedSpansCarryParentLinkage) {
+  obs::TraceRecorder rec(16);
+  {
+    obs::ScopedSpan outer(&rec, "outer");
+    obs::ScopedSpan inner(&rec, "inner");
+  }
+  std::vector<obs::TraceEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 2u);
+  const obs::TraceEvent& inner = events[0];
+  const obs::TraceEvent& outer = events[1];
+  EXPECT_NE(outer.span_id, 0u);
+  EXPECT_NE(inner.span_id, 0u);
+  EXPECT_NE(inner.span_id, outer.span_id);
+  EXPECT_EQ(inner.parent_id, outer.span_id);
+  EXPECT_EQ(outer.parent_id, 0u);  // top-level span has no parent
+  EXPECT_EQ(inner.thread_id, outer.thread_id);
+  std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"thread_id\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\""), std::string::npos);
+}
+
+TEST(TraceTest, SpansFromTwoThreadsAreSeparableByThreadId) {
+  obs::TraceRecorder rec(16);
+  auto record_one = [&rec](const char* name) {
+    obs::ScopedSpan span(&rec, name);
+  };
+  std::thread a([&] { record_one("from_a"); });
+  a.join();
+  std::thread b([&] { record_one("from_b"); });
+  b.join();
+  std::vector<obs::TraceEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 2u);
+  uint32_t tid_a = 0;
+  uint32_t tid_b = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (std::string(e.name) == "from_a") tid_a = e.thread_id;
+    if (std::string(e.name) == "from_b") tid_b = e.thread_id;
+  }
+  // Each thread's spans carry its own dense id; the two must be separable.
+  EXPECT_NE(tid_a, tid_b);
+  // Both threads record top-level spans: thread-local nesting state keeps
+  // one thread's open span from becoming another thread's parent.
+  EXPECT_EQ(events[0].parent_id, 0u);
+  EXPECT_EQ(events[1].parent_id, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,216 @@
+// Tests for the Chrome trace-event JSON exporter (obs/trace_export.h):
+// byte-exact goldens for flight and span exports, and a schema check over
+// a real sharded serving replay — the trace a breach dump or --trace-out
+// bench run would hand to chrome://tracing must stay loadable.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ingest.h"
+#include "core/serving.h"
+#include "obs/clock.h"
+#include "obs/flight.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "test_util.h"
+
+namespace trendspeed {
+namespace {
+
+using testing_util::SharedTinyDataset;
+
+uint64_t g_fake_now = 0;
+uint64_t FakeClock() { return g_fake_now; }
+
+TEST(TraceExportTest, EmptyInputsExportAnEmptyTrace) {
+  std::string json = obs::ToChromeTraceJson(std::vector<obs::FlightEvent>{},
+                                            {});
+  EXPECT_EQ(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+  EXPECT_EQ(obs::ToChromeTraceJson(std::vector<obs::TraceEvent>{}), json);
+}
+
+TEST(TraceExportTest, FlightEventsGolden) {
+  obs::FlightEvent queue;
+  queue.slot = 12;
+  queue.start_ns = 2'000;
+  queue.duration_ns = 1'500;
+  queue.thread_id = 3;
+  queue.stage = obs::FlightStage::kQueueWait;
+  queue.path_seq = 1;
+  obs::FlightEvent shard;
+  shard.slot = 12;
+  shard.start_ns = 4'500;
+  shard.duration_ns = 250;
+  shard.thread_id = 7;
+  shard.shard = 1;
+  shard.stage = obs::FlightStage::kShardSolve;
+  shard.path_seq = 0;
+  // Deliberately out of start order: the exporter sorts.
+  std::vector<obs::FlightEvent> events = {shard, queue};
+  std::vector<std::pair<uint32_t, std::string>> threads = {
+      {7, "pool-0"}, {3, "serving"}};
+
+  std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":3,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"serving\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":7,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"pool-0\"}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":3,\"cat\":\"flight\","
+      "\"name\":\"queue_wait\",\"ts\":0.000,\"dur\":1.500,"
+      "\"args\":{\"slot\":12,\"seq\":1}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":7,\"cat\":\"flight\","
+      "\"name\":\"shard_solve\",\"ts\":2.500,\"dur\":0.250,"
+      "\"args\":{\"slot\":12,\"shard\":1,\"seq\":0}}\n"
+      "]}";
+  EXPECT_EQ(obs::ToChromeTraceJson(events, threads), expected);
+}
+
+TEST(TraceExportTest, SpanRecorderGoldenUnderInjectedClock) {
+  obs::SetMonotonicClockForTest(&FakeClock);
+  g_fake_now = 9'000'000;
+  obs::TraceRecorder rec(8);
+  {
+    obs::ScopedSpan outer(&rec, "outer");
+    g_fake_now += 1'000;
+    {
+      obs::ScopedSpan inner(&rec, "inner");
+      g_fake_now += 2'000;
+    }
+    g_fake_now += 500;
+  }
+  obs::SetMonotonicClockForTest(nullptr);
+
+  std::vector<obs::TraceEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 2u);
+  const uint32_t tid = events[0].thread_id;
+  const uint64_t outer_id = events[1].span_id;
+  const uint64_t inner_id = events[0].span_id;
+  std::string t = std::to_string(tid);
+  std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":" + t +
+      ",\"name\":\"thread_name\",\"args\":{\"name\":\"thread-" + t +
+      "\"}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":" + t +
+      ",\"cat\":\"span\",\"name\":\"outer\",\"ts\":0.000,\"dur\":3.500,"
+      "\"args\":{\"depth\":0,\"span\":" + std::to_string(outer_id) +
+      ",\"parent\":0,\"seq\":1}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":" + t +
+      ",\"cat\":\"span\",\"name\":\"inner\",\"ts\":1.000,\"dur\":2.000,"
+      "\"args\":{\"depth\":1,\"span\":" + std::to_string(inner_id) +
+      ",\"parent\":" + std::to_string(outer_id) + ",\"seq\":0}}\n"
+      "]}";
+  EXPECT_EQ(obs::ToChromeTraceJson(rec), expected);
+}
+
+TEST(TraceExportTest, HostileSpanNamesAreEscaped) {
+  obs::TraceRecorder rec(4);
+  rec.Record("a\"b\\c\n", /*start_ns=*/10, /*duration_ns=*/5, /*depth=*/0);
+  std::string json = obs::ToChromeTraceJson(rec);
+  EXPECT_NE(json.find("a\\\"b\\\\c\\u000a"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Schema check over a real sharded serving replay (the CI tier-1 step).
+// ---------------------------------------------------------------------------
+
+// Minimal structural validator: balanced {}/[] outside strings, plus the
+// keys catapult's legacy loader needs on every event line.
+void CheckChromeTraceSchema(const std::string& json) {
+  int depth = 0;
+  int bracket_depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if (c == '[') ++bracket_depth;
+    if (c == ']') --bracket_depth;
+    ASSERT_GE(depth, 0);
+    ASSERT_GE(bracket_depth, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(bracket_depth, 0);
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  // Every complete event carries ph/pid/tid/name/ts/dur.
+  size_t pos = 0;
+  size_t complete_events = 0;
+  while ((pos = json.find("{\"ph\":\"X\"", pos)) != std::string::npos) {
+    size_t line_end = json.find('\n', pos);
+    std::string line = json.substr(pos, line_end - pos);
+    for (const char* key :
+         {"\"pid\":", "\"tid\":", "\"name\":", "\"ts\":", "\"dur\":",
+          "\"args\":"}) {
+      EXPECT_NE(line.find(key), std::string::npos) << line;
+    }
+    ++complete_events;
+    pos += 1;
+  }
+  EXPECT_GT(complete_events, 0u);
+}
+
+TEST(TraceExportTest, ShardedServingReplayExportsLoadableTrace) {
+  const Dataset& ds = SharedTinyDataset();
+  PipelineConfig config;
+  config.corr.min_co_observed = 8;
+  config.sharding.num_shards = 2;
+  auto est = TrafficSpeedEstimator::Train(&ds.net, &ds.history, config);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  auto seeds = est->SelectSeeds(6, SeedStrategy::kLazyGreedy);
+  ASSERT_TRUE(seeds.ok());
+
+  obs::FlightRecorder flight;
+  ServingOptions opts;
+  opts.ingest_queue.capacity = 256;
+  opts.publish_snapshots = true;  // the replay must reach the publish stage
+  opts.observability.flight = &flight;
+  opts.observability.slo.total_budget_ms = 1e6;  // never breaches
+  auto session = ServingSession::Create(&*est, opts);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto fe = IngestFrontEnd::Create(&*session);
+  ASSERT_TRUE(fe.ok());
+
+  for (uint64_t slot = 0; slot < 3; ++slot) {
+    for (RoadId r : seeds->seeds) {
+      ASSERT_TRUE(
+          (*fe)->Offer(slot, {r, std::max(1.0, ds.truth.at(slot, r))}));
+    }
+    auto report = (*fe)->Flush();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+
+  std::string json = obs::ToChromeTraceJson(flight);
+  CheckChromeTraceSchema(json);
+  // The full causal backbone shows up in the trace.
+  for (const char* stage :
+       {"queue_wait", "ingest", "admission", "estimate", "bp_solve",
+        "shard_solve", "exchange", "publish"}) {
+    EXPECT_NE(json.find(std::string("\"name\":\"") + stage + "\""),
+              std::string::npos)
+        << stage;
+  }
+  // Every slot produced a critical-path decomposition for the SLO engine.
+  ASSERT_NE(session->slo(), nullptr);
+  EXPECT_EQ(session->slo()->slots_observed(), 3u);
+  EXPECT_EQ(session->slo()->state(obs::SloStage::kTotal),
+            obs::SloState::kOk);
+}
+
+}  // namespace
+}  // namespace trendspeed
