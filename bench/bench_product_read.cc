@@ -1,0 +1,269 @@
+// Read-side product layer bench, emitted as JSON on stdout (saved as
+// BENCH_product_read.json).
+//
+// Three measurement groups:
+//
+//   * writer_baseline     — seqlock publish latency with zero readers: the
+//                           floor the product layer must not move.
+//   * writer_with_readers — the same publish loop while N reader threads
+//                           fold profiles and answer cached route ETAs at
+//                           full speed. The bench ASSERTS the writer's
+//                           median publish latency is unchanged within a
+//                           generous noise bound — the "products never
+//                           block the writer" claim as a number, not a
+//                           comment.
+//   * product_read        — single-reader ETA latency split by cache hit
+//                           vs miss (median/p99 over per-query timers) and
+//                           profile fold throughput.
+//
+// Flags:
+//   --smoke   tiny instance, used by the `perf`-labelled CTest smoke entry.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_hardware.h"
+#include "core/routing.h"
+#include "core/snapshot.h"
+#include "product/profile.h"
+#include "product/route_eta.h"
+#include "roadnet/generators.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace trendspeed {
+namespace {
+
+struct ProductBenchConfig {
+  size_t grid_rows = 16;
+  size_t grid_cols = 16;
+  uint64_t publishes = 20'000;
+  size_t eta_queries = 20'000;
+  int readers = 3;
+};
+
+RoadNetwork BenchGrid(const ProductBenchConfig& cfg) {
+  GridNetworkOptions opts;
+  opts.rows = cfg.grid_rows;
+  opts.cols = cfg.grid_cols;
+  opts.arterial_every = 4;
+  auto net = MakeGridNetwork(opts);
+  TS_CHECK(net.ok()) << net.status().ToString();
+  return std::move(net).value();
+}
+
+ProductOptions BenchProductOptions() {
+  ProductOptions opts;
+  opts.enabled = true;
+  opts.profile_buckets_per_day = 24;
+  opts.profile_min_samples = 2;
+  opts.blend_full_stale_slots = 4;
+  opts.eta_cache_capacity = 1024;
+  return opts;
+}
+
+double PercentileUs(std::vector<double>* us, double q) {
+  if (us->empty()) return std::nan("");
+  std::sort(us->begin(), us->end());
+  size_t idx = static_cast<size_t>(q * static_cast<double>(us->size() - 1));
+  return (*us)[idx];
+}
+
+/// NaN is not valid JSON — quote it, like the other bench emitters do.
+void PrintJsonNum(const char* key, double v, bool trailing_comma) {
+  if (std::isnan(v)) {
+    std::printf("    \"%s\": \"nan\"%s\n", key, trailing_comma ? "," : "");
+  } else {
+    std::printf("    \"%s\": %.3f%s\n", key, v, trailing_comma ? "," : "");
+  }
+}
+
+/// One timed publish loop; returns the per-publish latencies in us.
+std::vector<double> TimedPublishes(SpeedSnapshotPublisher* pub,
+                                   const RoadNetwork& net, uint64_t count) {
+  std::vector<double> speeds(net.num_roads()), devs(net.num_roads(), 0.0);
+  std::vector<double> lat_us;
+  lat_us.reserve(count);
+  WallTimer timer;
+  for (uint64_t v = 1; v <= count; ++v) {
+    for (size_t r = 0; r < speeds.size(); ++r) {
+      speeds[r] = 20.0 + static_cast<double>((v + r) % 50);
+    }
+    timer.Restart();
+    pub->Publish(v, speeds, devs, static_cast<uint32_t>(v % 7 == 3), 40.0);
+    lat_us.push_back(timer.ElapsedSeconds() * 1e6);
+  }
+  return lat_us;
+}
+
+int Run(const ProductBenchConfig& cfg) {
+  std::printf("{\n");
+  std::printf("  \"bench\": \"product_read\",\n");
+  PrintHardwareStamp();
+
+  const RoadNetwork net = BenchGrid(cfg);
+  const ProductOptions popts = BenchProductOptions();
+
+  // --- writer baseline: no readers ----------------------------------------
+  double base_p50, base_p99;
+  {
+    SpeedSnapshotPublisher pub(net.num_roads());
+    std::vector<double> lat = TimedPublishes(&pub, net, cfg.publishes);
+    base_p50 = PercentileUs(&lat, 0.50);
+    base_p99 = PercentileUs(&lat, 0.99);
+  }
+  std::printf("  \"writer_baseline\": {\n");
+  std::printf("    \"publishes\": %llu,\n",
+              static_cast<unsigned long long>(cfg.publishes));
+  std::printf("    \"roads\": %zu,\n", net.num_roads());
+  std::printf("    \"p50_publish_us\": %.3f,\n", base_p50);
+  std::printf("    \"p99_publish_us\": %.3f\n", base_p99);
+  std::printf("  },\n");
+
+  // --- writer with folding/routing readers attached -----------------------
+  double load_p50, load_p99;
+  uint64_t reader_etas = 0, reader_folds = 0;
+  {
+    SpeedSnapshotPublisher pub(net.num_roads());
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> etas{0};
+    std::atomic<uint64_t> folds{0};
+    std::vector<std::thread> readers;
+    readers.reserve(cfg.readers);
+    for (int t = 0; t < cfg.readers; ++t) {
+      readers.emplace_back([&, t] {
+        auto profile = SpeedProfileStore::Create(net.num_roads(), 144, popts);
+        TS_CHECK(profile.ok());
+        auto cache = RouteEtaCache::Create(net, popts, &*profile);
+        TS_CHECK(cache.ok());
+        Rng rng(42 + static_cast<uint64_t>(t));
+        SpeedSnapshot snap;
+        while (!done.load(std::memory_order_acquire)) {
+          if (!pub.Read(&snap)) continue;
+          profile->Fold(snap);
+          NodeId from = static_cast<NodeId>(rng.NextIndex(net.num_nodes()));
+          NodeId to = static_cast<NodeId>(rng.NextIndex(net.num_nodes()));
+          if (cache->Eta(snap, from, to).ok()) {
+            etas.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        folds.fetch_add(profile->folds(), std::memory_order_relaxed);
+      });
+    }
+    std::vector<double> lat = TimedPublishes(&pub, net, cfg.publishes);
+    done.store(true, std::memory_order_release);
+    for (std::thread& th : readers) th.join();
+    load_p50 = PercentileUs(&lat, 0.50);
+    load_p99 = PercentileUs(&lat, 0.99);
+    reader_etas = etas.load();
+    reader_folds = folds.load();
+  }
+  std::printf("  \"writer_with_readers\": {\n");
+  std::printf("    \"readers\": %d,\n", cfg.readers);
+  std::printf("    \"p50_publish_us\": %.3f,\n", load_p50);
+  std::printf("    \"p99_publish_us\": %.3f,\n", load_p99);
+  std::printf("    \"reader_etas\": %llu,\n",
+              static_cast<unsigned long long>(reader_etas));
+  std::printf("    \"reader_folds\": %llu,\n",
+              static_cast<unsigned long long>(reader_folds));
+  std::printf("    \"p50_ratio_vs_baseline\": %.2f\n",
+              load_p50 / base_p50);
+  std::printf("  },\n");
+
+  // The load-bearing assertion: attaching folding/routing readers must not
+  // move the writer's median publish latency beyond scheduling noise. The
+  // bound is deliberately generous (8x or +25us absolute) so an
+  // oversubscribed single-CPU CI host doesn't flake, while an actual
+  // reader->writer block (a lock on the publish path) — which would show
+  // up as orders of magnitude, not single digits — still fails loudly.
+  TS_CHECK(load_p50 <= std::max(8.0 * base_p50, base_p50 + 25.0))
+      << "writer median publish latency moved from " << base_p50
+      << "us to " << load_p50 << "us with readers attached";
+
+  // --- single-reader ETA latency, hit vs miss -----------------------------
+  {
+    SpeedSnapshotPublisher pub(net.num_roads());
+    std::vector<double> speeds(net.num_roads(), 45.0);
+    std::vector<double> devs(net.num_roads(), 0.0);
+    pub.Publish(1, speeds, devs, 0, 45.0);
+
+    auto profile = SpeedProfileStore::Create(net.num_roads(), 144, popts);
+    TS_CHECK(profile.ok());
+    auto cache = RouteEtaCache::Create(net, popts, &*profile);
+    TS_CHECK(cache.ok());
+    SpeedSnapshot snap;
+    TS_CHECK(pub.Read(&snap));
+    profile->Fold(snap);
+
+    Rng rng(7);
+    std::vector<double> hit_us, miss_us;
+    hit_us.reserve(cfg.eta_queries);
+    miss_us.reserve(cfg.eta_queries);
+    WallTimer timer;
+    WallTimer fold_timer;
+    for (size_t q = 0; q < cfg.eta_queries; ++q) {
+      NodeId from = static_cast<NodeId>(rng.NextIndex(net.num_nodes()));
+      NodeId to = static_cast<NodeId>(rng.NextIndex(net.num_nodes()));
+      timer.Restart();
+      auto eta = cache->Eta(snap, from, to);
+      double us = timer.ElapsedSeconds() * 1e6;
+      if (!eta.ok()) continue;
+      (eta->cache_hit ? hit_us : miss_us).push_back(us);
+    }
+    // Fold throughput: re-fold a rotating fresh field.
+    const uint64_t fold_rounds = std::max<uint64_t>(64, cfg.publishes / 8);
+    fold_timer.Restart();
+    for (uint64_t v = 0; v < fold_rounds; ++v) {
+      snap.version = 2 + v;
+      snap.slot = v;
+      snap.stale = false;
+      snap.stale_slots = 0;
+      TS_CHECK(profile->Fold(snap));
+    }
+    double folds_per_sec =
+        static_cast<double>(fold_rounds) / fold_timer.ElapsedSeconds();
+
+    const size_t hits = hit_us.size(), misses = miss_us.size();
+    std::printf("  \"product_read\": {\n");
+    std::printf("    \"eta_queries\": %zu,\n", cfg.eta_queries);
+    std::printf("    \"cache_hits\": %zu,\n", hits);
+    std::printf("    \"cache_misses\": %zu,\n", misses);
+    PrintJsonNum("p50_hit_us", PercentileUs(&hit_us, 0.50), true);
+    PrintJsonNum("p99_hit_us", PercentileUs(&hit_us, 0.99), true);
+    PrintJsonNum("p50_miss_us", PercentileUs(&miss_us, 0.50), true);
+    PrintJsonNum("p99_miss_us", PercentileUs(&miss_us, 0.99), true);
+    std::printf("    \"profile_folds_per_sec\": %.0f\n", folds_per_sec);
+    std::printf("  }\n");
+  }
+  std::printf("}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace trendspeed
+
+int main(int argc, char** argv) {
+  trendspeed::ProductBenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.grid_rows = 4;
+      cfg.grid_cols = 4;
+      // Not a multiple-of-7 offset that lands the final publish on the
+      // stale cadence: on a single-CPU host the readers' one guaranteed
+      // read is the quiescent last pass, which must be foldable.
+      cfg.publishes = 512;
+      cfg.eta_queries = 500;
+      cfg.readers = 2;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  return trendspeed::Run(cfg);
+}

@@ -11,9 +11,11 @@
 //
 // The estimated navigator consumes speeds the way a real routing tier
 // would: observations go into a ServingSession, and the router reads the
-// served field back through the session's seqlock SpeedSnapshot — the
-// non-blocking read path a navigation service polls without ever stalling
-// ingestion (docs/serving.md).
+// served field back through the read-side product layer — a CityProducts
+// stack (docs/products.md) polling the session's seqlock SpeedSnapshot and
+// answering fastest-route queries through the version-invalidated ETA
+// cache. Every answer carries the snapshot's staleness stamp, so an aged
+// estimate can never be served as a fresh route (docs/serving.md).
 //
 // Build & run:  ./build/examples/navigator
 
@@ -25,6 +27,7 @@
 #include "core/serving.h"
 #include "core/snapshot.h"
 #include "io/dataset.h"
+#include "product/products.h"
 
 using namespace trendspeed;
 
@@ -46,17 +49,25 @@ int main() {
   if (!seeds.ok()) return 1;
 
   // Serve estimates through the hardened session and publish each served
-  // slot as a snapshot; the routing loop below reads only the snapshot.
+  // slot as a snapshot; the routing loop below reads only through the
+  // product layer built on that snapshot path.
   ServingOptions serving_opts;
   serving_opts.publish_snapshots = true;
+  serving_opts.products.enabled = true;
   auto session = ServingSession::Create(&*estimator, serving_opts);
   if (!session.ok()) {
     std::fprintf(stderr, "serving: %s\n", session.status().ToString().c_str());
     return 1;
   }
-  const SpeedSnapshotPublisher* snapshots = session->snapshot_publisher();
 
   const RoadNetwork& net = dataset->net;
+  auto products =
+      CityProducts::ForSession(net, *session, dataset->truth.slots_per_day);
+  if (!products.ok()) {
+    std::fprintf(stderr, "products: %s\n",
+                 products.status().ToString().c_str());
+    return 1;
+  }
   // A panel of random cross-town trips; per-trip routing noise washes out
   // and the systematic value of live information remains.
   Rng od_rng(11);
@@ -73,6 +84,7 @@ int main() {
   double total_static = 0.0, total_est = 0.0, total_oracle = 0.0;
   size_t trips = 0, reroutes = 0;
   size_t bad_static = 0, bad_est = 0;  // >10% slower than the oracle route
+  size_t stale_served = 0;             // ETAs answered off a stale snapshot
 
   for (uint64_t slot : eval.TestSlots(/*stride=*/6)) {
     double hour = clock.HourOfDay(slot);
@@ -81,9 +93,9 @@ int main() {
     auto obs = eval.ObserveSeeds(slot, seeds->seeds, 1.5, &rng);
     if (!session->Ingest(slot, obs).ok()) return 1;
     // The navigator sees only the published snapshot — the same consistent
-    // (slot, speeds) view any concurrent reader thread would get.
-    SpeedSnapshot snap;
-    if (!snapshots->Read(&snap) || snap.slot != slot) return 1;
+    // (slot, speeds) view any concurrent reader thread would get — folded
+    // into the product layer's time-of-day profile as it goes.
+    if (!products->Poll() || products->last_snapshot().slot != slot) return 1;
     // The "no live data" navigator still knows the time-of-day norm: it
     // routes on historical means, the strongest static baseline.
     std::vector<double> hist(net.num_roads());
@@ -93,21 +105,26 @@ int main() {
     }
     for (auto [from, to] : trips_od) {
       auto static_route = FastestRoute(net, hist, from, to);
-      auto est_route = FastestRoute(net, snap.speed_kmh, from, to);
+      // The live navigator asks the ETA cache: bitwise the same route as an
+      // uncached FastestRoute over the snapshot, plus the staleness stamp
+      // and provenance a serving tier needs (and cache hits for repeats
+      // within a slot).
+      auto est_eta = products->Eta(from, to);
       auto oracle_route = FastestRoute(net, truth, from, to);
-      if (!static_route.ok() || !est_route.ok() || !oracle_route.ok()) {
+      if (!static_route.ok() || !est_eta.ok() || !oracle_route.ok()) {
         continue;  // disconnected pair
       }
+      if (est_eta->route.stale) ++stale_served;
       // All three routes scored under TRUE conditions.
       auto t_static = PathTravelTime(net, truth, static_route->roads);
-      auto t_est = PathTravelTime(net, truth, est_route->roads);
+      auto t_est = PathTravelTime(net, truth, est_eta->route.roads);
       auto t_oracle = PathTravelTime(net, truth, oracle_route->roads);
       if (!t_static.ok() || !t_est.ok() || !t_oracle.ok()) continue;
       total_static += *t_static;
       total_est += *t_est;
       total_oracle += *t_oracle;
       ++trips;
-      if (est_route->roads != static_route->roads) ++reroutes;
+      if (est_eta->route.roads != static_route->roads) ++reroutes;
       if (*t_static > 1.10 * *t_oracle) ++bad_static;
       if (*t_est > 1.10 * *t_oracle) ++bad_est;
     }
@@ -135,5 +152,12 @@ int main() {
   } else {
     std::printf("  -> historical routing was already optimal today\n");
   }
+  const RouteEtaCache::Stats& cache = products->eta_cache().stats();
+  std::printf("  ETA cache: %llu hits / %llu misses, %llu invalidations;"
+              " %zu stale-flagged answers\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.invalidations),
+              stale_served);
   return 0;
 }

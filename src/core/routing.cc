@@ -32,6 +32,19 @@ Result<double> PathTravelTime(const RoadNetwork& net,
   return seconds;
 }
 
+Result<PathEta> PathTravelTime(const RoadNetwork& net,
+                               const SpeedSnapshot& snap,
+                               const std::vector<RoadId>& path) {
+  TS_ASSIGN_OR_RETURN(double seconds,
+                      PathTravelTime(net, snap.speed_kmh, path));
+  PathEta eta;
+  eta.travel_seconds = seconds;
+  eta.stale = snap.stale;
+  eta.stale_slots = snap.stale_slots;
+  eta.slot = snap.slot;
+  return eta;
+}
+
 Result<RouteResult> FastestRoute(const RoadNetwork& net,
                                  const std::vector<double>& speeds_kmh,
                                  NodeId from, NodeId to) {
@@ -79,6 +92,17 @@ Result<RouteResult> FastestRoute(const RoadNetwork& net,
   return result;
 }
 
+Result<RouteResult> FastestRoute(const RoadNetwork& net,
+                                 const SpeedSnapshot& snap, NodeId from,
+                                 NodeId to) {
+  TS_ASSIGN_OR_RETURN(RouteResult result,
+                      FastestRoute(net, snap.speed_kmh, from, to));
+  result.stale = snap.stale;
+  result.stale_slots = snap.stale_slots;
+  result.slot = snap.slot;
+  return result;
+}
+
 Result<double> CongestionRatio(const RoadNetwork& net,
                                const std::vector<double>& speeds_kmh,
                                NodeId from, NodeId to) {
@@ -91,9 +115,27 @@ Result<double> CongestionRatio(const RoadNetwork& net,
   TS_ASSIGN_OR_RETURN(RouteResult base,
                       FastestRoute(net, free_flow, from, to));
   if (base.travel_seconds <= 0.0) {
+    // Both routes are zero-length exactly when from == to (free-flow speeds
+    // are positive, so any real road contributes time): the trip exists and
+    // is trivially uncongested. Only a zero-length base under a *non*-zero
+    // current route would be an internal inconsistency.
+    if (current.travel_seconds <= 0.0) return 1.0;
     return Status::Internal("degenerate free-flow route");
   }
   return current.travel_seconds / base.travel_seconds;
+}
+
+Result<CongestionResult> CongestionRatio(const RoadNetwork& net,
+                                         const SpeedSnapshot& snap,
+                                         NodeId from, NodeId to) {
+  TS_ASSIGN_OR_RETURN(double ratio,
+                      CongestionRatio(net, snap.speed_kmh, from, to));
+  CongestionResult result;
+  result.ratio = ratio;
+  result.stale = snap.stale;
+  result.stale_slots = snap.stale_slots;
+  result.slot = snap.slot;
+  return result;
 }
 
 }  // namespace trendspeed

@@ -45,6 +45,33 @@ Status IngestQueueOptions::Validate() const {
   return Status::OK();
 }
 
+Status ProductOptions::Validate() const {
+  if (!enabled) return Status::OK();
+  if (profile_buckets_per_day == 0) {
+    return Status::InvalidArgument(
+        "products.profile_buckets_per_day must be positive");
+  }
+  if (profile_buckets_per_day > 86400) {
+    return Status::InvalidArgument(
+        "products.profile_buckets_per_day must be <= 86400 (sub-second "
+        "time-of-day buckets are a config mistake)");
+  }
+  if (profile_min_samples == 0) {
+    return Status::InvalidArgument(
+        "products.profile_min_samples must be positive (a zero-sample cell "
+        "has no mean to blend)");
+  }
+  if (blend_full_stale_slots == 0) {
+    return Status::InvalidArgument(
+        "products.blend_full_stale_slots must be positive");
+  }
+  if (eta_cache_capacity == 0) {
+    return Status::InvalidArgument(
+        "products.eta_cache_capacity must be positive");
+  }
+  return Status::OK();
+}
+
 Status ServingOptions::Validate() const {
   // `!(a < b)` style keeps NaN-poisoned options invalid too.
   if (!(monitor.ewma_alpha > 0.0) || !(monitor.ewma_alpha <= 1.0)) {
@@ -78,6 +105,12 @@ Status ServingOptions::Validate() const {
         "engine consumes flight-recorder slot timelines)");
   }
   TS_RETURN_NOT_OK(ingest_queue.Validate());
+  TS_RETURN_NOT_OK(products.Validate());
+  if (products.enabled && !publish_snapshots) {
+    return Status::InvalidArgument(
+        "products.enabled requires publish_snapshots (the product layer "
+        "reads the seqlock snapshot; there is nothing to serve without it)");
+  }
   return Status::OK();
 }
 

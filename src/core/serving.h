@@ -69,6 +69,33 @@ struct IngestQueueOptions {
   Status Validate() const;
 };
 
+/// Knobs for the read-side product layer (src/product: time-of-day speed
+/// profiles and the route-ETA cache served from the seqlock snapshot).
+/// The serving loop itself never touches products — they run on reader
+/// threads against SpeedSnapshotPublisher::Read — but the knobs ride in
+/// ServingOptions so one validated config describes a city end to end, and
+/// enabling them requires the snapshot path they consume
+/// (publish_snapshots). Detached (enabled = false, the default) the serving
+/// path is bitwise identical to a product-free build; CityProducts
+/// (product/products.h) is the consumer.
+struct ProductOptions {
+  bool enabled = false;
+  /// Time-of-day buckets per day the profile store folds snapshots into
+  /// (24 = hourly cells). Need not divide slots_per_day.
+  uint32_t profile_buckets_per_day = 24;
+  /// A profile cell participates in stale-snapshot blending only once it
+  /// has folded at least this many fresh snapshots.
+  uint64_t profile_min_samples = 4;
+  /// Carried-forward slots over which the blend weight ramps from the
+  /// snapshot toward the historical profile (at this streak the profile
+  /// fully replaces the stale field).
+  uint32_t blend_full_stale_slots = 6;
+  /// Cached (from, to) route-ETA entries per cache.
+  size_t eta_cache_capacity = 1024;
+
+  Status Validate() const;
+};
+
 struct ServingOptions {
   MonitorOptions monitor;
   /// Observed speeds above this are malformed (sensor garbage / unit
@@ -104,6 +131,10 @@ struct ServingOptions {
   bool publish_snapshots = false;
   /// Lock-free MPSC ingest front-end sizing; capacity 0 (default) = off.
   IngestQueueOptions ingest_queue;
+  /// Read-side product layer knobs (profiles + ETA cache); off by default.
+  /// products.enabled requires publish_snapshots — the products are views
+  /// over the seqlock snapshot and have nothing to read without it.
+  ProductOptions products;
 
   /// Full validation of every knob (including the wrapped MonitorOptions,
   /// so user-supplied options never trip the monitor's TS_CHECKs).

@@ -51,11 +51,27 @@ void SpeedSnapshotPublisher::Publish(uint64_t slot,
 
 bool SpeedSnapshotPublisher::Read(SpeedSnapshot* out) const {
   WallTimer timer;
+  // A failed read must leave no residue: a reused SpeedSnapshot previously
+  // filled from another publisher would otherwise keep that publisher's
+  // slot/version and a resize()-truncated head of its payload — a stale
+  // tail that a multi-city poller cycling one object across per-city
+  // publishers could mistake for this city's field. clear() keeps capacity,
+  // so the reuse stays allocation-free.
+  if (seq_.load(std::memory_order_acquire) == 0) {
+    out->speed_kmh.clear();
+    out->deviation.clear();
+    out->slot = 0;
+    out->version = 0;
+    out->stale = false;
+    out->stale_slots = 0;
+    out->mean_speed_kmh = 0.0;
+    return false;  // nothing published yet
+  }
   out->speed_kmh.resize(num_roads_);
   out->deviation.resize(num_roads_);
   for (;;) {
     uint64_t s1 = seq_.load(std::memory_order_acquire);
-    if (s1 == 0) return false;  // nothing published yet
+    if (s1 == 0) return false;  // unreachable: seq_ never decreases
     if ((s1 & 1) == 0) {
       for (size_t i = 0; i < num_roads_; ++i) {
         out->speed_kmh[i] = speed_[i].load(std::memory_order_relaxed);

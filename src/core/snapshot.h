@@ -69,9 +69,16 @@ class SpeedSnapshotPublisher {
                double mean_speed_kmh);
 
   /// Reader side — any number of threads, lock-free, non-blocking.
-  /// Returns false while nothing has been published yet. On true, *out is
-  /// one internally consistent snapshot; its vectors are resized only on
-  /// first use, so a reused SpeedSnapshot makes Read allocation-free.
+  /// Returns false while nothing has been published yet; *out is then reset
+  /// to an empty snapshot (slot/version 0, vectors cleared) so a reused
+  /// SpeedSnapshot can never present a *previous* publisher's payload under
+  /// this publisher's identity — the stale-tail bug multi-city pollers hit
+  /// when cycling one snapshot object across per-city publishers of
+  /// different num_roads (tests/snapshot_test.cc pins it). On true, *out is
+  /// one internally consistent snapshot; the payload vectors are resized to
+  /// this publisher's num_roads() every call (a no-op re-read, and clears
+  /// keep capacity), so a reused SpeedSnapshot makes Read allocation-free
+  /// after the first successful read against the largest publisher polled.
   bool Read(SpeedSnapshot* out) const;
 
   size_t num_roads() const { return num_roads_; }

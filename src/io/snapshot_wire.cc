@@ -1,0 +1,119 @@
+#include "io/snapshot_wire.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace trendspeed {
+
+namespace {
+
+constexpr char kSnapshotTag[4] = {'T', 'S', 'S', 'N'};
+constexpr char kLogTag[4] = {'T', 'S', 'S', 'L'};
+
+}  // namespace
+
+void AppendSpeedSnapshot(const SpeedSnapshot& snap, BinaryWriter* w) {
+  TS_CHECK_EQ(snap.speed_kmh.size(), snap.deviation.size());
+  w->PutTag(kSnapshotTag, kSnapshotWireVersion);
+  w->PutU64(snap.slot);
+  w->PutU64(snap.version);
+  w->PutU32(snap.stale_slots);
+  w->PutF64(snap.mean_speed_kmh);
+  w->PutU64(snap.speed_kmh.size());
+  for (size_t i = 0; i < snap.speed_kmh.size(); ++i) {
+    w->PutF32(static_cast<float>(snap.speed_kmh[i]));
+    w->PutF32(static_cast<float>(snap.deviation[i]));
+  }
+}
+
+std::string EncodeSpeedSnapshot(const SpeedSnapshot& snap) {
+  BinaryWriter w;
+  AppendSpeedSnapshot(snap, &w);
+  return w.buffer();
+}
+
+Result<SpeedSnapshot> DecodeSpeedSnapshot(BinaryReader* r) {
+  TS_ASSIGN_OR_RETURN(uint32_t version, r->ExpectTag(kSnapshotTag));
+  if (version != kSnapshotWireVersion) {
+    return Status::InvalidArgument("unsupported snapshot wire version " +
+                                   std::to_string(version));
+  }
+  SpeedSnapshot snap;
+  TS_ASSIGN_OR_RETURN(snap.slot, r->GetU64());
+  TS_ASSIGN_OR_RETURN(snap.version, r->GetU64());
+  TS_ASSIGN_OR_RETURN(snap.stale_slots, r->GetU32());
+  TS_ASSIGN_OR_RETURN(snap.mean_speed_kmh, r->GetF64());
+  if (!std::isfinite(snap.mean_speed_kmh)) {
+    return Status::InvalidArgument("non-finite mean speed on the wire");
+  }
+  TS_ASSIGN_OR_RETURN(uint64_t num_roads, r->GetU64());
+  // 8 bytes per road: a count beyond the remaining bytes is corruption,
+  // caught before any allocation it could size.
+  if (num_roads > r->remaining() / 8) {
+    return Status::InvalidArgument("snapshot frame truncated or corrupt");
+  }
+  snap.speed_kmh.reserve(num_roads);
+  snap.deviation.reserve(num_roads);
+  for (uint64_t i = 0; i < num_roads; ++i) {
+    TS_ASSIGN_OR_RETURN(float speed, r->GetF32());
+    TS_ASSIGN_OR_RETURN(float dev, r->GetF32());
+    if (!std::isfinite(speed) || !std::isfinite(dev)) {
+      return Status::InvalidArgument(
+          "non-finite snapshot cell on the wire for road " +
+          std::to_string(i));
+    }
+    snap.speed_kmh.push_back(static_cast<double>(speed));
+    snap.deviation.push_back(static_cast<double>(dev));
+  }
+  // Derived, never trusted from the wire: the pair can't disagree.
+  snap.stale = snap.stale_slots > 0;
+  return snap;
+}
+
+Result<SpeedSnapshot> DecodeSpeedSnapshot(const std::string& bytes) {
+  BinaryReader r(bytes);
+  TS_ASSIGN_OR_RETURN(SpeedSnapshot snap, DecodeSpeedSnapshot(&r));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after snapshot frame");
+  }
+  return snap;
+}
+
+std::string EncodeSnapshotLog(const std::vector<SpeedSnapshot>& log) {
+  BinaryWriter w;
+  w.PutTag(kLogTag, kSnapshotWireVersion);
+  w.PutU64(log.size());
+  for (const SpeedSnapshot& snap : log) {
+    AppendSpeedSnapshot(snap, &w);
+  }
+  return w.buffer();
+}
+
+Result<std::vector<SpeedSnapshot>> DecodeSnapshotLog(
+    const std::string& bytes) {
+  BinaryReader r(bytes);
+  TS_ASSIGN_OR_RETURN(uint32_t version, r.ExpectTag(kLogTag));
+  if (version != kSnapshotWireVersion) {
+    return Status::InvalidArgument("unsupported snapshot wire version " +
+                                   std::to_string(version));
+  }
+  TS_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+  // Every frame is at least the 44-byte fixed header (tag + version + slot
+  // + snapshot_version + stale_slots + mean + road count).
+  if (count > r.remaining() / 44) {
+    return Status::InvalidArgument("snapshot log truncated or corrupt");
+  }
+  std::vector<SpeedSnapshot> log;
+  log.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TS_ASSIGN_OR_RETURN(SpeedSnapshot snap, DecodeSpeedSnapshot(&r));
+    log.push_back(std::move(snap));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after snapshot log");
+  }
+  return log;
+}
+
+}  // namespace trendspeed

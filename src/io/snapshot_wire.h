@@ -1,0 +1,60 @@
+// Framed binary transport for served speed snapshots — the read-side twin
+// of the observation wire format (io/obs_wire.h).
+//
+// The seqlock SpeedSnapshotPublisher (core/snapshot.h) gives in-process
+// readers a non-blocking view of the served field; a *product process* on
+// the far side of a socket or shared-memory ring needs the same view as
+// bytes. One frame carries one internally consistent snapshot, so a
+// transport can ship every publish (or just the latest) and the remote
+// product layer folds/routes exactly as an in-process reader would.
+//
+// Layout (all little-endian, via util/binary_io.h):
+//
+//   snapshot := "TSSN" u32 version(=1)
+//               u64 slot  u64 snapshot_version  u32 stale_slots
+//               f64 mean_speed_kmh  u64 num_roads
+//               num_roads * { f32 speed_kmh  f32 deviation }
+//   log      := "TSSL" u32 version(=1)  u64 count  count * snapshot
+//
+// 8 bytes per road. Speeds and deviations are quantized to f32 on encode
+// (the same contract as the observation wire — far below estimator noise);
+// `stale` is derived from stale_slots on decode, never encoded separately,
+// so a frame cannot carry the contradictory (stale=false, stale_slots>0).
+// Decoders are strict: bad tags, truncation, absurd road counts, non-finite
+// values, and trailing garbage all fail with Status instead of yielding a
+// garbage speed field (tests/snapshot_wire_test.cc).
+
+#ifndef TRENDSPEED_IO_SNAPSHOT_WIRE_H_
+#define TRENDSPEED_IO_SNAPSHOT_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Struct-only dependency: the wire format consumes the SpeedSnapshot POD
+// declared in core/snapshot.h; no SpeedSnapshotPublisher symbol is
+// referenced, so ts_io stays below ts_core in the link graph.
+#include "core/snapshot.h"
+#include "util/binary_io.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+inline constexpr uint32_t kSnapshotWireVersion = 1;
+
+/// Appends one snapshot frame to `w` (for streaming writers).
+void AppendSpeedSnapshot(const SpeedSnapshot& snap, BinaryWriter* w);
+
+std::string EncodeSpeedSnapshot(const SpeedSnapshot& snap);
+/// Reads one frame at the reader's cursor (for streaming readers draining
+/// a socket/ring buffer).
+Result<SpeedSnapshot> DecodeSpeedSnapshot(BinaryReader* r);
+/// Whole-buffer variant; trailing bytes are an error.
+Result<SpeedSnapshot> DecodeSpeedSnapshot(const std::string& bytes);
+
+std::string EncodeSnapshotLog(const std::vector<SpeedSnapshot>& log);
+Result<std::vector<SpeedSnapshot>> DecodeSnapshotLog(const std::string& bytes);
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_IO_SNAPSHOT_WIRE_H_

@@ -236,6 +236,33 @@ const MetricDef kFlightThreads = {
     "trendspeed_flight_threads", MetricType::kGauge,
     "Writer threads with a registered flight ring", "threads"};
 
+// --- read-side products (product/{profile,route_eta}.cc) -------------------
+const MetricDef kProductProfileFoldsTotal = {
+    "trendspeed_product_profile_folds_total", MetricType::kCounter,
+    "Fresh snapshots folded into a time-of-day speed profile", "1"};
+const MetricDef kProductProfileStaleSkipsTotal = {
+    "trendspeed_product_profile_stale_skips_total", MetricType::kCounter,
+    "Stale snapshots skipped by profile folding (carried-forward fields are "
+    "not independent evidence)", "1"};
+const MetricDef kProductEtaCacheHitsTotal = {
+    "trendspeed_product_eta_cache_hits_total", MetricType::kCounter,
+    "Route-ETA queries answered from a cache entry matching the current "
+    "snapshot version", "1"};
+const MetricDef kProductEtaCacheMissesTotal = {
+    "trendspeed_product_eta_cache_misses_total", MetricType::kCounter,
+    "Route-ETA queries that ran a fresh FastestRoute search", "1"};
+const MetricDef kProductEtaCacheInvalidationsTotal = {
+    "trendspeed_product_eta_cache_invalidations_total", MetricType::kCounter,
+    "Cache entries discarded because the snapshot version moved on", "1"};
+const MetricDef kProductBlendActivationsTotal = {
+    "trendspeed_product_blend_activations_total", MetricType::kCounter,
+    "Product reads that blended a stale snapshot toward the historical "
+    "profile", "1"};
+const MetricDef kProductReadLatencyUs = {
+    "trendspeed_product_read_latency_us", MetricType::kHistogram,
+    "Wall time of one product-layer read (snapshot read + ETA answer)", "us",
+    "", kMicrosBounds, N(kMicrosBounds)};
+
 // --- latency SLO engine (obs/slo.cc) ---------------------------------------
 const MetricDef kSloBreachesTotal = {
     "trendspeed_slo_breaches_total", MetricType::kCounter,
@@ -330,6 +357,13 @@ const std::vector<const MetricDef*>& AllMetricDefs() {
       &kFlightEventsRecordedTotal,
       &kFlightEventsDroppedTotal,
       &kFlightThreads,
+      &kProductProfileFoldsTotal,
+      &kProductProfileStaleSkipsTotal,
+      &kProductEtaCacheHitsTotal,
+      &kProductEtaCacheMissesTotal,
+      &kProductEtaCacheInvalidationsTotal,
+      &kProductBlendActivationsTotal,
+      &kProductReadLatencyUs,
       &kSloBreachesTotal,
       &kSloDumpsTotal,
       &kSloStageState[0],

@@ -103,6 +103,15 @@ extern const MetricDef kFlightEventsRecordedTotal;
 extern const MetricDef kFlightEventsDroppedTotal;
 extern const MetricDef kFlightThreads;  ///< gauge: registered writer rings
 
+// --- product/{profile,route_eta}.cc (read-side product layer) ---------------
+extern const MetricDef kProductProfileFoldsTotal;
+extern const MetricDef kProductProfileStaleSkipsTotal;
+extern const MetricDef kProductEtaCacheHitsTotal;
+extern const MetricDef kProductEtaCacheMissesTotal;
+extern const MetricDef kProductEtaCacheInvalidationsTotal;
+extern const MetricDef kProductBlendActivationsTotal;
+extern const MetricDef kProductReadLatencyUs;  ///< histogram
+
 // --- obs/slo.cc (latency SLO engine) ----------------------------------------
 extern const MetricDef kSloBreachesTotal;
 extern const MetricDef kSloDumpsTotal;

@@ -1,0 +1,222 @@
+#include "product/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/catalog.h"
+#include "util/binary_io.h"
+
+namespace trendspeed {
+
+namespace {
+
+constexpr char kProfileTag[4] = {'T', 'S', 'P', 'F'};
+constexpr uint32_t kProfileWireVersion = 1;
+
+}  // namespace
+
+const char* SpeedProvenanceName(SpeedProvenance p) {
+  switch (p) {
+    case SpeedProvenance::kFresh:
+      return "fresh";
+    case SpeedProvenance::kCarriedForward:
+      return "carried_forward";
+    case SpeedProvenance::kProfileBlend:
+      return "profile_blend";
+  }
+  return "unknown";
+}
+
+SpeedProfileStore::SpeedProfileStore(size_t num_roads, uint32_t slots_per_day,
+                                     const ProductOptions& opts)
+    : num_roads_(num_roads),
+      slots_per_day_(slots_per_day),
+      buckets_per_day_(opts.profile_buckets_per_day),
+      min_samples_(opts.profile_min_samples),
+      blend_full_stale_slots_(opts.blend_full_stale_slots),
+      cells_(num_roads * opts.profile_buckets_per_day) {}
+
+Result<SpeedProfileStore> SpeedProfileStore::Create(
+    size_t num_roads, uint32_t slots_per_day, const ProductOptions& opts) {
+  if (num_roads == 0) {
+    return Status::InvalidArgument("profile store needs at least one road");
+  }
+  if (slots_per_day == 0) {
+    return Status::InvalidArgument("slots_per_day must be positive");
+  }
+  ProductOptions checked = opts;
+  checked.enabled = true;  // validate the knobs even for a standalone store
+  TS_RETURN_NOT_OK(checked.Validate());
+  if (opts.profile_buckets_per_day > slots_per_day) {
+    return Status::InvalidArgument(
+        "profile_buckets_per_day (" +
+        std::to_string(opts.profile_buckets_per_day) +
+        ") exceeds slots_per_day (" + std::to_string(slots_per_day) +
+        "); a bucket finer than the slot grid can never fill");
+  }
+  return SpeedProfileStore(num_roads, slots_per_day, opts);
+}
+
+void SpeedProfileStore::AttachMetrics(obs::MetricsRegistry* registry) {
+  m_folds_ = obs::GetCounter(registry, obs::kProductProfileFoldsTotal);
+  m_stale_skips_ =
+      obs::GetCounter(registry, obs::kProductProfileStaleSkipsTotal);
+}
+
+bool SpeedProfileStore::Fold(const SpeedSnapshot& snap) {
+  if (snap.version == 0 || snap.version <= last_version_) {
+    return false;  // nothing published, or this publish was already folded
+  }
+  if (snap.speed_kmh.size() != num_roads_) {
+    return false;  // a snapshot for some other network; never mix fields
+  }
+  last_version_ = snap.version;
+  if (snap.stale) {
+    ++stale_skips_;
+    obs::Add(m_stale_skips_);
+    return false;
+  }
+  const uint32_t bucket = BucketOf(snap.slot);
+  for (size_t road = 0; road < num_roads_; ++road) {
+    Cell& c = cells_[road * buckets_per_day_ + bucket];
+    ++c.count;
+    c.mean_kmh += (snap.speed_kmh[road] - c.mean_kmh) /
+                  static_cast<double>(c.count);
+  }
+  ++folds_;
+  obs::Add(m_folds_);
+  return true;
+}
+
+SpeedProfileStore::BlendedSpeed SpeedProfileStore::BlendQuery(
+    const SpeedSnapshot& snap, RoadId road) const {
+  BlendedSpeed out;
+  const double snap_speed =
+      road < snap.speed_kmh.size() ? snap.speed_kmh[road] : 0.0;
+  out.speed_kmh = snap_speed;
+  if (!snap.stale) {
+    out.provenance = SpeedProvenance::kFresh;
+    return out;
+  }
+  const Cell& c = cell(road, BucketOf(snap.slot));
+  if (c.count < min_samples_) {
+    out.provenance = SpeedProvenance::kCarriedForward;
+    return out;
+  }
+  const double w =
+      std::min(1.0, static_cast<double>(snap.stale_slots) /
+                        static_cast<double>(blend_full_stale_slots_));
+  out.speed_kmh = (1.0 - w) * snap_speed + w * c.mean_kmh;
+  out.provenance = SpeedProvenance::kProfileBlend;
+  return out;
+}
+
+SpeedProvenance SpeedProfileStore::BlendSnapshot(const SpeedSnapshot& snap,
+                                                 std::vector<double>* speeds,
+                                                 size_t* blended_roads) const {
+  speeds->resize(num_roads_);
+  size_t blended = 0;
+  SpeedProvenance weakest = SpeedProvenance::kFresh;
+  for (size_t road = 0; road < num_roads_; ++road) {
+    BlendedSpeed b = BlendQuery(snap, static_cast<RoadId>(road));
+    (*speeds)[road] = b.speed_kmh;
+    if (b.provenance == SpeedProvenance::kProfileBlend) {
+      ++blended;
+      weakest = SpeedProvenance::kProfileBlend;
+    } else if (b.provenance == SpeedProvenance::kCarriedForward &&
+               weakest == SpeedProvenance::kFresh) {
+      weakest = SpeedProvenance::kCarriedForward;
+    }
+  }
+  if (blended_roads != nullptr) *blended_roads = blended;
+  return weakest;
+}
+
+Status SpeedProfileStore::Merge(const SpeedProfileStore& other) {
+  if (other.num_roads_ != num_roads_ ||
+      other.slots_per_day_ != slots_per_day_ ||
+      other.buckets_per_day_ != buckets_per_day_) {
+    return Status::InvalidArgument(
+        "profile stores have different shapes; refusing to merge");
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& o = other.cells_[i];
+    if (o.count == 0) continue;
+    Cell& c = cells_[i];
+    const uint64_t total = c.count + o.count;
+    c.mean_kmh = (c.mean_kmh * static_cast<double>(c.count) +
+                  o.mean_kmh * static_cast<double>(o.count)) /
+                 static_cast<double>(total);
+    c.count = total;
+  }
+  folds_ += other.folds_;
+  stale_skips_ += other.stale_skips_;
+  last_version_ = std::max(last_version_, other.last_version_);
+  return Status::OK();
+}
+
+std::string EncodeSpeedProfile(const SpeedProfileStore& store) {
+  BinaryWriter w;
+  w.PutTag(kProfileTag, kProfileWireVersion);
+  w.PutU64(store.num_roads_);
+  w.PutU32(store.slots_per_day_);
+  w.PutU32(store.buckets_per_day_);
+  w.PutU64(store.last_version_);
+  w.PutU64(store.folds_);
+  w.PutU64(store.stale_skips_);
+  for (const SpeedProfileStore::Cell& c : store.cells_) {
+    w.PutU64(c.count);
+    w.PutF64(c.mean_kmh);
+  }
+  return w.buffer();
+}
+
+Result<SpeedProfileStore> DecodeSpeedProfile(const std::string& bytes,
+                                             const ProductOptions& opts) {
+  BinaryReader r(bytes);
+  TS_ASSIGN_OR_RETURN(uint32_t version, r.ExpectTag(kProfileTag));
+  if (version != kProfileWireVersion) {
+    return Status::InvalidArgument("unsupported profile wire version " +
+                                   std::to_string(version));
+  }
+  TS_ASSIGN_OR_RETURN(uint64_t num_roads, r.GetU64());
+  TS_ASSIGN_OR_RETURN(uint32_t slots_per_day, r.GetU32());
+  TS_ASSIGN_OR_RETURN(uint32_t buckets_per_day, r.GetU32());
+  if (buckets_per_day != opts.profile_buckets_per_day) {
+    return Status::InvalidArgument(
+        "profile file has " + std::to_string(buckets_per_day) +
+        " buckets/day but options ask for " +
+        std::to_string(opts.profile_buckets_per_day));
+  }
+  // 16 bytes per cell (after a 24-byte fold-state header); a road count
+  // beyond the remaining bytes is truncation/corruption, caught before the
+  // allocation it would size.
+  if (num_roads == 0 || slots_per_day == 0 || buckets_per_day == 0 ||
+      r.remaining() < 24 ||
+      num_roads > (r.remaining() - 24) / (16ull * buckets_per_day)) {
+    return Status::InvalidArgument("profile file truncated or corrupt");
+  }
+  TS_ASSIGN_OR_RETURN(
+      SpeedProfileStore store,
+      SpeedProfileStore::Create(num_roads, slots_per_day, opts));
+  TS_ASSIGN_OR_RETURN(store.last_version_, r.GetU64());
+  TS_ASSIGN_OR_RETURN(store.folds_, r.GetU64());
+  TS_ASSIGN_OR_RETURN(store.stale_skips_, r.GetU64());
+  for (SpeedProfileStore::Cell& c : store.cells_) {
+    TS_ASSIGN_OR_RETURN(c.count, r.GetU64());
+    TS_ASSIGN_OR_RETURN(c.mean_kmh, r.GetF64());
+    if (!std::isfinite(c.mean_kmh)) {
+      return Status::InvalidArgument("non-finite profile mean on the wire");
+    }
+    if (c.count == 0 && c.mean_kmh != 0.0) {
+      return Status::InvalidArgument(
+          "profile cell claims a mean with zero samples");
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after profile");
+  }
+  return store;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,118 @@
+#include "product/route_eta.h"
+
+#include "obs/catalog.h"
+
+namespace trendspeed {
+
+RouteEtaCache::RouteEtaCache(const RoadNetwork& net,
+                             const ProductOptions& opts,
+                             const SpeedProfileStore* profile)
+    : net_(&net),
+      profile_(profile),
+      capacity_(opts.eta_cache_capacity),
+      num_nodes_(net.num_nodes()) {
+  entries_.reserve(capacity_);
+}
+
+Result<RouteEtaCache> RouteEtaCache::Create(const RoadNetwork& net,
+                                            const ProductOptions& opts,
+                                            const SpeedProfileStore* profile) {
+  if (net.num_nodes() == 0) {
+    return Status::InvalidArgument("ETA cache needs a non-empty network");
+  }
+  if (opts.eta_cache_capacity == 0) {
+    return Status::InvalidArgument("eta_cache_capacity must be positive");
+  }
+  if (profile != nullptr && profile->num_roads() != net.num_roads()) {
+    return Status::InvalidArgument(
+        "profile store covers " + std::to_string(profile->num_roads()) +
+        " roads but the network has " + std::to_string(net.num_roads()));
+  }
+  return RouteEtaCache(net, opts, profile);
+}
+
+void RouteEtaCache::AttachMetrics(obs::MetricsRegistry* registry) {
+  m_hits_ = obs::GetCounter(registry, obs::kProductEtaCacheHitsTotal);
+  m_misses_ = obs::GetCounter(registry, obs::kProductEtaCacheMissesTotal);
+  m_invalidations_ =
+      obs::GetCounter(registry, obs::kProductEtaCacheInvalidationsTotal);
+  m_blends_ = obs::GetCounter(registry, obs::kProductBlendActivationsTotal);
+}
+
+void RouteEtaCache::SyncToSnapshot(const SpeedSnapshot& snap) {
+  // stale_slots participates in the identity: a carry-forward re-publish
+  // bumps the version, but even under the same version a field whose blend
+  // weight changed must be re-priced.
+  if (snap.version == synced_version_ &&
+      snap.stale_slots == synced_stale_slots_) {
+    return;
+  }
+  const size_t dropped = entries_.size();
+  entries_.clear();
+  stats_.invalidations += dropped;
+  obs::Add(m_invalidations_, dropped);
+
+  if (!snap.stale || profile_ == nullptr) {
+    pricing_speeds_ = snap.speed_kmh;
+    field_provenance_ = snap.stale ? SpeedProvenance::kCarriedForward
+                                   : SpeedProvenance::kFresh;
+  } else {
+    size_t blended = 0;
+    field_provenance_ = profile_->BlendSnapshot(snap, &pricing_speeds_,
+                                                &blended);
+    if (field_provenance_ == SpeedProvenance::kProfileBlend) {
+      stats_.blends += 1;
+      obs::Add(m_blends_);
+    }
+  }
+  synced_version_ = snap.version;
+  synced_stale_slots_ = snap.stale_slots;
+}
+
+Result<RouteEtaCache::EtaResult> RouteEtaCache::Eta(const SpeedSnapshot& snap,
+                                                    NodeId from, NodeId to) {
+  if (snap.version == 0 || snap.speed_kmh.size() != net_->num_roads()) {
+    return Status::FailedPrecondition(
+        "ETA query against an empty or mismatched snapshot");
+  }
+  if (from >= num_nodes_ || to >= num_nodes_) {
+    return Status::InvalidArgument("route endpoint outside the network");
+  }
+  SyncToSnapshot(snap);
+
+  const uint64_t key = KeyOf(from, to);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    obs::Add(m_hits_);
+    EtaResult hit = it->second.result;
+    hit.cache_hit = true;
+    return hit;
+  }
+
+  ++stats_.misses;
+  obs::Add(m_misses_);
+  TS_ASSIGN_OR_RETURN(RouteResult route,
+                      FastestRoute(*net_, pricing_speeds_, from, to));
+  // The pricing field came from the snapshot, so the staleness stamp does
+  // too — a blended route is still a stale route, just a better-priced one.
+  route.stale = snap.stale;
+  route.stale_slots = snap.stale_slots;
+  route.slot = snap.slot;
+
+  EtaResult result;
+  result.route = std::move(route);
+  result.provenance = field_provenance_;
+  result.snapshot_version = snap.version;
+  result.cache_hit = false;
+
+  if (entries_.size() >= capacity_) {
+    // Arbitrary-victim eviction: every entry is equally valid (same
+    // version), so any victim preserves correctness; begin() is O(1).
+    entries_.erase(entries_.begin());
+  }
+  entries_.emplace(key, Entry{result});
+  return result;
+}
+
+}  // namespace trendspeed

@@ -1,0 +1,119 @@
+// Route-ETA cache: memoized FastestRoute answers over the latest published
+// snapshot, invalidated by snapshot version.
+//
+// The serving loop publishes one speed field per slot; between publishes the
+// field is immutable, so every (from, to) query against the same
+// `SpeedSnapshot::version` has exactly one answer. The cache exploits that:
+// a hit returns the stored result without touching Dijkstra, a miss runs
+// FastestRoute once and stores it, and the moment the version moves on every
+// stored entry is dead (checked lazily per entry — no publish-side hook, so
+// the writer never knows the cache exists).
+//
+// Correctness contract (tests/product_test.cc pins both):
+//   * cached answers are bitwise-equal to an uncached FastestRoute against
+//     the same snapshot — the cache may never change a route;
+//   * a stale snapshot can never produce an unflagged ETA: provenance
+//     (fresh | carried_forward | profile_blend) rides on every result.
+//
+// With a SpeedProfileStore attached, stale-snapshot queries are priced on
+// the profile-blended speed field instead of the raw carry-forward (the
+// blended field is rebuilt once per (version, staleness) and reused until
+// the version moves).
+
+#ifndef TRENDSPEED_PRODUCT_ROUTE_ETA_H_
+#define TRENDSPEED_PRODUCT_ROUTE_ETA_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/routing.h"
+#include "core/serving.h"
+#include "core/snapshot.h"
+#include "obs/metrics.h"
+#include "product/profile.h"
+#include "roadnet/road_network.h"
+#include "util/status.h"
+
+namespace trendspeed {
+
+class RouteEtaCache {
+ public:
+  /// One answered ETA query.
+  struct EtaResult {
+    RouteResult route;  ///< roads, travel_seconds, length_m + staleness stamp
+    /// Provenance of the speed field that priced the route.
+    SpeedProvenance provenance = SpeedProvenance::kFresh;
+    /// Snapshot identity the answer is valid for.
+    uint64_t snapshot_version = 0;
+    bool cache_hit = false;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+    uint64_t blends = 0;  ///< queries priced on a profile-blended field
+  };
+
+  /// `net` must outlive the cache. `profile` is optional (null = no blend;
+  /// stale snapshots then serve carried-forward) and must outlive the cache
+  /// when given. Fails on zero capacity or an empty network.
+  static Result<RouteEtaCache> Create(const RoadNetwork& net,
+                                      const ProductOptions& opts,
+                                      const SpeedProfileStore* profile);
+
+  /// Registers the trendspeed_product_eta_* series. Null detaches.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+  /// Answers a fastest-route ETA against `snap`. NotFound propagates from
+  /// FastestRoute (unreachable `to`); `from == to` is a defined degenerate
+  /// query (empty route, zero seconds) and caches like any other. Results
+  /// for an older snapshot version are discarded on sight, so a query can
+  /// never be answered from a field the publisher has since replaced.
+  Result<EtaResult> Eta(const SpeedSnapshot& snap, NodeId from, NodeId to);
+
+  const Stats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  RouteEtaCache(const RoadNetwork& net, const ProductOptions& opts,
+                const SpeedProfileStore* profile);
+
+  /// (from, to) packed collision-free: from * num_nodes + to.
+  uint64_t KeyOf(NodeId from, NodeId to) const {
+    return static_cast<uint64_t>(from) * num_nodes_ + to;
+  }
+
+  /// Drops every entry not stamped with `version` and rebuilds the pricing
+  /// field (raw fresh speeds, or the profile blend when stale).
+  void SyncToSnapshot(const SpeedSnapshot& snap);
+
+  struct Entry {
+    EtaResult result;
+  };
+
+  const RoadNetwork* net_;
+  const SpeedProfileStore* profile_;  ///< may be null (no blending)
+  size_t capacity_;
+  uint64_t num_nodes_;
+
+  /// Identity of the snapshot the pricing field and entries belong to.
+  uint64_t synced_version_ = 0;
+  uint32_t synced_stale_slots_ = 0;
+  std::vector<double> pricing_speeds_;
+  SpeedProvenance field_provenance_ = SpeedProvenance::kFresh;
+
+  std::unordered_map<uint64_t, Entry> entries_;
+  Stats stats_;
+
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_invalidations_ = nullptr;
+  obs::Counter* m_blends_ = nullptr;
+};
+
+}  // namespace trendspeed
+
+#endif  // TRENDSPEED_PRODUCT_ROUTE_ETA_H_

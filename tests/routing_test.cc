@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/routing.h"
+#include "core/snapshot.h"
 #include "test_util.h"
 
 namespace trendspeed {
@@ -35,7 +36,9 @@ TEST(PathTravelTimeTest, ValidatesPath) {
   EXPECT_FALSE(PathTravelTime(net, speeds, {99}).ok());
   speeds[0] = 0.0;
   EXPECT_FALSE(PathTravelTime(net, speeds, {0, 2}).ok());
-  EXPECT_FALSE(PathTravelTime(net, {1.0}, {0}).ok());  // size mismatch
+  // size mismatch (explicit vector: braces would be ambiguous against the
+  // SpeedSnapshot overload)
+  EXPECT_FALSE(PathTravelTime(net, std::vector<double>{1.0}, {0}).ok());
 }
 
 TEST(FastestRouteTest, MatchesFreeFlowPathfinding) {
@@ -86,7 +89,7 @@ TEST(FastestRouteTest, ImpassableRoadsAreSkipped) {
 
 TEST(FastestRouteTest, ValidatesInput) {
   RoadNetwork net = PathNetwork();
-  EXPECT_FALSE(FastestRoute(net, {1.0}, 0, 2).ok());
+  EXPECT_FALSE(FastestRoute(net, std::vector<double>{1.0}, 0, 2).ok());
   EXPECT_FALSE(FastestRoute(net, FreeFlow(net), 0, 99).ok());
 }
 
@@ -100,6 +103,109 @@ TEST(CongestionRatioTest, OneUnderFreeFlowAndAboveUnderJam) {
   auto jam = CongestionRatio(net, jammed, 0, 15);
   ASSERT_TRUE(jam.ok());
   EXPECT_NEAR(*jam, 2.0, 1e-9);
+}
+
+// Regression for the degenerate-query bug: from == to used to reach the
+// 0/0 congestion ratio and fail with Internal (and callers that divided
+// anyway got NaN). An empty trip is defined: ratio 1.0, never congested.
+TEST(CongestionRatioTest, SameEndpointIsDefinedAsOne) {
+  RoadNetwork net = SmallGrid();
+  auto ratio = CongestionRatio(net, FreeFlow(net), 7, 7);
+  ASSERT_TRUE(ratio.ok()) << ratio.status().ToString();
+  EXPECT_DOUBLE_EQ(*ratio, 1.0);
+  EXPECT_TRUE(std::isfinite(*ratio));
+}
+
+TEST(FastestRouteTest, SameEndpointIsEmptyRoute) {
+  RoadNetwork net = SmallGrid();
+  auto route = FastestRoute(net, FreeFlow(net), 3, 3);
+  ASSERT_TRUE(route.ok());
+  EXPECT_TRUE(route->roads.empty());
+  EXPECT_EQ(route->travel_seconds, 0.0);
+  EXPECT_EQ(route->length_m, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot-aware overloads: staleness provenance must survive routing.
+// ---------------------------------------------------------------------------
+
+SpeedSnapshot GridSnapshot(const RoadNetwork& net, uint64_t slot,
+                           uint64_t version, uint32_t stale_slots) {
+  SpeedSnapshot snap;
+  snap.slot = slot;
+  snap.version = version;
+  snap.stale_slots = stale_slots;
+  snap.stale = stale_slots > 0;
+  snap.speed_kmh = FreeFlow(net);
+  snap.deviation.assign(net.num_roads(), 0.0);
+  snap.mean_speed_kmh = 50.0;
+  return snap;
+}
+
+// Regression for the staleness-blind-routing bug: routing on
+// snap.speed_kmh through the plain overloads silently discarded
+// stale/stale_slots, so an ETA priced on a 40-minute-old carried-forward
+// field was indistinguishable from a fresh one. The snapshot overloads
+// must stamp the provenance into every result. (This test fails against
+// the pre-fix API by not compiling at all — the overloads did not exist —
+// and the product layer builds its unflagged-stale-ETA guarantee on it.)
+TEST(SnapshotRoutingTest, FastestRoutePropagatesStaleness) {
+  RoadNetwork net = SmallGrid();
+  SpeedSnapshot fresh = GridSnapshot(net, 10, 3, 0);
+  auto fresh_route = FastestRoute(net, fresh, 0, 15);
+  ASSERT_TRUE(fresh_route.ok());
+  EXPECT_FALSE(fresh_route->stale);
+  EXPECT_EQ(fresh_route->stale_slots, 0u);
+  EXPECT_EQ(fresh_route->slot, 10u);
+
+  SpeedSnapshot stale = GridSnapshot(net, 14, 7, 4);
+  auto stale_route = FastestRoute(net, stale, 0, 15);
+  ASSERT_TRUE(stale_route.ok());
+  EXPECT_TRUE(stale_route->stale);
+  EXPECT_EQ(stale_route->stale_slots, 4u);
+  EXPECT_EQ(stale_route->slot, 14u);
+  // The route itself is the same as the plain overload's — provenance is
+  // a stamp, not a different algorithm.
+  auto plain = FastestRoute(net, stale.speed_kmh, 0, 15);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(stale_route->roads, plain->roads);
+  EXPECT_EQ(stale_route->travel_seconds, plain->travel_seconds);
+}
+
+TEST(SnapshotRoutingTest, PathTravelTimePropagatesStaleness) {
+  RoadNetwork net = PathNetwork();
+  SpeedSnapshot stale;
+  stale.slot = 99;
+  stale.version = 5;
+  stale.stale = true;
+  stale.stale_slots = 2;
+  stale.speed_kmh.assign(net.num_roads(), 36.0);
+  stale.deviation.assign(net.num_roads(), 0.0);
+  auto eta = PathTravelTime(net, stale, {0, 2});
+  ASSERT_TRUE(eta.ok());
+  EXPECT_NEAR(eta->travel_seconds, 100.0, 1e-9);
+  EXPECT_TRUE(eta->stale);
+  EXPECT_EQ(eta->stale_slots, 2u);
+  EXPECT_EQ(eta->slot, 99u);
+  // Validation still applies through the snapshot overload.
+  EXPECT_FALSE(PathTravelTime(net, stale, {}).ok());
+}
+
+TEST(SnapshotRoutingTest, CongestionRatioPropagatesStaleness) {
+  RoadNetwork net = SmallGrid();
+  SpeedSnapshot stale = GridSnapshot(net, 21, 9, 6);
+  for (double& v : stale.speed_kmh) v *= 0.5;
+  auto result = CongestionRatio(net, stale, 0, 15);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->ratio, 2.0, 1e-9);
+  EXPECT_TRUE(result->stale);
+  EXPECT_EQ(result->stale_slots, 6u);
+  EXPECT_EQ(result->slot, 21u);
+  // Degenerate + stale composes: defined ratio, provenance intact.
+  auto degenerate = CongestionRatio(net, stale, 4, 4);
+  ASSERT_TRUE(degenerate.ok());
+  EXPECT_DOUBLE_EQ(degenerate->ratio, 1.0);
+  EXPECT_TRUE(degenerate->stale);
 }
 
 }  // namespace

@@ -56,6 +56,42 @@ TEST(SnapshotTest, PublishThenReadRoundTrips) {
   EXPECT_EQ(pub.publishes(), 2u);
 }
 
+// Regression for the stale-tail bug: a SpeedSnapshot reused across
+// publishers (the multi-city poller pattern — one buffer, N cities) must
+// never present a previous publisher's payload under a new publisher's
+// identity. Before the fix, Read() on an unpublished publisher returned
+// false but left the previous city's slot/version/speeds in *out; a poller
+// that only checked `snap.version != last_seen` then served city A's field
+// as city B's.
+TEST(SnapshotTest, ReusedSnapshotIsResetByFailedRead) {
+  SpeedSnapshotPublisher city_a(3);
+  city_a.Publish(9, {50.0, 60.0, 70.0}, {0.1, 0.2, 0.3}, 0, 60.0);
+  SpeedSnapshot snap;
+  ASSERT_TRUE(city_a.Read(&snap));
+  ASSERT_EQ(snap.version, 1u);
+
+  // Same buffer against a city that has served nothing yet.
+  SpeedSnapshotPublisher city_b(5);
+  EXPECT_FALSE(city_b.Read(&snap));
+  EXPECT_EQ(snap.version, 0u);  // no identity survives the failed read
+  EXPECT_EQ(snap.slot, 0u);
+  EXPECT_TRUE(snap.speed_kmh.empty());
+  EXPECT_TRUE(snap.deviation.empty());
+  EXPECT_FALSE(snap.stale);
+  EXPECT_EQ(snap.stale_slots, 0u);
+  EXPECT_EQ(snap.mean_speed_kmh, 0.0);
+
+  // And a successful read against a *smaller* publisher must shrink the
+  // reused vectors, never leave a stale tail from the larger city.
+  SpeedSnapshotPublisher city_c(2);
+  ASSERT_TRUE(city_a.Read(&snap));  // re-inflate to 3 roads
+  city_c.Publish(1, {10.0, 20.0}, {0.0, 0.0}, 0, 15.0);
+  ASSERT_TRUE(city_c.Read(&snap));
+  EXPECT_EQ(snap.speed_kmh.size(), 2u);
+  EXPECT_EQ(snap.deviation.size(), 2u);
+  EXPECT_EQ(snap.speed_kmh, (std::vector<double>{10.0, 20.0}));
+}
+
 // The seqlock torture test: one writer publishing at full speed, several
 // readers hammering Read. Every payload cell of publish v is a pure
 // function of v, so any torn mix of two publishes is detectable in a

@@ -1,0 +1,158 @@
+// Tests for the framed snapshot transport (io/snapshot_wire.h): round-trip
+// fidelity (modulo the documented f32 payload quantization), the derived
+// stale flag, strict decode failures, and the log container.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "io/snapshot_wire.h"
+
+namespace trendspeed {
+namespace {
+
+SpeedSnapshot MakeSnapshot(uint64_t slot, uint64_t version,
+                           uint32_t stale_slots, size_t roads) {
+  SpeedSnapshot snap;
+  snap.slot = slot;
+  snap.version = version;
+  snap.stale_slots = stale_slots;
+  snap.stale = stale_slots > 0;
+  snap.mean_speed_kmh = 42.125;  // f64 on the wire: exact
+  for (size_t i = 0; i < roads; ++i) {
+    // f32-exact values so EXPECT_EQ round-trips bitwise.
+    snap.speed_kmh.push_back(30.0 + 0.5 * static_cast<double>(i));
+    snap.deviation.push_back(-0.25 * static_cast<double>(i));
+  }
+  return snap;
+}
+
+TEST(SnapshotWireTest, RoundTripsAllFields) {
+  SpeedSnapshot snap = MakeSnapshot(17, 9, 3, 5);
+  auto decoded = DecodeSpeedSnapshot(EncodeSpeedSnapshot(snap));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->slot, 17u);
+  EXPECT_EQ(decoded->version, 9u);
+  EXPECT_EQ(decoded->stale_slots, 3u);
+  EXPECT_TRUE(decoded->stale);  // derived from stale_slots, not encoded
+  EXPECT_DOUBLE_EQ(decoded->mean_speed_kmh, 42.125);
+  EXPECT_EQ(decoded->speed_kmh, snap.speed_kmh);
+  EXPECT_EQ(decoded->deviation, snap.deviation);
+}
+
+TEST(SnapshotWireTest, StaleFlagCannotContradictStaleSlots) {
+  // Even if the in-memory struct lies (stale=true, stale_slots=0), the wire
+  // carries only stale_slots and the decode re-derives the flag.
+  SpeedSnapshot snap = MakeSnapshot(1, 1, 0, 2);
+  snap.stale = true;  // inconsistent by hand
+  auto decoded = DecodeSpeedSnapshot(EncodeSpeedSnapshot(snap));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->stale);
+  EXPECT_EQ(decoded->stale_slots, 0u);
+}
+
+TEST(SnapshotWireTest, EmptyFieldRoundTrips) {
+  SpeedSnapshot snap = MakeSnapshot(0, 1, 0, 0);
+  auto decoded = DecodeSpeedSnapshot(EncodeSpeedSnapshot(snap));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->speed_kmh.empty());
+  EXPECT_TRUE(decoded->deviation.empty());
+}
+
+TEST(SnapshotWireTest, QuantizesPayloadToF32) {
+  SpeedSnapshot snap = MakeSnapshot(1, 1, 0, 1);
+  snap.speed_kmh[0] = 33.333333333333336;  // not f32-representable
+  auto decoded = DecodeSpeedSnapshot(EncodeSpeedSnapshot(snap));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_DOUBLE_EQ(decoded->speed_kmh[0],
+                   static_cast<double>(static_cast<float>(33.333333333333336)));
+}
+
+TEST(SnapshotWireTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeSpeedSnapshot(std::string()).ok());
+  EXPECT_FALSE(DecodeSpeedSnapshot(std::string("not a frame")).ok());
+  // Wrong tag (an observation-wire or random header).
+  std::string wrong = EncodeSpeedSnapshot(MakeSnapshot(1, 1, 0, 2));
+  wrong[0] = 'X';
+  EXPECT_FALSE(DecodeSpeedSnapshot(wrong).ok());
+}
+
+TEST(SnapshotWireTest, RejectsTruncationAtEveryPrefix) {
+  std::string bytes = EncodeSpeedSnapshot(MakeSnapshot(5, 2, 1, 3));
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeSpeedSnapshot(bytes.substr(0, cut)).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+  ASSERT_TRUE(DecodeSpeedSnapshot(bytes).ok());
+}
+
+TEST(SnapshotWireTest, RejectsTrailingGarbage) {
+  std::string bytes = EncodeSpeedSnapshot(MakeSnapshot(5, 2, 1, 3));
+  EXPECT_FALSE(DecodeSpeedSnapshot(bytes + "x").ok());
+}
+
+TEST(SnapshotWireTest, RejectsAbsurdRoadCountBeforeAllocating) {
+  // Patch a frame to claim 2^60 roads with no payload: the decoder must
+  // fail on the count-vs-remaining check, not attempt the allocation.
+  SpeedSnapshot empty = MakeSnapshot(1, 1, 0, 0);
+  std::string valid = EncodeSpeedSnapshot(empty);
+  // Patch the trailing u64 road count (last 8 bytes of the empty frame).
+  std::string bytes = valid;
+  uint64_t absurd = 1ull << 60;
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + i] =
+        static_cast<char>((absurd >> (8 * i)) & 0xff);
+  }
+  EXPECT_FALSE(DecodeSpeedSnapshot(bytes).ok());
+}
+
+TEST(SnapshotWireTest, RejectsNonFiniteCells) {
+  SpeedSnapshot snap = MakeSnapshot(1, 1, 0, 2);
+  snap.speed_kmh[1] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(DecodeSpeedSnapshot(EncodeSpeedSnapshot(snap)).ok());
+  snap = MakeSnapshot(1, 1, 0, 2);
+  snap.mean_speed_kmh = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(DecodeSpeedSnapshot(EncodeSpeedSnapshot(snap)).ok());
+}
+
+TEST(SnapshotWireTest, LogRoundTripsAndStreams) {
+  std::vector<SpeedSnapshot> log;
+  for (uint64_t v = 1; v <= 4; ++v) {
+    log.push_back(MakeSnapshot(v * 10, v, static_cast<uint32_t>(v % 2), 3));
+  }
+  std::string bytes = EncodeSnapshotLog(log);
+  auto decoded = DecodeSnapshotLog(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ((*decoded)[i].slot, log[i].slot);
+    EXPECT_EQ((*decoded)[i].version, log[i].version);
+    EXPECT_EQ((*decoded)[i].speed_kmh, log[i].speed_kmh);
+  }
+  EXPECT_FALSE(DecodeSnapshotLog(bytes.substr(0, bytes.size() - 1)).ok());
+  EXPECT_FALSE(DecodeSnapshotLog(bytes + "z").ok());
+  // An empty log is a valid (if boring) artifact.
+  auto empty = DecodeSnapshotLog(EncodeSnapshotLog({}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(SnapshotWireTest, StreamingDecodeReadsConsecutiveFrames) {
+  BinaryWriter w;
+  AppendSpeedSnapshot(MakeSnapshot(1, 1, 0, 2), &w);
+  AppendSpeedSnapshot(MakeSnapshot(2, 2, 1, 2), &w);
+  BinaryReader r(w.buffer());
+  auto first = DecodeSpeedSnapshot(&r);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->version, 1u);
+  auto second = DecodeSpeedSnapshot(&r);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->version, 2u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace trendspeed
